@@ -1,0 +1,44 @@
+//! Criterion bench behind experiment A1: per-stage vs per-gate compression
+//! scheduling and the chunk-size sweep, on the compressed CPU engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
+use mq_circuit::library;
+use mq_compress::CodecSpec;
+use std::sync::Arc;
+
+fn run(n: u32, chunk_bits: u32, granularity: Granularity) {
+    let cfg = MemQSimConfig {
+        chunk_bits,
+        max_high_qubits: 2,
+        codec: CodecSpec::Sz { eb: 1e-10 },
+        workers: 1,
+        ..Default::default()
+    };
+    let circuit = library::qft(n);
+    let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+    memqsim_core::engine::cpu::run(&store, &circuit, &cfg, granularity).expect("run failed");
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let n = 12u32;
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    group.bench_function("per_stage", |b| b.iter(|| run(n, 8, Granularity::Staged)));
+    group.bench_function("per_gate", |b| b.iter(|| run(n, 8, Granularity::PerGate)));
+    group.finish();
+
+    let mut group = c.benchmark_group("chunk_size");
+    group.sample_size(10);
+    for chunk_bits in [4u32, 6, 8, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{chunk_bits}")),
+            &chunk_bits,
+            |b, &cb| b.iter(|| run(n, cb, Granularity::Staged)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench behind experiment A3: codec compress/decompress
+//! throughput on a realistic mid-circuit state vector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mq_bench::workloads::state_planes;
+use mq_circuit::library;
+use mq_compress::CodecSpec;
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = state_planes(&library::qft(14));
+    let bytes = (data.len() * 8) as u64;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for spec in CodecSpec::sweep_set() {
+        let codec = spec.build();
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &(), |b, _| {
+            b.iter(|| codec.compress(&data))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for spec in CodecSpec::sweep_set() {
+        let codec = spec.build();
+        let compressed = codec.compress(&data);
+        let mut out = vec![0.0f64; data.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &(), |b, _| {
+            b.iter(|| codec.decompress(&compressed, &mut out).expect("round trip"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

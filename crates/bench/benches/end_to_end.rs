@@ -1,0 +1,47 @@
+//! End-to-end backend comparison bench: dense vs compressed vs hybrid on
+//! representative workloads (the wall-clock view of experiment F1/C3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memqsim_core::{Backend, CompressedCpuBackend, DenseCpuBackend, HybridBackend, MemQSimConfig};
+use mq_circuit::{library, Circuit};
+use mq_compress::CodecSpec;
+use mq_device::DeviceSpec;
+
+fn cfg() -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits: 8,
+        max_high_qubits: 2,
+        codec: CodecSpec::Sz { eb: 1e-10 },
+        workers: 1,
+        pipeline_buffers: 2,
+        cpu_share: 0.0,
+        dual_stream: false,
+        reorder: false,
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let circuits: Vec<Circuit> = vec![library::ghz(12), library::qft(12)];
+    let dense = DenseCpuBackend::default();
+    let compressed = CompressedCpuBackend::new(cfg());
+    let hybrid = HybridBackend::new(cfg(), DeviceSpec::tiny_test(1 << 16));
+
+    for circuit in &circuits {
+        let mut group = c.benchmark_group(format!("end_to_end/{}", circuit.name()));
+        group.sample_size(10);
+        let backends: Vec<(&str, &dyn Backend)> = vec![
+            ("dense", &dense),
+            ("compressed", &compressed),
+            ("hybrid", &hybrid),
+        ];
+        for (label, backend) in backends {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+                b.iter(|| backend.run(circuit).expect("backend run failed"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

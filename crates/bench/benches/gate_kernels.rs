@@ -1,0 +1,44 @@
+//! Criterion bench for the gate kernels shared by the dense backend, the
+//! chunked engines and the simulated device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mq_circuit::Gate;
+use mq_num::complex::c64;
+use mq_num::Complex64;
+use mq_statevec::apply::apply_gate;
+
+fn buffer(n: u32) -> Vec<Complex64> {
+    (0..1usize << n)
+        .map(|i| c64((i as f64 * 1e-4).sin(), (i as f64 * 1e-4).cos()))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 18u32;
+    let mut state = buffer(n);
+    let amps = state.len() as u64;
+
+    let gates: Vec<(&str, Gate)> = vec![
+        ("h_low", Gate::H(0)),
+        ("h_high", Gate::H(n - 1)),
+        ("rz_diag", Gate::Rz(5, 0.3)),
+        ("cx", Gate::Cx(2, n - 2)),
+        ("cz_diag", Gate::Cz(3, n - 3)),
+        ("swap", Gate::Swap(1, n - 1)),
+        ("ccx", Gate::ccx(0, 1, n - 1)),
+        ("rzz_diag", Gate::Rzz(4, n - 4, 0.7)),
+    ];
+
+    let mut group = c.benchmark_group("gate_kernels_2^18");
+    group.throughput(Throughput::Elements(amps));
+    group.sample_size(20);
+    for (label, gate) in gates {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &gate, |b, gate| {
+            b.iter(|| apply_gate(&mut state, gate, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Table 1: wall-clock cost of the three transfer
+//! strategies at a test-friendly size (the `table1` binary runs the full
+//! 20/25-qubit reproduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_device::{run_transfer_experiment, Device, DeviceSpec, TransferStrategy};
+
+fn bench_transfer(c: &mut Criterion) {
+    let device = Device::new(DeviceSpec::pcie_gen3());
+    let mut group = c.benchmark_group("transfer_strategies");
+    group.sample_size(10);
+    let n_qubits = 16u32;
+    let piece = 1usize << 14;
+    for strategy in TransferStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    run_transfer_experiment(&device, n_qubits, piece, strategy)
+                        .expect("transfer failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

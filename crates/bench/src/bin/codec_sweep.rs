@@ -1,0 +1,68 @@
+//! **Experiment A3 — compressor comparison.**
+//!
+//! The paper claims MEMQSIM is "adaptable to accommodate various
+//! compression algorithms". This harness sweeps every codec in the registry
+//! over mid-circuit state-vector snapshots (the actual data the store
+//! compresses) and reports ratio, throughput and worst-case error.
+//!
+//! Usage: `cargo run -p mq-bench --release --bin codec_sweep [--qubits 16]`
+
+use mq_bench::workloads::codec_workloads;
+use mq_bench::{Args, Table};
+use mq_compress::CodecSpec;
+use mq_num::stats::format_throughput;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::capture();
+    let n: u32 = args.get("qubits", 16u32);
+
+    println!("# A3 — codec sweep over mid-circuit state vectors ({n} qubits)\n");
+
+    for w in codec_workloads(n) {
+        let raw_bytes = w.data.len() * 8;
+        println!("## workload: {} ({} doubles)\n", w.name, w.data.len());
+        let mut t = Table::new(&[
+            "codec",
+            "ratio",
+            "compress",
+            "decompress",
+            "max |err|",
+            "bound",
+        ]);
+        for spec in CodecSpec::sweep_set() {
+            let codec = spec.build();
+            let t0 = Instant::now();
+            let bytes = codec.compress(&w.data);
+            let t_c = t0.elapsed().as_secs_f64();
+            let mut out = vec![0.0f64; w.data.len()];
+            let t0 = Instant::now();
+            codec
+                .decompress(&bytes, &mut out)
+                .expect("round trip failed");
+            let t_d = t0.elapsed().as_secs_f64();
+            let max_err = mq_num::metrics::max_abs_err(&w.data, &out);
+            let bound = codec.error_bound();
+            if let Some(b) = bound {
+                assert!(max_err <= b, "{spec}: bound violated ({max_err} > {b})");
+            } else {
+                assert_eq!(max_err, 0.0, "{spec}: lossless codec lost data");
+            }
+            t.row(&[
+                spec.to_string(),
+                format!("{:.2}x", raw_bytes as f64 / bytes.len() as f64),
+                format_throughput(raw_bytes, t_c),
+                format_throughput(raw_bytes, t_d),
+                format!("{max_err:.1e}"),
+                bound
+                    .map(|b| format!("{b:.0e}"))
+                    .unwrap_or_else(|| "exact".into()),
+            ]);
+        }
+        println!("{t}\n");
+    }
+    println!("Reading: sparse/structured states compress by orders of magnitude (GHZ, W);");
+    println!("smooth superpositions favor the SZ-style predictor; Porter–Thomas random");
+    println!("states barely compress — the compressibility spectrum behind the paper's");
+    println!("\"on average\" qubit-extension phrasing.");
+}

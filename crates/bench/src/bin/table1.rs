@@ -1,0 +1,121 @@
+//! **Experiment T1 / C1 / C2 — Table 1.**
+//!
+//! Regenerates the paper's only numeric table: H2D/D2H transfer time in
+//! seconds for the sync, async-per-element and buffered-scatter strategies
+//! at 20 and 25 qubits, and checks the two derived claims (async ≈ 870x
+//! sync H2D; buffer ≈ 1.03x sync).
+//!
+//! Usage: `cargo run -p mq-bench --release --bin table1 [--fast]`
+//! (`--fast` restricts to 20 qubits to keep the run under a few seconds).
+
+use mq_bench::{fmt_secs, Args, Table};
+use mq_device::{run_transfer_experiment, Device, DeviceSpec, TransferStrategy};
+
+fn main() {
+    let args = Args::capture();
+    let qubit_rows: Vec<u32> = if args.has("fast") {
+        vec![20]
+    } else {
+        vec![20, 25]
+    };
+
+    // Paper values for side-by-side comparison: (qubits, strategy) -> (h2d, d2h).
+    let paper = |q: u32, s: TransferStrategy| -> (f64, f64) {
+        match (q, s) {
+            (20, TransferStrategy::Sync) => (0.003, 0.008),
+            (20, TransferStrategy::AsyncPerElement) => (2.7, 9.2),
+            (20, TransferStrategy::BufferedScatter) => (0.003, 0.004),
+            (25, TransferStrategy::Sync) => (0.080, 0.233),
+            (25, TransferStrategy::AsyncPerElement) => (77.9, 294.4),
+            (25, TransferStrategy::BufferedScatter) => (0.110, 0.273),
+            _ => (f64::NAN, f64::NAN),
+        }
+    };
+
+    let device = Device::new(DeviceSpec::pcie_gen3());
+    println!("# Table 1 — data transfer time H2D/D2H in seconds\n");
+    println!(
+        "Device model: {} ({} GiB, H2D {:.1} GB/s, D2H {:.1} GB/s, {:.1} us/call H2D)\n",
+        device.spec().name,
+        device.spec().memory_bytes() >> 30,
+        device.spec().h2d_bandwidth / 1e9,
+        device.spec().d2h_bandwidth / 1e9,
+        device.spec().h2d_call_overhead * 1e6,
+    );
+
+    let mut table = Table::new(&[
+        "qubits",
+        "strategy",
+        "H2D (model)",
+        "D2H (model)",
+        "H2D (paper)",
+        "D2H (paper)",
+        "wall",
+    ]);
+    let mut sync_h2d = std::collections::HashMap::new();
+    let mut sync_total = std::collections::HashMap::new();
+    let mut results = Vec::new();
+
+    for &q in &qubit_rows {
+        for strategy in TransferStrategy::all() {
+            let piece = 1usize << q; // paper moves the whole vector at once
+            let r = run_transfer_experiment(&device, q, piece, strategy)
+                .expect("transfer experiment failed");
+            let (ph, pd) = paper(q, strategy);
+            let h2d = r.effective_h2d().as_secs_f64();
+            let d2h = r.effective_d2h().as_secs_f64();
+            table.row(&[
+                q.to_string(),
+                strategy.label().to_string(),
+                fmt_secs(h2d),
+                fmt_secs(d2h),
+                fmt_secs(ph),
+                fmt_secs(pd),
+                format!("{:.1} ms", r.real_total.as_secs_f64() * 1e3),
+            ]);
+            if strategy == TransferStrategy::Sync {
+                sync_h2d.insert(q, h2d);
+                sync_total.insert(q, h2d + d2h);
+            }
+            results.push((q, strategy, h2d, d2h));
+        }
+    }
+    println!("{table}");
+
+    println!("## Claim checks\n");
+    let mut ok = true;
+    for &(q, strategy, h2d, d2h) in &results {
+        match strategy {
+            TransferStrategy::AsyncPerElement => {
+                let ratio = h2d / sync_h2d[&q];
+                let pass = (100.0..5000.0).contains(&ratio);
+                ok &= pass;
+                println!(
+                    "- C1 ({q}q): async/sync H2D = {ratio:.0}x (paper: ~870x) {}",
+                    if pass { "[OK]" } else { "[FAIL]" }
+                );
+            }
+            TransferStrategy::BufferedScatter => {
+                let ratio = (h2d + d2h) / sync_total[&q];
+                let pass = (0.95..1.15).contains(&ratio);
+                ok &= pass;
+                println!(
+                    "- C2 ({q}q): buffer/sync total = {ratio:.3}x (paper: ~1.03x) {}",
+                    if pass { "[OK]" } else { "[FAIL]" }
+                );
+            }
+            TransferStrategy::Sync => {}
+        }
+    }
+    println!(
+        "\nShape {}",
+        if ok {
+            "reproduced."
+        } else {
+            "NOT reproduced — investigate!"
+        }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Workload construction for the experiments.
+//!
+//! Codec experiments need *realistic* state-vector data: amplitudes of real
+//! circuits captured mid-execution, not synthetic ramps. This module runs
+//! library circuits on the dense simulator and snapshots their states.
+
+use mq_circuit::{library, Circuit};
+use mq_statevec::{run_circuit, CpuConfig};
+
+/// A named f64 buffer used as compressor input.
+#[derive(Debug, Clone)]
+pub struct CodecWorkload {
+    /// Display name.
+    pub name: String,
+    /// Real/imaginary planes of a mid-circuit state (the layout the store
+    /// compresses).
+    pub data: Vec<f64>,
+}
+
+/// Snapshots the final state of `circuit` as re/im planes.
+pub fn state_planes(circuit: &Circuit) -> Vec<f64> {
+    let state = run_circuit(circuit, &CpuConfig::default());
+    let amps = state.amplitudes();
+    let n = amps.len();
+    let mut planes = vec![0.0f64; 2 * n];
+    for (i, z) in amps.iter().enumerate() {
+        planes[i] = z.re;
+        planes[n + i] = z.im;
+    }
+    planes
+}
+
+/// The standard codec workload set at `n` qubits: spans sparse (GHZ),
+/// structured (QFT, QAOA), and adversarial (random) amplitude statistics.
+pub fn codec_workloads(n: u32) -> Vec<CodecWorkload> {
+    let circuits: Vec<Circuit> = vec![
+        library::ghz(n),
+        library::w_state(n),
+        library::qft(n),
+        library::qaoa_maxcut(n, &library::ring_graph(n), &[0.4, 0.8], &[0.3, 0.6]),
+        library::random_circuit(n, 12, 1234),
+    ];
+    circuits
+        .into_iter()
+        .map(|c| CodecWorkload {
+            name: c.name().to_string(),
+            data: state_planes(&c),
+        })
+        .collect()
+}
+
+/// The circuit suite used by end-to-end experiments (named circuits at a
+/// given width).
+pub fn circuit_suite(n: u32) -> Vec<Circuit> {
+    library::standard_suite(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_have_twice_the_amplitude_count() {
+        let p = state_planes(&library::ghz(5));
+        assert_eq!(p.len(), 2 * 32);
+        // GHZ: exactly two nonzero reals, no imaginaries.
+        let nonzero = p.iter().filter(|x| x.abs() > 1e-12).count();
+        assert_eq!(nonzero, 2);
+    }
+
+    #[test]
+    fn workload_set_is_diverse() {
+        let ws = codec_workloads(6);
+        assert_eq!(ws.len(), 5);
+        let sparsity = |w: &CodecWorkload| {
+            w.data.iter().filter(|x| x.abs() < 1e-12).count() as f64 / w.data.len() as f64
+        };
+        // GHZ nearly all zeros; random circuit nearly none.
+        assert!(sparsity(&ws[0]) > 0.9);
+        assert!(sparsity(&ws[4]) < 0.1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Circuit IR and builder.
+//!
+//! A [`Circuit`] is an ordered gate list over a fixed-width qubit register —
+//! deliberately flat (no classical control, no mid-circuit measurement) since
+//! that is the model every state-vector backend in the paper's ecosystem
+//! (SV-Sim, UniQ, HyQuas) consumes. Builder methods are chainable; every
+//! append validates qubit indices eagerly so errors carry the offending gate.
+
+use crate::gate::{Gate, GateError};
+use std::fmt;
+
+/// An ordered list of gates over `n_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: u32,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits` qubits.
+    pub fn new(n_qubits: u32) -> Circuit {
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Creates an empty named circuit (names show up in experiment reports).
+    pub fn named(n_qubits: u32, name: impl Into<String>) -> Circuit {
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// The circuit's display name ("" if unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the display name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The gate list.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate after validating it.
+    ///
+    /// # Panics
+    /// Panics on an invalid gate — construction-time bugs should fail fast.
+    /// Use [`Circuit::try_push`] for fallible appends (e.g. from parsers).
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        self.try_push(gate).expect("invalid gate");
+        self
+    }
+
+    /// Appends a gate, returning the validation error if it is malformed.
+    pub fn try_push(&mut self, gate: Gate) -> Result<&mut Self, GateError> {
+        gate.validate(self.n_qubits)?;
+        self.gates.push(gate);
+        Ok(self)
+    }
+
+    /// Appends every gate of `other` (which must have the same width).
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "cannot extend with a circuit of different width"
+        );
+        self.gates.extend(other.gates.iter().cloned());
+        self
+    }
+
+    /// The inverse circuit: gates reversed, each replaced by its adjoint.
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            gates: self.gates.iter().rev().map(Gate::adjoint).collect(),
+            name: if self.name.is_empty() {
+                String::new()
+            } else {
+                format!("{}^-1", self.name)
+            },
+        }
+    }
+
+    /// Circuit depth under greedy ASAP layering (each layer holds gates on
+    /// disjoint qubits).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.n_qubits as usize];
+        let mut depth = 0usize;
+        for g in &self.gates {
+            let layer = g
+                .qubits()
+                .iter()
+                .map(|&q| frontier[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in g.qubits() {
+                frontier[q as usize] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Gate-count histogram by mnemonic.
+    pub fn gate_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for g in &self.gates {
+            let name = g.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        counts
+    }
+
+    /// Count of gates touching two or more qubits.
+    pub fn multi_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.qubits().len() > 1).count()
+    }
+
+    // --- chainable builder methods ------------------------------------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+    /// S gate on `q`.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+    /// S-dagger on `q`.
+    pub fn sdg(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Sdg(q))
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+    /// T-dagger on `q`.
+    pub fn tdg(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Tdg(q))
+    }
+    /// sqrt(X) on `q`.
+    pub fn sx(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Sx(q))
+    }
+    /// Rx rotation.
+    pub fn rx(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(q, theta))
+    }
+    /// Ry rotation.
+    pub fn ry(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(q, theta))
+    }
+    /// Rz rotation.
+    pub fn rz(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(q, theta))
+    }
+    /// Phase gate.
+    pub fn p(&mut self, q: u32, lambda: f64) -> &mut Self {
+        self.push(Gate::P(q, lambda))
+    }
+    /// General 1q rotation U3.
+    pub fn u3(&mut self, q: u32, theta: f64, phi: f64, lambda: f64) -> &mut Self {
+        self.push(Gate::U3(q, theta, phi, lambda))
+    }
+    /// CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cx(control, target))
+    }
+    /// Controlled-Y.
+    pub fn cy(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cy(control, target))
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cz(a, b))
+    }
+    /// Controlled phase.
+    pub fn cp(&mut self, a: u32, b: u32, lambda: f64) -> &mut Self {
+        self.push(Gate::Cp(a, b, lambda))
+    }
+    /// SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+    /// ZZ interaction.
+    pub fn rzz(&mut self, a: u32, b: u32, theta: f64) -> &mut Self {
+        self.push(Gate::Rzz(a, b, theta))
+    }
+    /// Toffoli.
+    pub fn ccx(&mut self, c0: u32, c1: u32, target: u32) -> &mut Self {
+        self.push(Gate::ccx(c0, c1, target))
+    }
+    /// Multi-controlled X.
+    pub fn mcx(&mut self, controls: &[u32], target: u32) -> &mut Self {
+        self.push(Gate::mcx(controls, target))
+    }
+    /// Multi-controlled Z.
+    pub fn mcz(&mut self, controls: &[u32], target: u32) -> &mut Self {
+        self.push(Gate::mcz(controls, target))
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit{}{} [{} qubits, {} gates, depth {}]",
+            if self.name.is_empty() { "" } else { " " },
+            self.name,
+            self.n_qubits,
+            self.gates.len(),
+            self.depth()
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.5).h(0);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.multi_qubit_gate_count(), 2);
+        let counts = c.gate_counts();
+        assert_eq!(counts[0], ("cx", 2));
+        assert_eq!(counts[1], ("h", 2));
+    }
+
+    #[test]
+    fn push_panics_on_out_of_range() {
+        let mut c = Circuit::new(2);
+        assert!(c.try_push(Gate::H(5)).is_err());
+        assert!(std::panic::catch_unwind(move || {
+            let mut c = Circuit::new(2);
+            c.h(5);
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn depth_of_parallel_vs_serial() {
+        let mut parallel = Circuit::new(4);
+        parallel.h(0).h(1).h(2).h(3);
+        assert_eq!(parallel.depth(), 1);
+
+        let mut serial = Circuit::new(2);
+        serial.h(0).h(0).h(0);
+        assert_eq!(serial.depth(), 3);
+
+        let mut mixed = Circuit::new(3);
+        mixed.h(0).h(1).cx(0, 1).h(2);
+        assert_eq!(mixed.depth(), 2);
+
+        assert_eq!(Circuit::new(5).depth(), 0);
+    }
+
+    #[test]
+    fn inverse_reverses_and_adjoints() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.gates()[0], Gate::Cx(0, 1));
+        assert_eq!(inv.gates()[1], Gate::Sdg(1));
+        assert_eq!(inv.gates()[2], Gate::H(0));
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity_on_gates() {
+        let mut c = Circuit::named(3, "test");
+        c.h(0).t(1).cp(0, 2, 0.3).swap(1, 2).rx(0, 0.7);
+        let back = c.inverse().inverse();
+        assert_eq!(back.gates(), c.gates());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.gates()[1], Gate::Cx(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn extend_rejects_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.extend(&b);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::named(2, "bell");
+        c.h(0).cx(0, 1);
+        let s = format!("{c}");
+        assert!(s.contains("bell"));
+        assert!(s.contains("h q[0]"));
+        assert!(s.contains("cx q[0],q[1]"));
+        assert!(s.contains("2 gates"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Gate fusion.
+//!
+//! Fusion trades gate count for matrix generality: a run of single-qubit
+//! gates on one qubit collapses into one `U1q`; single-qubit gates adjacent
+//! to a two-qubit gate (and consecutive two-qubit gates on the same pair)
+//! collapse into one `U2q`. For MEMQSIM this matters doubly — fewer gates
+//! means fewer passes over the compressed chunks, which is the paper's
+//! answer to its design challenge (2).
+
+use crate::gate::Gate;
+use crate::matrix::{Mat2, Mat4};
+use crate::Circuit;
+
+/// Fuses maximal runs of single-qubit gates per qubit into `U1q` gates.
+/// Multi-qubit gates act as barriers on the qubits they touch. Relative
+/// order of the surviving gates is preserved.
+pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.n_qubits();
+    let mut out = Circuit::named(n, format!("{}_fused1q", circuit.name()));
+    // Pending accumulated 1q matrix per qubit.
+    let mut pending: Vec<Option<Mat2>> = vec![None; n as usize];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: u32| {
+        if let Some(m) = pending[q as usize].take() {
+            out.push(Gate::U1q(q, m));
+        }
+    };
+
+    for g in circuit.gates() {
+        if let Some(m) = g.mat2() {
+            let q = g.qubits()[0];
+            let acc = match pending[q as usize] {
+                // Later gate multiplies from the left.
+                Some(prev) => m.mul(&prev),
+                None => m,
+            };
+            pending[q as usize] = Some(acc);
+        } else {
+            for q in g.qubits() {
+                flush(&mut out, &mut pending, q);
+            }
+            out.push(g.clone());
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Fuses toward two-qubit blocks: pending single-qubit gates are absorbed
+/// into the next two-qubit gate touching their qubit, and consecutive
+/// two-qubit gates on the same (unordered) pair merge. `Mcu` gates pass
+/// through as barriers. The result contains only `U2q`, `U1q` (for
+/// leftovers) and `Mcu` gates.
+pub fn fuse_to_2q(circuit: &Circuit) -> Circuit {
+    let n = circuit.n_qubits();
+    let mut out = Circuit::named(n, format!("{}_fused2q", circuit.name()));
+    let mut pending_1q: Vec<Option<Mat2>> = vec![None; n as usize];
+    // An open 2q block: (qubit_a, qubit_b, accumulated matrix in (a,b) basis).
+    let mut open: Option<(u32, u32, Mat4)> = None;
+
+    let flush_1q = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: u32| {
+        if let Some(m) = pending[q as usize].take() {
+            out.push(Gate::U1q(q, m));
+        }
+    };
+
+    fn close_open(out: &mut Circuit, open: &mut Option<(u32, u32, Mat4)>) {
+        if let Some((a, b, m)) = open.take() {
+            out.push(Gate::U2q(a, b, m));
+        }
+    }
+
+    for g in circuit.gates() {
+        if let Some(m) = g.mat2() {
+            let q = g.qubits()[0];
+            // Absorb into the open block if it covers q.
+            if let Some((a, b, acc)) = open.as_mut() {
+                if *a == q || *b == q {
+                    let lifted = if *a == q {
+                        Mat4::kron(&Mat2::IDENTITY, &m)
+                    } else {
+                        Mat4::kron(&m, &Mat2::IDENTITY)
+                    };
+                    *acc = lifted.mul(acc);
+                    continue;
+                }
+            }
+            let acc = match pending_1q[q as usize] {
+                Some(prev) => m.mul(&prev),
+                None => m,
+            };
+            pending_1q[q as usize] = Some(acc);
+        } else if let Some(m4) = g.mat4() {
+            let qs = g.qubits();
+            let (qa, qb) = (qs[0], qs[1]);
+            // Same unordered pair as the open block? Merge.
+            if let Some((a, b, acc)) = open.as_mut() {
+                if (*a == qa && *b == qb) || (*a == qb && *b == qa) {
+                    let aligned = if *a == qa { m4 } else { m4.swap_qubits() };
+                    *acc = aligned.mul(acc);
+                    continue;
+                }
+            }
+            // Different pair: close the previous block, open a new one
+            // seeded with any pending 1q gates on its qubits.
+            close_open(&mut out, &mut open);
+            let mut acc = m4;
+            if let Some(p) = pending_1q[qa as usize].take() {
+                acc = acc.mul(&Mat4::kron(&Mat2::IDENTITY, &p));
+            }
+            if let Some(p) = pending_1q[qb as usize].take() {
+                acc = acc.mul(&Mat4::kron(&p, &Mat2::IDENTITY));
+            }
+            open = Some((qa, qb, acc));
+        } else {
+            // Mcu: barrier on everything it touches.
+            if let Some((a, b, _)) = open {
+                let qs = g.qubits();
+                if qs.contains(&a) || qs.contains(&b) {
+                    close_open(&mut out, &mut open);
+                }
+            }
+            for q in g.qubits() {
+                flush_1q(&mut out, &mut pending_1q, q);
+            }
+            out.push(g.clone());
+        }
+    }
+    close_open(&mut out, &mut open);
+    for q in 0..n {
+        flush_1q(&mut out, &mut pending_1q, q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::unitary::circuit_unitary;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit, tol: f64) {
+        let ua = circuit_unitary(a);
+        let ub = circuit_unitary(b);
+        // Compare up to nothing — fusion preserves the exact unitary
+        // (matrix products, no global-phase games).
+        for (x, y) in ua.data().iter().zip(ub.data()) {
+            assert!(x.approx_eq(*y, tol), "unitaries differ: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fuse_1q_collapses_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).s(0).x(1).h(1);
+        let f = fuse_1q_runs(&c);
+        assert_eq!(f.len(), 2); // one U1q per qubit
+        assert_equivalent(&c, &f, 1e-10);
+    }
+
+    #[test]
+    fn fuse_1q_respects_barriers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        let f = fuse_1q_runs(&c);
+        // H cannot cross the CX: U1q, CX, U1q.
+        assert_eq!(f.len(), 3);
+        assert_equivalent(&c, &f, 1e-10);
+    }
+
+    #[test]
+    fn fuse_1q_preserves_library_circuits() {
+        for c in library::standard_suite(4) {
+            let f = fuse_1q_runs(&c);
+            assert!(f.len() <= c.len(), "{}", c.name());
+            assert_equivalent(&c, &f, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fuse_2q_merges_same_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).cz(1, 0).h(1).cx(0, 1);
+        let f = fuse_to_2q(&c);
+        assert_eq!(f.len(), 1, "whole circuit is one 2q block: {f}");
+        assert_equivalent(&c, &f, 1e-10);
+    }
+
+    #[test]
+    fn fuse_2q_reversed_pair_alignment() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).cx(0, 1); // SWAP built from CXs
+        let f = fuse_to_2q(&c);
+        assert_eq!(f.len(), 1);
+        assert_equivalent(&c, &f, 1e-10);
+    }
+
+    #[test]
+    fn fuse_2q_mcu_is_barrier() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).ccx(0, 1, 2).cx(0, 1);
+        let f = fuse_to_2q(&c);
+        assert_eq!(f.len(), 3);
+        assert_equivalent(&c, &f, 1e-10);
+    }
+
+    #[test]
+    fn fuse_2q_preserves_library_circuits() {
+        for c in library::standard_suite(4) {
+            let f = fuse_to_2q(&c);
+            assert!(f.len() <= c.len(), "{}", c.name());
+            assert_equivalent(&c, &f, 1e-9);
+        }
+        // And a deeper random one.
+        let c = library::random_circuit(5, 10, 3);
+        let f = fuse_to_2q(&c);
+        assert!(f.len() < c.len());
+        assert_equivalent(&c, &f, 1e-9);
+    }
+
+    #[test]
+    fn fusion_of_empty_circuit() {
+        let c = Circuit::new(3);
+        assert!(fuse_1q_runs(&c).is_empty());
+        assert!(fuse_to_2q(&c).is_empty());
+    }
+
+    #[test]
+    fn fuse_2q_absorbs_dangling_1q_before_block() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(2).cx(0, 1);
+        let f = fuse_to_2q(&c);
+        // H(0) absorbed into the block; H(2) survives as U1q.
+        assert_eq!(f.len(), 2);
+        assert_equivalent(&c, &f, 1e-10);
+    }
+}

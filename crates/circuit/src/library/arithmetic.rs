@@ -1,0 +1,151 @@
+//! Reversible arithmetic: the Cuccaro ripple-carry adder.
+//!
+//! Pure Toffoli/CNOT circuitry on computational-basis states — the classic
+//! "classical logic embedded in a quantum register" workload whose state
+//! vector stays maximally sparse (a single nonzero amplitude), i.e. the
+//! best-possible case for the compressed store.
+
+use crate::Circuit;
+
+/// Width of the adder register for `n`-bit operands: `2n + 2` qubits laid
+/// out as `[cin, b0, a0, b1, a1, ..., b_{n-1}, a_{n-1}, cout]`.
+pub fn adder_width(n: u32) -> u32 {
+    2 * n + 2
+}
+
+/// Qubit index of operand bit `a_i`.
+pub fn a_bit(i: u32) -> u32 {
+    2 + 2 * i
+}
+
+/// Qubit index of operand bit `b_i`.
+pub fn b_bit(i: u32) -> u32 {
+    1 + 2 * i
+}
+
+/// The Cuccaro ripple-carry adder on `n`-bit operands: computes
+/// `b <- a + b (mod 2^n)` with the carry-out in the last qubit. The register
+/// layout is given by [`a_bit`]/[`b_bit`]; qubit 0 is the carry-in.
+pub fn ripple_carry_adder(n: u32) -> Circuit {
+    assert!(n >= 1, "adder needs at least 1-bit operands");
+    let width = adder_width(n);
+    let cout = width - 1;
+    let mut c = Circuit::named(width, format!("adder{n}"));
+
+    let maj = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    // Forward MAJ ladder.
+    maj(&mut c, 0, b_bit(0), a_bit(0));
+    for i in 1..n {
+        maj(&mut c, a_bit(i - 1), b_bit(i), a_bit(i));
+    }
+    // Carry out.
+    c.cx(a_bit(n - 1), cout);
+    // Backward UMA ladder.
+    for i in (1..n).rev() {
+        uma(&mut c, a_bit(i - 1), b_bit(i), a_bit(i));
+    }
+    uma(&mut c, 0, b_bit(0), a_bit(0));
+    c
+}
+
+/// Builds a basis-state preparation prefix that loads operands `a` and `b`
+/// into a fresh adder register (X gates on the appropriate qubits).
+pub fn load_operands(n: u32, a: u64, b: u64) -> Circuit {
+    assert!(
+        n >= 64 || (a < (1u64 << n) && b < (1u64 << n)),
+        "operand overflow"
+    );
+    let mut c = Circuit::named(adder_width(n), format!("load_a{a}_b{b}"));
+    for i in 0..n {
+        if (a >> i) & 1 == 1 {
+            c.x(a_bit(i));
+        }
+        if (b >> i) & 1 == 1 {
+            c.x(b_bit(i));
+        }
+    }
+    c
+}
+
+/// Decodes the sum (including carry) from a measured basis state of the
+/// adder register.
+pub fn decode_sum(n: u32, basis_state: u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..n {
+        sum |= ((basis_state >> b_bit(i)) & 1) << i;
+    }
+    let cout = (basis_state >> (adder_width(n) - 1)) & 1;
+    sum | (cout << n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn widths_and_layout() {
+        assert_eq!(adder_width(4), 10);
+        assert_eq!(a_bit(0), 2);
+        assert_eq!(b_bit(0), 1);
+        assert_eq!(a_bit(3), 8);
+        assert_eq!(b_bit(3), 7);
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        // n MAJ + n UMA (3 gates each) + 1 carry CX.
+        for n in 1..=6u32 {
+            let c = ripple_carry_adder(n);
+            assert_eq!(c.len(), 6 * n as usize + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn adder_uses_only_cx_and_ccx() {
+        let c = ripple_carry_adder(4);
+        for g in c.gates() {
+            assert!(
+                matches!(g, Gate::Cx(..) | Gate::Mcu { .. }),
+                "unexpected gate {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_operands_sets_bits() {
+        let c = load_operands(3, 0b101, 0b011);
+        let xs: Vec<u32> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::X(q) => Some(*q),
+                _ => None,
+            })
+            .collect();
+        // a bits 0 and 2 -> qubits 2, 6; b bits 0 and 1 -> qubits 1, 3.
+        assert_eq!(xs.len(), 4);
+        assert!(xs.contains(&2) && xs.contains(&6) && xs.contains(&1) && xs.contains(&3));
+    }
+
+    #[test]
+    fn decode_reads_b_register_and_carry() {
+        let n = 3;
+        // basis state with b = 0b110 (qubits 1,3,5 = 0,1,1) and cout set.
+        let mut state = 0u64;
+        state |= 1 << b_bit(1);
+        state |= 1 << b_bit(2);
+        state |= 1 << (adder_width(n) - 1);
+        assert_eq!(decode_sum(n, state), 0b110 | (1 << 3));
+    }
+}

@@ -1,0 +1,73 @@
+//! Bernstein–Vazirani.
+//!
+//! Recovers a hidden bitstring with one oracle query. The oracle is a fan of
+//! CX gates from each set bit of the secret into the ancilla — an access
+//! pattern with a single "hot" qubit, interesting for chunk planning.
+
+use crate::Circuit;
+
+/// Bernstein–Vazirani over `n` data qubits (total width `n + 1`; qubit `n`
+/// is the ancilla). After the circuit, measuring qubits `0..n` yields
+/// `secret` with certainty.
+///
+/// # Panics
+/// Panics if `secret` has bits at or above position `n`.
+pub fn bernstein_vazirani(n: u32, secret: u64) -> Circuit {
+    assert!(n >= 1);
+    assert!(
+        n >= 64 || secret < (1u64 << n),
+        "secret has bits outside the data register"
+    );
+    let mut c = Circuit::named(n + 1, format!("bv{n}_s{secret}"));
+    // Ancilla in |->.
+    c.x(n).h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: f(x) = secret . x (mod 2).
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn oracle_has_one_cx_per_set_bit() {
+        let c = bernstein_vazirani(6, 0b101101);
+        let cx = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Cx(..)))
+            .count();
+        assert_eq!(cx, 4);
+    }
+
+    #[test]
+    fn zero_secret_has_no_oracle() {
+        let c = bernstein_vazirani(4, 0);
+        assert!(c.gates().iter().all(|g| !matches!(g, Gate::Cx(..))));
+        // 1 X + (n+1) H + n H = 1 + 5 + 4
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn width_is_n_plus_one() {
+        assert_eq!(bernstein_vazirani(7, 1).n_qubits(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_secret() {
+        let _ = bernstein_vazirani(3, 0b1000);
+    }
+}

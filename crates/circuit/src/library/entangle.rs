@@ -1,0 +1,98 @@
+//! Entangled-state preparation: Bell pairs, GHZ and W states.
+//!
+//! GHZ is the paper-friendly "best case" for compression: its state vector
+//! has exactly two nonzero amplitudes, so an error-bounded compressor
+//! achieves enormous ratios.
+
+use crate::gate::{mat2_ry, Gate};
+use crate::Circuit;
+
+/// A Bell pair (|00> + |11>)/sqrt(2) on qubits `(a, b)` of an `n`-qubit
+/// register.
+pub fn bell_pair(n: u32, a: u32, b: u32) -> Circuit {
+    let mut c = Circuit::named(n, format!("bell_{a}_{b}"));
+    c.h(a).cx(a, b);
+    c
+}
+
+/// The n-qubit GHZ state (|0...0> + |1...1>)/sqrt(2).
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::named(n, format!("ghz{n}"));
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// The n-qubit W state: equal superposition of all single-excitation basis
+/// states, `sum_i |0..1_i..0> / sqrt(n)`.
+///
+/// Uses the standard cascade of controlled-Ry "fan-out" blocks: after
+/// placing the excitation on qubit 0, each block moves amplitude
+/// `sqrt((n-i-1)/(n-i))` one qubit down the line.
+pub fn w_state(n: u32) -> Circuit {
+    assert!(n >= 1);
+    let mut c = Circuit::named(n, format!("w{n}"));
+    c.x(0);
+    for i in 0..n.saturating_sub(1) {
+        let k = (n - i) as f64;
+        // cos(theta/2) = sqrt(1/k): the amplitude that *stays* on qubit i.
+        let theta = 2.0 * (1.0 / k.sqrt()).acos();
+        // Controlled-Ry(theta), control i, target i+1.
+        c.push(Gate::Mcu {
+            controls: vec![i],
+            target: i + 1,
+            u: mat2_ry(theta),
+        });
+        c.cx(i + 1, i);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_structure() {
+        let c = ghz(5);
+        assert_eq!(c.len(), 5); // 1 H + 4 CX
+        assert_eq!(c.gates()[0], Gate::H(0));
+        assert_eq!(c.gates()[4], Gate::Cx(3, 4));
+        assert_eq!(c.depth(), 5);
+    }
+
+    #[test]
+    fn ghz_single_qubit() {
+        let c = ghz(1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn w_state_gate_count() {
+        // 1 X + (n-1) * (cry + cx)
+        for n in 1..=6u32 {
+            let c = w_state(n);
+            assert_eq!(c.len(), 1 + 2 * (n as usize - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn w_state_angles_are_finite() {
+        let c = w_state(8);
+        for g in c.gates() {
+            if let Gate::Mcu { u, .. } = g {
+                assert!(u.0.iter().all(|z| z.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn bell_pair_on_arbitrary_qubits() {
+        let c = bell_pair(4, 1, 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.gates()[1], Gate::Cx(1, 3));
+    }
+}

@@ -1,0 +1,111 @@
+//! Grover search.
+//!
+//! Oracle and diffusion are built from natively multi-controlled Z gates
+//! (`Gate::mcz`), the same primitive SV-Sim exposes — no ancilla qubits.
+
+use crate::gate::Gate;
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// Grover search over `n` qubits for the computational-basis state `marked`,
+/// running `iterations` Grover iterations.
+///
+/// # Panics
+/// Panics if `n < 2` or `marked >= 2^n`.
+pub fn grover(n: u32, marked: u64, iterations: usize) -> Circuit {
+    assert!(n >= 2, "grover needs at least 2 qubits");
+    assert!(marked < (1u64 << n), "marked state out of range");
+    let mut c = Circuit::named(n, format!("grover{n}_m{marked}_i{iterations}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    let controls: Vec<u32> = (0..n - 1).collect();
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked>.
+        flip_zeros(&mut c, n, marked);
+        c.push(Gate::mcz(&controls, n - 1));
+        flip_zeros(&mut c, n, marked);
+        // Diffusion: reflect about the uniform superposition.
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n {
+            c.x(q);
+        }
+        c.push(Gate::mcz(&controls, n - 1));
+        for q in 0..n {
+            c.x(q);
+        }
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// X-conjugation bringing |marked> to |1...1>.
+fn flip_zeros(c: &mut Circuit, n: u32, marked: u64) {
+    for q in 0..n {
+        if (marked >> q) & 1 == 0 {
+            c.x(q);
+        }
+    }
+}
+
+/// The iteration count maximizing success probability:
+/// `floor(pi/4 * sqrt(2^n))`.
+pub fn optimal_grover_iterations(n: u32) -> usize {
+    ((PI / 4.0) * ((1u64 << n) as f64).sqrt()).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_and_counts() {
+        let n = 4;
+        let c = grover(n, 0b1010, 2);
+        assert_eq!(c.n_qubits(), n);
+        // Initial H layer.
+        assert_eq!(c.gates()[0], Gate::H(0));
+        // Two MCZ per iteration (oracle + diffusion).
+        let mcz_count = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Mcu { .. }))
+            .count();
+        assert_eq!(mcz_count, 4);
+    }
+
+    #[test]
+    fn marked_all_ones_needs_no_oracle_flips() {
+        let c = grover(3, 0b111, 1);
+        // X gates appear only in the diffusion (6 = two layers of 3).
+        let x_count = c.gates().iter().filter(|g| matches!(g, Gate::X(_))).count();
+        assert_eq!(x_count, 6);
+    }
+
+    #[test]
+    fn marked_zero_flips_all_qubits_twice() {
+        let c = grover(3, 0, 1);
+        let x_count = c.gates().iter().filter(|g| matches!(g, Gate::X(_))).count();
+        assert_eq!(x_count, 6 + 6); // oracle conjugation + diffusion
+    }
+
+    #[test]
+    fn optimal_iterations_grows_like_sqrt() {
+        assert_eq!(optimal_grover_iterations(2), 1);
+        assert_eq!(optimal_grover_iterations(4), 3);
+        assert_eq!(optimal_grover_iterations(8), 12);
+        let a = optimal_grover_iterations(10);
+        let b = optimal_grover_iterations(12);
+        assert!((b as f64 / a as f64 - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_marked() {
+        let _ = grover(3, 8, 1);
+    }
+}

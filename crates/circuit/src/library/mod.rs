@@ -1,0 +1,59 @@
+//! Workload generators.
+//!
+//! Every circuit the paper's ecosystem evaluates on, constructed
+//! programmatically and deterministically (seeded where randomized). These
+//! are the workloads behind experiments C3 (qubit extension), A2 (access
+//! patterns), A3/A4 (codec and fidelity sweeps).
+
+pub mod arithmetic;
+pub mod bv;
+pub mod entangle;
+pub mod grover;
+pub mod qaoa;
+pub mod qft;
+pub mod qpe;
+pub mod random;
+pub mod vqe;
+
+pub use arithmetic::ripple_carry_adder;
+pub use bv::bernstein_vazirani;
+pub use entangle::{bell_pair, ghz, w_state};
+pub use grover::{grover, optimal_grover_iterations};
+pub use qaoa::{qaoa_maxcut, ring_graph};
+pub use qft::{iqft, qft, qft_no_swap};
+pub use qpe::phase_estimation;
+pub use random::{quantum_volume, random_circuit, supremacy_like};
+pub use vqe::hardware_efficient_ansatz;
+
+use crate::Circuit;
+
+/// The standard benchmark suite used by the experiment harness: a named
+/// selection spanning the locality spectrum (GHZ = mostly local, QFT =
+/// all-to-all, QAOA = graph-structured, random = adversarial).
+pub fn standard_suite(n_qubits: u32) -> Vec<Circuit> {
+    assert!(n_qubits >= 3, "suite needs at least 3 qubits");
+    vec![
+        ghz(n_qubits),
+        qft(n_qubits),
+        grover(n_qubits, 1, optimal_grover_iterations(n_qubits).min(4)),
+        qaoa_maxcut(n_qubits, &ring_graph(n_qubits), &[0.4, 0.7], &[0.3, 0.6]),
+        hardware_efficient_ansatz(n_qubits, 2, 7),
+        random_circuit(n_qubits, 20, 11),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_well_formed() {
+        let suite = standard_suite(6);
+        assert_eq!(suite.len(), 6);
+        for c in &suite {
+            assert_eq!(c.n_qubits(), 6);
+            assert!(!c.is_empty(), "{} is empty", c.name());
+            assert!(!c.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! QAOA for MaxCut.
+//!
+//! Cost layers are pure `Rzz` gates — *diagonal*, hence chunk-local
+//! regardless of which qubits they touch. QAOA is therefore the paper's
+//! "friendly" non-trivial access pattern: only the mixer layer pairs
+//! amplitudes.
+
+use crate::Circuit;
+
+/// An undirected edge list over qubits `0..n`.
+pub type Graph = Vec<(u32, u32)>;
+
+/// The n-cycle graph (ring).
+pub fn ring_graph(n: u32) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// A seeded random graph with `m` distinct edges over `n` vertices.
+pub fn random_graph(n: u32, m: usize, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 2);
+    let max_edges = (n as usize * (n as usize - 1)) / 2;
+    assert!(m <= max_edges, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Graph = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let e = (a.min(b), a.max(b));
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// A p-layer QAOA MaxCut circuit: `H^n` then alternating cost
+/// (`Rzz(2*gamma)` per edge) and mixer (`Rx(2*beta)` per qubit) layers.
+///
+/// `gammas` and `betas` must have equal length (the layer count `p`).
+pub fn qaoa_maxcut(n: u32, edges: &Graph, gammas: &[f64], betas: &[f64]) -> Circuit {
+    assert_eq!(gammas.len(), betas.len(), "layer count mismatch");
+    let mut c = Circuit::named(n, format!("qaoa{n}_p{}", gammas.len()));
+    for q in 0..n {
+        c.h(q);
+    }
+    for (&gamma, &beta) in gammas.iter().zip(betas) {
+        for &(a, b) in edges {
+            c.rzz(a, b, 2.0 * gamma);
+        }
+        for q in 0..n {
+            c.rx(q, 2.0 * beta);
+        }
+    }
+    c
+}
+
+/// Classical MaxCut value of a bitstring assignment against `edges`.
+pub fn cut_value(assignment: u64, edges: &Graph) -> usize {
+    edges
+        .iter()
+        .filter(|(a, b)| ((assignment >> a) ^ (assignment >> b)) & 1 == 1)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn ring_graph_shape() {
+        let g = ring_graph(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], (0, 1));
+        assert_eq!(g[4], (4, 0));
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_and_simple() {
+        let a = random_graph(8, 12, 3);
+        let b = random_graph(8, 12, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        for &(x, y) in &a {
+            assert!(x < y, "normalized edge order");
+        }
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "no duplicate edges");
+    }
+
+    #[test]
+    fn qaoa_gate_counts() {
+        let edges = ring_graph(6);
+        let c = qaoa_maxcut(6, &edges, &[0.1, 0.2], &[0.3, 0.4]);
+        // 6 H + 2 layers * (6 rzz + 6 rx)
+        assert_eq!(c.len(), 6 + 2 * (6 + 6));
+        let rzz = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rzz(..)))
+            .count();
+        assert_eq!(rzz, 12);
+    }
+
+    #[test]
+    fn cost_layer_is_fully_diagonal() {
+        let edges = ring_graph(4);
+        let c = qaoa_maxcut(4, &edges, &[0.5], &[0.5]);
+        for g in c.gates() {
+            if matches!(g, Gate::Rzz(..)) {
+                assert!(g.is_diagonal());
+                assert!(g.pairing_qubits().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let edges = ring_graph(4); // 0-1-2-3-0
+        assert_eq!(cut_value(0b0101, &edges), 4); // perfect alternating cut
+        assert_eq!(cut_value(0b0000, &edges), 0);
+        assert_eq!(cut_value(0b0001, &edges), 2);
+    }
+}

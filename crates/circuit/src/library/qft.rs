@@ -1,0 +1,84 @@
+//! Quantum Fourier transform.
+//!
+//! The canonical "worst-case locality" workload: every qubit interacts with
+//! every other through controlled-phase gates, so no chunking scheme can make
+//! it fully chunk-local — which is exactly why the paper's challenge (3)
+//! calls out algorithm-dependent access patterns.
+
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// The n-qubit QFT with final bit-order-restoring swaps.
+pub fn qft(n: u32) -> Circuit {
+    let mut c = qft_no_swap(n);
+    c.set_name(format!("qft{n}"));
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// The n-qubit QFT without the final swaps (output in bit-reversed order).
+pub fn qft_no_swap(n: u32) -> Circuit {
+    assert!(n >= 1, "qft needs at least one qubit");
+    let mut c = Circuit::named(n, format!("qft{n}_noswap"));
+    for target in (0..n).rev() {
+        c.h(target);
+        for (k, control) in (0..target).rev().enumerate() {
+            // Rotation by pi / 2^(k+1), controlled on the lower qubit.
+            c.cp(control, target, PI / f64::powi(2.0, k as i32 + 1));
+        }
+    }
+    c
+}
+
+/// The inverse QFT (with swaps).
+pub fn iqft(n: u32) -> Circuit {
+    let mut c = qft(n).inverse();
+    c.set_name(format!("iqft{n}"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        // n H gates + n(n-1)/2 CP gates + floor(n/2) swaps.
+        for n in 1..=8u32 {
+            let c = qft(n);
+            let expect = n as usize + (n as usize * (n as usize - 1)) / 2 + (n / 2) as usize;
+            assert_eq!(c.len(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn qft_no_swap_has_no_swaps() {
+        let c = qft_no_swap(5);
+        assert!(c.gates().iter().all(|g| !matches!(g, Gate::Swap(_, _))));
+    }
+
+    #[test]
+    fn qft2_structure() {
+        let c = qft_no_swap(2);
+        // H on q1, CP(pi/2) q0->q1, H on q0.
+        assert_eq!(c.gates()[0], Gate::H(1));
+        match c.gates()[1] {
+            Gate::Cp(0, 1, l) => assert!((l - PI / 2.0).abs() < 1e-15),
+            ref g => panic!("unexpected {g:?}"),
+        }
+        assert_eq!(c.gates()[2], Gate::H(0));
+    }
+
+    #[test]
+    fn iqft_inverts_qft_symbolically() {
+        let n = 4;
+        let mut comp = qft(n);
+        comp.extend(&iqft(n));
+        // Circuit composition QFT;IQFT has twice the gates; correctness of
+        // actual inversion is checked in the simulator integration tests.
+        assert_eq!(comp.len(), 2 * qft(n).len());
+    }
+}

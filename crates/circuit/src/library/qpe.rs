@@ -1,0 +1,84 @@
+//! Quantum phase estimation.
+//!
+//! Estimates the phase of `P(2*pi*phase)` acting on |1>, with `t` counting
+//! qubits of precision. The controlled-power ladder plus inverse QFT makes
+//! this the classic "structured but non-local" workload.
+
+use super::qft::qft_no_swap;
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// Phase estimation with `t` counting qubits for the single-qubit phase
+/// gate `P(2*pi*phase)`. Total width is `t + 1`; qubit `t` holds the
+/// eigenstate |1>.
+///
+/// Measuring the counting register (qubits `0..t`, with qubit `t-1` the most
+/// significant bit) yields `round(phase * 2^t) mod 2^t` with high
+/// probability.
+pub fn phase_estimation(t: u32, phase: f64) -> Circuit {
+    assert!(t >= 1, "need at least one counting qubit");
+    let mut c = Circuit::named(t + 1, format!("qpe{t}"));
+    // Eigenstate |1> on the target.
+    c.x(t);
+    for q in 0..t {
+        c.h(q);
+    }
+    // Controlled powers: counting qubit k controls P(2*pi*phase * 2^k).
+    for k in 0..t {
+        let lambda = 2.0 * PI * phase * f64::powi(2.0, k as i32);
+        c.cp(k, t, lambda);
+    }
+    // Inverse QFT on the counting register, widened to t+1 qubits. The
+    // inverse of (qft_no_swap; swaps) is (swaps; qft_no_swap^-1).
+    let mut iqft = Circuit::new(t + 1);
+    for q in 0..t / 2 {
+        iqft.swap(q, t - 1 - q);
+    }
+    for g in qft_no_swap(t).inverse().gates() {
+        iqft.push(g.clone());
+    }
+    c.extend(&iqft);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn width_and_initialization() {
+        let c = phase_estimation(4, 0.25);
+        assert_eq!(c.n_qubits(), 5);
+        assert_eq!(c.gates()[0], Gate::X(4));
+    }
+
+    #[test]
+    fn one_controlled_power_per_counting_qubit() {
+        let t = 5;
+        let c = phase_estimation(t, 0.3);
+        let cp_to_target = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Cp(_, tgt, _) if *tgt == t))
+            .count();
+        assert_eq!(cp_to_target, t as usize);
+    }
+
+    #[test]
+    fn angles_double_per_qubit() {
+        let c = phase_estimation(3, 0.1);
+        let mut angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Cp(_, 3, l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(angles.len(), 3);
+        let base = angles.remove(0);
+        assert!((angles[0] - 2.0 * base).abs() < 1e-12);
+        assert!((angles[1] - 4.0 * base).abs() < 1e-12);
+    }
+}

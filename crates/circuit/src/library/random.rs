@@ -1,0 +1,150 @@
+//! Random circuit families.
+//!
+//! * [`random_circuit`] — unstructured U3 + CX soup; the adversarial case
+//!   for compression (amplitudes converge to Porter–Thomas noise).
+//! * [`supremacy_like`] — Google-style layered circuits: random
+//!   single-qubit gates from {sqrt(X), T, H} plus a shifting pattern of CZ
+//!   pairs on a line.
+//! * [`quantum_volume`] — IBM QV model circuits: layers of Haar-random
+//!   SU(4) blocks on a random qubit pairing.
+
+use crate::gate::Gate;
+use crate::matrix::{Mat4, MatN};
+use crate::Circuit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A fully random circuit: `depth` layers, each a random U3 on every qubit
+/// followed by `n/2` random disjoint CX pairs.
+pub fn random_circuit(n: u32, depth: u32, seed: u64) -> Circuit {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::named(n, format!("random{n}_d{depth}"));
+    let mut qubits: Vec<u32> = (0..n).collect();
+    for _ in 0..depth {
+        for q in 0..n {
+            c.u3(
+                q,
+                rng.gen_range(0.0..PI),
+                rng.gen_range(-PI..PI),
+                rng.gen_range(-PI..PI),
+            );
+        }
+        qubits.shuffle(&mut rng);
+        for pair in qubits.chunks_exact(2) {
+            c.cx(pair[0], pair[1]);
+        }
+    }
+    c
+}
+
+/// A supremacy-style layered circuit on a 1-D line: per layer, a random
+/// single-qubit gate from {sqrt(X), T, H} on each qubit, then CZ on pairs
+/// `(i, i+1)` with the starting offset alternating by layer.
+pub fn supremacy_like(n: u32, layers: u32, seed: u64) -> Circuit {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::named(n, format!("supremacy{n}_l{layers}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..layers {
+        for q in 0..n {
+            match rng.gen_range(0..3u8) {
+                0 => c.sx(q),
+                1 => c.t(q),
+                _ => c.h(q),
+            };
+        }
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            c.cz(q, q + 1);
+            q += 2;
+        }
+    }
+    c
+}
+
+/// An IBM-style quantum-volume model circuit: `depth` layers, each applying
+/// a Haar-random SU(4) (as a fused `U2q`) to a random disjoint pairing of
+/// the qubits.
+pub fn quantum_volume(n: u32, depth: u32, seed: u64) -> Circuit {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::named(n, format!("qv{n}_d{depth}"));
+    let mut qubits: Vec<u32> = (0..n).collect();
+    for _ in 0..depth {
+        qubits.shuffle(&mut rng);
+        for pair in qubits.chunks_exact(2) {
+            let u = MatN::random_unitary(2, &mut rng);
+            let m = Mat4(
+                u.data()
+                    .to_vec()
+                    .try_into()
+                    .expect("2-qubit unitary has 16 entries"),
+            );
+            c.push(Gate::U2q(pair[0], pair[1], m));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuit_is_seed_deterministic() {
+        assert_eq!(
+            random_circuit(5, 4, 1).gates(),
+            random_circuit(5, 4, 1).gates()
+        );
+        assert_ne!(
+            random_circuit(5, 4, 1).gates(),
+            random_circuit(5, 4, 2).gates()
+        );
+    }
+
+    #[test]
+    fn random_circuit_layer_structure() {
+        let c = random_circuit(4, 3, 0);
+        // per layer: 4 u3 + 2 cx
+        assert_eq!(c.len(), 3 * (4 + 2));
+    }
+
+    #[test]
+    fn supremacy_cz_pattern_alternates() {
+        let c = supremacy_like(5, 2, 0);
+        let czs: Vec<(u32, u32)> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Cz(a, b) => Some((*a, *b)),
+                _ => None,
+            })
+            .collect();
+        // layer 0: (0,1),(2,3); layer 1: (1,2),(3,4)
+        assert_eq!(czs, vec![(0, 1), (2, 3), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn quantum_volume_blocks_are_unitary() {
+        let c = quantum_volume(4, 2, 5);
+        assert_eq!(c.len(), 4); // 2 pairs * 2 layers
+        for g in c.gates() {
+            match g {
+                Gate::U2q(_, _, m) => assert!(m.is_unitary(1e-9)),
+                _ => panic!("expected U2q"),
+            }
+        }
+    }
+
+    #[test]
+    fn odd_qubit_counts_leave_one_idle() {
+        let c = quantum_volume(5, 1, 3);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,707 @@
+//! OpenQASM 2.0 subset: parser and emitter.
+//!
+//! Supported surface: the `OPENQASM 2.0` header, `include` (ignored), one
+//! `qreg`, any number of `creg`s (recorded but unused), `barrier` (ignored),
+//! `measure` (recorded separately — the circuit IR is measurement-free),
+//! comments, whole-register broadcast (`h q;`), and the qelib1 gate names
+//! `h x y z s sdg t tdg sx sxdg rx ry rz p u1 u3 u cx cy cz cp cu1 swap ccx`.
+//! Parameter expressions support literals, `pi`, unary minus, `+ - * /` and
+//! parentheses.
+
+use crate::gate::Gate;
+use crate::Circuit;
+use std::fmt;
+
+/// A parsed QASM program: the gate circuit plus recorded measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmProgram {
+    /// The unitary part.
+    pub circuit: Circuit,
+    /// `measure q[i] -> c[j]` statements, as `(qubit, clbit)` pairs.
+    pub measurements: Vec<(u32, u32)>,
+    /// Name of the quantum register.
+    pub qreg_name: String,
+}
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QASM error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> QasmError {
+    QasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an OpenQASM 2.0 subset source into a [`QasmProgram`].
+pub fn parse(source: &str) -> Result<QasmProgram, QasmError> {
+    let mut qreg: Option<(String, u32)> = None;
+    let mut circuit: Option<Circuit> = None;
+    let mut measurements = Vec::new();
+    let mut saw_header = false;
+
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let lineno = line_idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        // A line may hold several ';'-terminated statements.
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") {
+                if !stmt.contains("2.0") {
+                    return Err(err(lineno, "only OPENQASM 2.0 is supported"));
+                }
+                saw_header = true;
+                continue;
+            }
+            if stmt.starts_with("include")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("creg")
+            {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                if qreg.is_some() {
+                    return Err(err(lineno, "multiple qreg declarations are not supported"));
+                }
+                let (name, size) = parse_reg_decl(rest.trim(), lineno)?;
+                circuit = Some(Circuit::new(size));
+                qreg = Some((name, size));
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("measure") {
+                let (qname, _) = qreg
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "measure before qreg"))?;
+                let parts: Vec<&str> = rest.split("->").collect();
+                if parts.len() != 2 {
+                    return Err(err(lineno, "malformed measure statement"));
+                }
+                let q = parse_indexed(parts[0].trim(), qname, lineno)?;
+                let c = parse_any_indexed(parts[1].trim(), lineno)?;
+                measurements.push((q, c));
+                continue;
+            }
+            // Gate application.
+            let (qname, size) = qreg
+                .as_ref()
+                .ok_or_else(|| err(lineno, "gate application before qreg"))?;
+            if !saw_header {
+                return Err(err(lineno, "missing OPENQASM 2.0 header"));
+            }
+            let c = circuit.as_mut().expect("circuit exists with qreg");
+            apply_gate_stmt(c, stmt, qname, *size, lineno)?;
+        }
+    }
+
+    let (qreg_name, _) =
+        qreg.ok_or_else(|| err(source.lines().count().max(1), "no qreg declared"))?;
+    Ok(QasmProgram {
+        circuit: circuit.expect("circuit exists with qreg"),
+        measurements,
+        qreg_name,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses `name[size]` from a register declaration body.
+fn parse_reg_decl(body: &str, lineno: usize) -> Result<(String, u32), QasmError> {
+    let open = body
+        .find('[')
+        .ok_or_else(|| err(lineno, "expected '[' in register declaration"))?;
+    let close = body
+        .find(']')
+        .ok_or_else(|| err(lineno, "expected ']' in register declaration"))?;
+    let name = body[..open].trim().to_string();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+    {
+        return Err(err(lineno, "invalid register name"));
+    }
+    let size: u32 = body[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(lineno, "invalid register size"))?;
+    if size == 0 {
+        return Err(err(lineno, "zero-width register"));
+    }
+    Ok((name, size))
+}
+
+/// Parses `name[idx]` where name must equal `expected`.
+fn parse_indexed(text: &str, expected: &str, lineno: usize) -> Result<u32, QasmError> {
+    let open = text
+        .find('[')
+        .ok_or_else(|| err(lineno, "expected indexed operand"))?;
+    let close = text.find(']').ok_or_else(|| err(lineno, "expected ']'"))?;
+    let name = text[..open].trim();
+    if name != expected {
+        return Err(err(lineno, format!("unknown register '{name}'")));
+    }
+    text[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(lineno, "invalid qubit index"))
+}
+
+/// Parses `name[idx]` for any register name (used for classical bits).
+fn parse_any_indexed(text: &str, lineno: usize) -> Result<u32, QasmError> {
+    let open = text
+        .find('[')
+        .ok_or_else(|| err(lineno, "expected indexed operand"))?;
+    let close = text.find(']').ok_or_else(|| err(lineno, "expected ']'"))?;
+    text[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(lineno, "invalid bit index"))
+}
+
+/// Parses and appends one gate statement (without trailing ';').
+fn apply_gate_stmt(
+    c: &mut Circuit,
+    stmt: &str,
+    qname: &str,
+    size: u32,
+    lineno: usize,
+) -> Result<(), QasmError> {
+    // Split "name(params)" from operand list.
+    let (head, operands_text) = split_head(stmt, lineno)?;
+    let (name, params) = if let Some(p_open) = head.find('(') {
+        let p_close = head
+            .rfind(')')
+            .ok_or_else(|| err(lineno, "unclosed parameter list"))?;
+        let name = head[..p_open].trim();
+        let params: Result<Vec<f64>, QasmError> = head[p_open + 1..p_close]
+            .split(',')
+            .map(|e| eval_expr(e.trim(), lineno))
+            .collect();
+        (name.to_string(), params?)
+    } else {
+        (head.trim().to_string(), Vec::new())
+    };
+
+    // Operands: either q[i] items or bare register name (broadcast).
+    let op_texts: Vec<&str> = operands_text
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if op_texts.is_empty() {
+        return Err(err(lineno, "gate with no operands"));
+    }
+    let broadcast = op_texts.len() == 1 && op_texts[0] == qname;
+    let qubit_lists: Vec<Vec<u32>> = if broadcast {
+        (0..size).map(|q| vec![q]).collect()
+    } else {
+        let qs: Result<Vec<u32>, QasmError> = op_texts
+            .iter()
+            .map(|t| parse_indexed(t, qname, lineno))
+            .collect();
+        vec![qs?]
+    };
+
+    for qs in qubit_lists {
+        let gate = build_gate(&name, &params, &qs, lineno)?;
+        c.try_push(gate)
+            .map_err(|e| err(lineno, format!("invalid gate: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Splits a gate statement into the head (name + params) and operand text.
+fn split_head(stmt: &str, lineno: usize) -> Result<(String, String), QasmError> {
+    // The head ends at the first whitespace that is *outside* parentheses.
+    let mut depth = 0i32;
+    for (i, ch) in stmt.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ch if ch.is_whitespace() && depth == 0 => {
+                return Ok((stmt[..i].to_string(), stmt[i..].to_string()));
+            }
+            _ => {}
+        }
+    }
+    Err(err(lineno, "malformed gate statement"))
+}
+
+fn build_gate(name: &str, params: &[f64], qs: &[u32], lineno: usize) -> Result<Gate, QasmError> {
+    let need = |n: usize, p: usize| -> Result<(), QasmError> {
+        if qs.len() != n {
+            return Err(err(lineno, format!("gate '{name}' expects {n} qubit(s)")));
+        }
+        if params.len() != p {
+            return Err(err(
+                lineno,
+                format!("gate '{name}' expects {p} parameter(s)"),
+            ));
+        }
+        Ok(())
+    };
+    Ok(match name {
+        "h" => {
+            need(1, 0)?;
+            Gate::H(qs[0])
+        }
+        "x" => {
+            need(1, 0)?;
+            Gate::X(qs[0])
+        }
+        "y" => {
+            need(1, 0)?;
+            Gate::Y(qs[0])
+        }
+        "z" => {
+            need(1, 0)?;
+            Gate::Z(qs[0])
+        }
+        "s" => {
+            need(1, 0)?;
+            Gate::S(qs[0])
+        }
+        "sdg" => {
+            need(1, 0)?;
+            Gate::Sdg(qs[0])
+        }
+        "t" => {
+            need(1, 0)?;
+            Gate::T(qs[0])
+        }
+        "tdg" => {
+            need(1, 0)?;
+            Gate::Tdg(qs[0])
+        }
+        "sx" => {
+            need(1, 0)?;
+            Gate::Sx(qs[0])
+        }
+        "sxdg" => {
+            need(1, 0)?;
+            Gate::Sxdg(qs[0])
+        }
+        "rx" => {
+            need(1, 1)?;
+            Gate::Rx(qs[0], params[0])
+        }
+        "ry" => {
+            need(1, 1)?;
+            Gate::Ry(qs[0], params[0])
+        }
+        "rz" => {
+            need(1, 1)?;
+            Gate::Rz(qs[0], params[0])
+        }
+        "p" | "u1" => {
+            need(1, 1)?;
+            Gate::P(qs[0], params[0])
+        }
+        "u3" | "u" => {
+            need(1, 3)?;
+            Gate::U3(qs[0], params[0], params[1], params[2])
+        }
+        "cx" => {
+            need(2, 0)?;
+            Gate::Cx(qs[0], qs[1])
+        }
+        "cy" => {
+            need(2, 0)?;
+            Gate::Cy(qs[0], qs[1])
+        }
+        "cz" => {
+            need(2, 0)?;
+            Gate::Cz(qs[0], qs[1])
+        }
+        "cp" | "cu1" => {
+            need(2, 1)?;
+            Gate::Cp(qs[0], qs[1], params[0])
+        }
+        "swap" => {
+            need(2, 0)?;
+            Gate::Swap(qs[0], qs[1])
+        }
+        "ccx" => {
+            need(3, 0)?;
+            Gate::ccx(qs[0], qs[1], qs[2])
+        }
+        _ => return Err(err(lineno, format!("unsupported gate '{name}'"))),
+    })
+}
+
+// --- expression evaluator ---------------------------------------------------
+
+/// Evaluates a constant parameter expression (`pi/2`, `-0.5*pi`, `(1+2)/4`).
+pub fn eval_expr(text: &str, lineno: usize) -> Result<f64, QasmError> {
+    let mut p = ExprParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        lineno,
+    };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err(
+            lineno,
+            format!("trailing characters in expression '{text}'"),
+        ));
+    }
+    Ok(v)
+}
+
+struct ExprParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    v += self.term()?;
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    v -= self.term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    v *= self.factor()?;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let d = self.factor()?;
+                    if d == 0.0 {
+                        return Err(err(self.lineno, "division by zero in expression"));
+                    }
+                    v /= d;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<f64, QasmError> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                self.factor()
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(err(self.lineno, "expected ')'"));
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(b'p') | Some(b'P') => {
+                if self.bytes[self.pos..].len() >= 2
+                    && self.bytes[self.pos + 1].eq_ignore_ascii_case(&b'i')
+                {
+                    self.pos += 2;
+                    Ok(std::f64::consts::PI)
+                } else {
+                    Err(err(self.lineno, "unknown identifier in expression"))
+                }
+            }
+            _ => Err(err(self.lineno, "malformed expression")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, QasmError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            let exp_sign = (c == b'+' || c == b'-')
+                && self.pos > start
+                && (self.bytes[self.pos - 1] == b'e' || self.bytes[self.pos - 1] == b'E');
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || exp_sign {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .parse()
+            .map_err(|_| err(self.lineno, "invalid number"))
+    }
+}
+
+// --- emitter ----------------------------------------------------------------
+
+/// Emits a circuit as OpenQASM 2.0. Gates without a qelib1 spelling
+/// (`U1q`, `U2q`, `Rzz`, general `Mcu`) are lowered to equivalent qelib1
+/// sequences where possible; an `Mcu` that is not a Toffoli is rejected.
+pub fn emit(circuit: &Circuit) -> Result<String, QasmError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    for (i, g) in circuit.gates().iter().enumerate() {
+        emit_gate(&mut out, g).map_err(|m| err(i + 1, m))?;
+    }
+    Ok(out)
+}
+
+fn emit_gate(out: &mut String, g: &Gate) -> Result<(), String> {
+    use std::fmt::Write as _;
+    use Gate::*;
+    match g {
+        H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | Sx(q) | Sxdg(q) => {
+            let _ = writeln!(out, "{} q[{}];", g.name(), q);
+        }
+        Rx(q, t) | Ry(q, t) | Rz(q, t) => {
+            let _ = writeln!(out, "{}({}) q[{}];", g.name(), fmt_f64(*t), q);
+        }
+        P(q, l) => {
+            let _ = writeln!(out, "p({}) q[{}];", fmt_f64(*l), q);
+        }
+        U3(q, t, p, l) => {
+            let _ = writeln!(
+                out,
+                "u3({},{},{}) q[{}];",
+                fmt_f64(*t),
+                fmt_f64(*p),
+                fmt_f64(*l),
+                q
+            );
+        }
+        Cx(a, b) | Cy(a, b) | Cz(a, b) | Swap(a, b) => {
+            let _ = writeln!(out, "{} q[{}],q[{}];", g.name(), a, b);
+        }
+        Cp(a, b, l) => {
+            let _ = writeln!(out, "cp({}) q[{}],q[{}];", fmt_f64(*l), a, b);
+        }
+        Rzz(a, b, t) => {
+            // Lower to cx; rz; cx.
+            let _ = writeln!(out, "cx q[{a}],q[{b}];");
+            let _ = writeln!(out, "rz({}) q[{}];", fmt_f64(*t), b);
+            let _ = writeln!(out, "cx q[{a}],q[{b}];");
+        }
+        Mcu {
+            controls,
+            target,
+            u,
+        } if controls.len() == 2 && u.approx_eq(&crate::gate::mat2_x(), 1e-12) => {
+            let _ = writeln!(
+                out,
+                "ccx q[{}],q[{}],q[{}];",
+                controls[0], controls[1], target
+            );
+        }
+        U1q(..) | U2q(..) | Mcu { .. } => {
+            return Err(format!("gate '{}' has no OpenQASM 2.0 spelling", g.name()));
+        }
+    }
+    Ok(())
+}
+
+/// Formats a float with enough digits to round-trip.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:.17e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn parses_minimal_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];
+            cx q[0],q[1];
+            rz(pi/4) q[2];
+            measure q[0] -> c[0];
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.circuit.n_qubits(), 3);
+        assert_eq!(p.circuit.len(), 3);
+        assert_eq!(p.measurements, vec![(0, 0)]);
+        assert_eq!(p.qreg_name, "q");
+        match &p.circuit.gates()[2] {
+            Gate::Rz(2, t) => assert!((t - PI / 4.0).abs() < 1e-15),
+            g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_applies_to_all_qubits() {
+        let src = "OPENQASM 2.0;\nqreg q[4];\nh q;\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.circuit.len(), 4);
+        for (i, g) in p.circuit.gates().iter().enumerate() {
+            assert_eq!(*g, Gate::H(i as u32));
+        }
+    }
+
+    #[test]
+    fn comments_and_barriers_ignored() {
+        let src = "OPENQASM 2.0; // header\nqreg q[2];\n// nothing\nbarrier q;\nx q[1]; // flip\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.circuit.len(), 1);
+    }
+
+    #[test]
+    fn expression_evaluation() {
+        assert!((eval_expr("pi", 1).unwrap() - PI).abs() < 1e-15);
+        assert!((eval_expr("-pi/2", 1).unwrap() + PI / 2.0).abs() < 1e-15);
+        assert!((eval_expr("(1+2)*3", 1).unwrap() - 9.0).abs() < 1e-15);
+        assert!((eval_expr("2.5e-1", 1).unwrap() - 0.25).abs() < 1e-15);
+        assert!((eval_expr("1 - 2 - 3", 1).unwrap() + 4.0).abs() < 1e-15);
+        assert!((eval_expr("pi*pi/pi", 1).unwrap() - PI).abs() < 1e-12);
+        assert!(eval_expr("1/0", 1).is_err());
+        assert!(eval_expr("foo", 1).is_err());
+        assert!(eval_expr("1 +", 1).is_err());
+        assert!(eval_expr("(1", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_gate_before_qreg() {
+        let src = "OPENQASM 2.0;\nh q[0];\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_qubit() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_register() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh r[0];\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn emit_then_parse_round_trips() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .rz(2, 0.123456789012345)
+            .u3(3, 0.1, -0.2, 0.3)
+            .cp(1, 3, PI / 8.0)
+            .swap(0, 2)
+            .t(1)
+            .sdg(2)
+            .ccx(0, 1, 2);
+        let qasm = emit(&c).unwrap();
+        let p = parse(&qasm).unwrap();
+        assert_eq!(p.circuit.len(), c.len());
+        for (a, b) in p.circuit.gates().iter().zip(c.gates()) {
+            match (a, b) {
+                (Gate::Rz(qa, ta), Gate::Rz(qb, tb)) => {
+                    assert_eq!(qa, qb);
+                    assert!((ta - tb).abs() < 1e-15);
+                }
+                (Gate::U3(qa, t1, p1, l1), Gate::U3(qb, t2, p2, l2)) => {
+                    assert_eq!(qa, qb);
+                    assert!((t1 - t2).abs() < 1e-15);
+                    assert!((p1 - p2).abs() < 1e-15);
+                    assert!((l1 - l2).abs() < 1e-15);
+                }
+                (Gate::Cp(a1, b1, l1), Gate::Cp(a2, b2, l2)) => {
+                    assert_eq!((a1, b1), (a2, b2));
+                    assert!((l1 - l2).abs() < 1e-15);
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn rzz_lowers_to_cx_rz_cx() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.5);
+        let qasm = emit(&c).unwrap();
+        let p = parse(&qasm).unwrap();
+        assert_eq!(p.circuit.len(), 3);
+        assert_eq!(p.circuit.gates()[0], Gate::Cx(0, 1));
+        assert!(matches!(p.circuit.gates()[1], Gate::Rz(1, _)));
+        assert_eq!(p.circuit.gates()[2], Gate::Cx(0, 1));
+    }
+
+    #[test]
+    fn emit_rejects_fused_gates() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::U1q(0, crate::gate::mat2_h()));
+        assert!(emit(&c).is_err());
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let src = "OPENQASM 2.0; qreg q[2]; h q[0]; x q[1];";
+        let p = parse(src).unwrap();
+        assert_eq!(p.circuit.len(), 2);
+    }
+}

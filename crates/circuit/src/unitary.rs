@@ -1,0 +1,275 @@
+//! Naive dense gate application and full-circuit unitaries.
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+//!
+//! A deliberately simple, obviously-correct reference: `mq-statevec` and the
+//! MEMQSIM engines are *tested against this oracle*, and this oracle is in
+//! turn tested against hand-computed states. It is exponential-cost and only
+//! suitable for small registers (tests use n <= 10).
+
+use crate::gate::Gate;
+use crate::matrix::MatN;
+use crate::Circuit;
+use mq_num::bits;
+use mq_num::Complex64;
+
+/// Applies `gate` to a dense `n`-qubit state (length `2^n`), in place.
+///
+/// # Panics
+/// Panics if `state.len() != 2^n` or the gate fails validation.
+pub fn apply_gate_dense(n: u32, state: &mut [Complex64], gate: &Gate) {
+    assert_eq!(state.len(), 1usize << n, "state length mismatch");
+    gate.validate(n).expect("invalid gate");
+    if let Some(m) = gate.mat2() {
+        let q = gate.qubits()[0];
+        for base in bits::pair_bases(n, q) {
+            let hi = bits::set_bit(base, q);
+            let (a, b) = m.apply(state[base], state[hi]);
+            state[base] = a;
+            state[hi] = b;
+        }
+        return;
+    }
+    if let Some(m) = gate.mat4() {
+        let qs = gate.qubits();
+        let (qa, qb) = (qs[0], qs[1]);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        for i in 0..1usize << (n - 2) {
+            let base = bits::insert_two_zero_bits(i, lo, hi);
+            let ia = bits::set_bit(base, qa);
+            let ib = bits::set_bit(base, qb);
+            let iab = bits::set_bit(ia, qb);
+            // Matrix basis: (bit_b << 1) | bit_a.
+            let group = [state[base], state[ia], state[ib], state[iab]];
+            let out = m.apply(group);
+            state[base] = out[0];
+            state[ia] = out[1];
+            state[ib] = out[2];
+            state[iab] = out[3];
+        }
+        return;
+    }
+    if let Gate::Mcu {
+        controls,
+        target,
+        u,
+    } = gate
+    {
+        let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let t = *target;
+        for base in bits::pair_bases(n, t) {
+            if base & cmask == cmask {
+                let hi = bits::set_bit(base, t);
+                let (a, b) = u.apply(state[base], state[hi]);
+                state[base] = a;
+                state[hi] = b;
+            }
+        }
+        return;
+    }
+    unreachable!("gate {gate} has neither mat2, mat4 nor Mcu form");
+}
+
+/// Runs a whole circuit on the basis state `|start>`.
+pub fn run_dense(circuit: &Circuit, start: usize) -> Vec<Complex64> {
+    let dim = 1usize << circuit.n_qubits();
+    assert!(start < dim, "start state out of range");
+    let mut state = vec![Complex64::ZERO; dim];
+    state[start] = Complex64::ONE;
+    for g in circuit.gates() {
+        apply_gate_dense(circuit.n_qubits(), &mut state, g);
+    }
+    state
+}
+
+/// The full `2^n x 2^n` unitary of a circuit (column `j` is the image of
+/// basis state `|j>`). Exponential — test use only.
+pub fn circuit_unitary(circuit: &Circuit) -> MatN {
+    let n = circuit.n_qubits();
+    let dim = 1usize << n;
+    let mut data = vec![Complex64::ZERO; dim * dim];
+    for col in 0..dim {
+        let out = run_dense(circuit, col);
+        for (row, amp) in out.into_iter().enumerate() {
+            data[row * dim + col] = amp;
+        }
+    }
+    MatN::from_data(n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use mq_num::complex::c64;
+    use mq_num::metrics;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s = run_dense(&c, 0b00);
+        assert!(s[0b01].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let c = library::bell_pair(2, 0, 1);
+        let s = run_dense(&c, 0);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(s[0b00].approx_eq(c64(r, 0.0), TOL));
+        assert!(s[0b11].approx_eq(c64(r, 0.0), TOL));
+        assert!(s[0b01].norm() < TOL && s[0b10].norm() < TOL);
+    }
+
+    #[test]
+    fn ghz_state_has_two_amplitudes() {
+        let s = run_dense(&library::ghz(5), 0);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(s[0].approx_eq(c64(r, 0.0), TOL));
+        assert!(s[31].approx_eq(c64(r, 0.0), TOL));
+        let nonzero = s.iter().filter(|z| z.norm() > TOL).count();
+        assert_eq!(nonzero, 2);
+    }
+
+    #[test]
+    fn w_state_is_uniform_single_excitation() {
+        for n in 1..=5u32 {
+            let s = run_dense(&library::w_state(n), 0);
+            let amp = 1.0 / (n as f64).sqrt();
+            for i in 0..1usize << n {
+                if i.count_ones() == 1 {
+                    assert!(
+                        (s[i].norm() - amp).abs() < 1e-10,
+                        "n={n} i={i} got {}",
+                        s[i]
+                    );
+                } else {
+                    assert!(s[i].norm() < 1e-10, "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let n = 4;
+        let s = run_dense(&library::qft(n), 0);
+        let amp = 1.0 / (1u64 << n) as f64;
+        for z in &s {
+            assert!((z.norm_sqr() - amp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_followed_by_iqft_is_identity() {
+        let n = 4;
+        let mut c = library::qft(n);
+        c.extend(&library::iqft(n));
+        for start in [0usize, 3, 9, 15] {
+            let s = run_dense(&c, start);
+            assert!(s[start].approx_eq(Complex64::ONE, 1e-10), "start={start}");
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        let n = 3;
+        let u = circuit_unitary(&library::qft(n));
+        let dim = 1usize << n;
+        let w = 2.0 * std::f64::consts::PI / dim as f64;
+        let norm = 1.0 / (dim as f64).sqrt();
+        for r in 0..dim {
+            for c in 0..dim {
+                let want = Complex64::cis(w * (r * c) as f64) * norm;
+                assert!(
+                    u.at(r, c).approx_eq(want, 1e-10),
+                    "({r},{c}): got {} want {}",
+                    u.at(r, c),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        let n = 5;
+        let marked = 0b10110u64;
+        let iters = library::optimal_grover_iterations(n);
+        let s = run_dense(&library::grover(n, marked, iters), 0);
+        let p_marked = s[marked as usize].norm_sqr();
+        assert!(p_marked > 0.9, "p={p_marked}");
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        let n = 5;
+        let secret = 0b01101u64;
+        let s = run_dense(&library::bernstein_vazirani(n, secret), 0);
+        // Data register must equal the secret (ancilla in |->: both values).
+        let mut prob = 0.0;
+        for i in 0..s.len() {
+            if (i as u64 & ((1 << n) - 1)) == secret {
+                prob += s[i].norm_sqr();
+            }
+        }
+        assert!((prob - 1.0).abs() < 1e-10, "prob={prob}");
+    }
+
+    #[test]
+    fn phase_estimation_peaks_at_phase() {
+        let t = 4;
+        let phase = 5.0 / 16.0; // exactly representable in 4 bits
+        let s = run_dense(&library::phase_estimation(t, phase), 0);
+        // Counting register value 5 (target qubit is |1> = bit t set).
+        let idx = 5usize | (1usize << t);
+        assert!(s[idx].norm_sqr() > 0.99, "p={}", s[idx].norm_sqr());
+    }
+
+    #[test]
+    fn adder_adds_on_basis_states() {
+        let n = 3;
+        for (a, b) in [(0u64, 0u64), (1, 1), (3, 5), (7, 7), (5, 2)] {
+            let mut c = library::arithmetic::load_operands(n, a, b);
+            c.extend(&library::ripple_carry_adder(n));
+            let s = run_dense(&c, 0);
+            let hot: Vec<usize> = (0..s.len()).filter(|&i| s[i].norm() > 1e-9).collect();
+            assert_eq!(hot.len(), 1, "basis state stays classical");
+            let sum = library::arithmetic::decode_sum(n, hot[0] as u64);
+            assert_eq!(sum, a + b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn every_library_circuit_preserves_norm() {
+        for c in library::standard_suite(5) {
+            let s = run_dense(&c, 0);
+            assert!(
+                metrics::is_normalized(&s, 1e-9),
+                "{} denormalized",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_unitary_of_library_circuits_is_unitary() {
+        for c in [library::qft(3), library::ghz(3), library::w_state(3)] {
+            assert!(circuit_unitary(&c).is_unitary(1e-9), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn inverse_circuit_gives_adjoint_unitary() {
+        let c = library::hardware_efficient_ansatz(3, 1, 5);
+        let u = circuit_unitary(&c);
+        let uinv = circuit_unitary(&c.inverse());
+        let prod = u.mul(&uinv);
+        let id = MatN::identity(3);
+        for (a, b) in prod.data().iter().zip(id.data()) {
+            assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+}

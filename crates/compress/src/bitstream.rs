@@ -1,0 +1,238 @@
+//! Bit-granular I/O over byte buffers.
+//!
+//! LSB-first bit order: the first bit written lands in the least-significant
+//! bit of the first byte. All codecs in this crate share these two types, so
+//! their on-wire formats stay mutually consistent.
+
+/// Writes bit runs into a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte (0..8; 0 means byte-aligned).
+    bit: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value` (n <= 64).
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || value >> n == 0, "value has bits above n");
+        let mut remaining = n;
+        let mut v = value;
+        while remaining > 0 {
+            if self.bit == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.bit;
+            let take = free.min(remaining);
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= ((v & ((1u64 << take) - 1)) as u8) << self.bit;
+            v >>= take;
+            self.bit = (self.bit + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Pads to a byte boundary and appends a whole byte slice.
+    pub fn write_bytes_aligned(&mut self, bytes: &[u8]) {
+        self.align();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.bit = 0;
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit as usize
+        }
+    }
+
+    /// Finishes and returns the byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bit runs from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+/// Error returned when a read runs past the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamOverrun;
+
+impl std::fmt::Display for BitstreamOverrun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bitstream overrun")
+    }
+}
+
+impl std::error::Error for BitstreamOverrun {}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads `n` bits (n <= 64) as the low bits of the result.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, BitstreamOverrun> {
+        debug_assert!(n <= 64);
+        if self.pos + n as usize > self.buf.len() * 8 {
+            return Err(BitstreamOverrun);
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte = self.buf[self.pos / 8];
+            let bit_in_byte = (self.pos % 8) as u32;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(n - got);
+            let bits = ((byte >> bit_in_byte) as u64) & ((1u64 << take) - 1);
+            out |= bits << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, BitstreamOverrun> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Skips to the next byte boundary and reads `n` whole bytes.
+    pub fn read_bytes_aligned(&mut self, n: usize) -> Result<&'a [u8], BitstreamOverrun> {
+        self.align();
+        let start = self.pos / 8;
+        if start + n > self.buf.len() {
+            return Err(BitstreamOverrun);
+        }
+        self.pos += n * 8;
+        Ok(&self.buf[start..start + n])
+    }
+
+    /// Advances to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 0);
+        w.write_bits(0x12345, 20);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(20).unwrap(), 0x12345);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn aligned_bytes_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bytes_aligned(&[0xAA, 0xBB]);
+        w.write_bits(0b10, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bytes_aligned(2).unwrap(), &[0xAA, 0xBB]);
+        assert_eq!(r.read_bits(2).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn overrun_is_detected() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bits(1), Err(BitstreamOverrun));
+        let mut r2 = BitReader::new(&bytes);
+        assert_eq!(r2.read_bits(9), Err(BitstreamOverrun));
+        assert_eq!(r2.read_bytes_aligned(2), Err(BitstreamOverrun));
+    }
+
+    #[test]
+    fn remaining_bits_counts_down() {
+        let bytes = [0u8, 0];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 11);
+        r.align();
+        assert_eq!(r.remaining_bits(), 8);
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1); // bit 0 of byte 0
+        w.write_bits(0b11, 2); // bits 1-2
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0b0000_0111);
+    }
+}

@@ -1,0 +1,233 @@
+//! FPC-style lossless floating-point compression.
+//!
+//! Each `f64` is XOR-ed against the better of two predictors (last value and
+//! a stride predictor: last + (last - second_last)); the residual's leading
+//! zero *bytes* are counted and only the tail bytes are stored. One nibble
+//! per value selects the predictor (1 bit) and encodes min(lzb, 7) (3 bits).
+//! Bit-exact round trip, including NaN and signed zeros.
+
+use crate::bitstream::{BitReader, BitWriter, BitstreamOverrun};
+use crate::varint::{self, VarintError};
+
+/// Compresses `data` losslessly, appending to `out`.
+pub fn encode(data: &[f64], out: &mut Vec<u8>) {
+    varint::write_u64(out, data.len() as u64);
+    let mut w = BitWriter::new();
+    let mut last = 0u64;
+    let mut last2 = 0u64;
+    for &x in data {
+        let bits = x.to_bits();
+        let pred1 = last;
+        let pred2 = last.wrapping_add(last.wrapping_sub(last2));
+        let r1 = bits ^ pred1;
+        let r2 = bits ^ pred2;
+        let (sel, resid) = if leading_zero_bytes(r2) > leading_zero_bytes(r1) {
+            (1u64, r2)
+        } else {
+            (0u64, r1)
+        };
+        // FPC's 3-bit code covers {0,1,2,3,4,5,6,8} leading zero bytes: code
+        // 7 means a fully-zero residual; an actual lzb of 7 is demoted to 6
+        // (one wasted byte in a rare case) so zero residuals cost no tail.
+        let mut lzb = leading_zero_bytes(resid);
+        if lzb == 7 {
+            lzb = 6;
+        }
+        let code = if lzb == 8 { 7 } else { lzb };
+        let tail_bytes = 8 - lzb.min(8);
+        w.write_bits(sel, 1);
+        w.write_bits(code as u64, 3);
+        if tail_bytes > 0 {
+            w.write_bits(resid, (tail_bytes * 8) as u32);
+        }
+        last2 = last;
+        last = bits;
+    }
+    let payload = w.into_bytes();
+    varint::write_u64(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+fn leading_zero_bytes(v: u64) -> usize {
+    (v.leading_zeros() / 8) as usize
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpcError {
+    /// Header failure.
+    Varint(VarintError),
+    /// Output buffer length differs from the encoded count.
+    LengthMismatch {
+        /// Encoded element count.
+        expected: usize,
+        /// Supplied buffer length.
+        got: usize,
+    },
+    /// Payload truncated.
+    Truncated,
+}
+
+impl std::fmt::Display for FpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FpcError::Varint(e) => write!(f, "fpc varint error: {e}"),
+            FpcError::LengthMismatch { expected, got } => {
+                write!(f, "fpc length mismatch: encoded {expected}, buffer {got}")
+            }
+            FpcError::Truncated => write!(f, "truncated fpc payload"),
+        }
+    }
+}
+
+impl std::error::Error for FpcError {}
+
+impl From<VarintError> for FpcError {
+    fn from(e: VarintError) -> Self {
+        FpcError::Varint(e)
+    }
+}
+
+impl From<BitstreamOverrun> for FpcError {
+    fn from(_: BitstreamOverrun) -> Self {
+        FpcError::Truncated
+    }
+}
+
+/// Decompresses into `out`, which must match the encoded count.
+pub fn decode(buf: &[u8], out: &mut [f64]) -> Result<(), FpcError> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    if n != out.len() {
+        return Err(FpcError::LengthMismatch {
+            expected: n,
+            got: out.len(),
+        });
+    }
+    let payload_len = varint::read_u64(buf, &mut pos)? as usize;
+    if pos + payload_len > buf.len() {
+        return Err(FpcError::Truncated);
+    }
+    let mut r = BitReader::new(&buf[pos..pos + payload_len]);
+    let mut last = 0u64;
+    let mut last2 = 0u64;
+    for slot in out.iter_mut() {
+        let sel = r.read_bits(1)?;
+        let code = r.read_bits(3)? as usize;
+        let lzb = if code == 7 { 8 } else { code };
+        let tail_bytes = 8 - lzb;
+        let resid = if tail_bytes > 0 {
+            r.read_bits((tail_bytes * 8) as u32)?
+        } else {
+            0
+        };
+        let pred = if sel == 1 {
+            last.wrapping_add(last.wrapping_sub(last2))
+        } else {
+            last
+        };
+        let bits = resid ^ pred;
+        *slot = f64::from_bits(bits);
+        last2 = last;
+        last = bits;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[f64]) -> usize {
+        let mut buf = Vec::new();
+        encode(data, &mut buf);
+        let mut out = vec![0.0f64; data.len()];
+        decode(&buf, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact: {a} vs {b}");
+        }
+        buf.len()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        round_trip(&[]);
+        round_trip(&[std::f64::consts::PI]);
+    }
+
+    #[test]
+    fn constant_streams_compress_well() {
+        let data = vec![0.714285714; 10_000];
+        let size = round_trip(&data);
+        // sel+code+0 tail bytes = 4 bits per repeated value.
+        assert!(size < 6_000, "got {size}");
+    }
+
+    #[test]
+    fn zeros_compress_to_half_byte_each() {
+        let data = vec![0.0f64; 8192];
+        let size = round_trip(&data);
+        assert!(size < 5000, "got {size}");
+    }
+
+    #[test]
+    fn linear_ramp_uses_stride_predictor() {
+        // Integer-valued ramp: bits advance regularly; the stride predictor
+        // captures much of it.
+        let data: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let size = round_trip(&data);
+        assert!(size < 4096 * 8 / 2, "got {size}");
+    }
+
+    #[test]
+    fn special_values_bit_exact() {
+        round_trip(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::EPSILON,
+            5e-324, // subnormal
+        ]);
+    }
+
+    #[test]
+    fn random_data_round_trips_with_bounded_expansion() {
+        let data: Vec<f64> = (0..5000u64)
+            .map(|i| f64::from_bits(i.wrapping_mul(0x9E3779B97F4A7C15)))
+            .collect();
+        let mut buf = Vec::new();
+        encode(&data, &mut buf);
+        // Worst case: 4 bits overhead per 8-byte value.
+        assert!(buf.len() < data.len() * 9 + 32);
+        let mut out = vec![0.0f64; data.len()];
+        decode(&buf, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut buf = Vec::new();
+        encode(&[1.0, 2.0], &mut buf);
+        let mut out = vec![0.0f64; 4];
+        assert!(matches!(
+            decode(&buf, &mut out),
+            Err(FpcError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut buf = Vec::new();
+        encode(&data, &mut buf);
+        buf.truncate(buf.len() / 2);
+        let mut out = vec![0.0f64; 100];
+        assert!(decode(&buf, &mut out).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Canonical Huffman coding.
+#![allow(clippy::needless_range_loop)] // length-indexed tables read clearest
+//!
+//! Built for the SZ-style quantization-code stream: a dense alphabet of at
+//! most a few tens of thousands of symbols, heavily skewed toward the center
+//! code. Code lengths are depth-limited (frequency halving) so the decoder
+//! can use fixed-width tables.
+
+use crate::bitstream::{BitReader, BitWriter, BitstreamOverrun};
+use crate::varint;
+
+/// Maximum code length in bits.
+pub const MAX_CODE_LEN: u8 = 32;
+
+/// Builds Huffman code lengths for `(symbol, count)` pairs (counts > 0).
+/// Returns `(symbol, length)` pairs. A single-symbol alphabet gets length 1.
+pub fn build_code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
+    assert!(!freqs.is_empty(), "empty alphabet");
+    debug_assert!(freqs.iter().all(|&(_, c)| c > 0), "zero-count symbol");
+    if freqs.len() == 1 {
+        return vec![(freqs[0].0, 1)];
+    }
+    let mut counts: Vec<u64> = freqs.iter().map(|&(_, c)| c).collect();
+    loop {
+        let lengths = huffman_lengths(&counts);
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if max <= MAX_CODE_LEN {
+            return freqs
+                .iter()
+                .zip(&lengths)
+                .map(|(&(s, _), &l)| (s, l))
+                .collect();
+        }
+        // Flatten the distribution and retry.
+        for c in &mut counts {
+            *c = (*c / 2).max(1);
+        }
+    }
+}
+
+/// Plain Huffman code lengths from counts (parallel array), via the
+/// two-queue method on sorted leaves.
+fn huffman_lengths(counts: &[u64]) -> Vec<u8> {
+    let n = counts.len();
+    debug_assert!(n >= 2);
+    // Node arena: leaves 0..n, internal nodes after.
+    #[derive(Clone, Copy)]
+    struct Node {
+        weight: u64,
+        left: usize,
+        right: usize,
+    }
+    let mut nodes: Vec<Node> = counts
+        .iter()
+        .map(|&w| Node {
+            weight: w,
+            left: usize::MAX,
+            right: usize::MAX,
+        })
+        .collect();
+    // Sorted leaf queue + FIFO internal queue: O(n log n) for the sort,
+    // O(n) for the merge.
+    let mut leaves: Vec<usize> = (0..n).collect();
+    leaves.sort_by_key(|&i| counts[i]);
+    let mut li = 0usize;
+    let mut internals: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    let pop_min = |nodes: &Vec<Node>,
+                   li: &mut usize,
+                   internals: &mut std::collections::VecDeque<usize>|
+     -> usize {
+        let leaf = leaves.get(*li).copied();
+        let internal = internals.front().copied();
+        match (leaf, internal) {
+            (Some(l), Some(i)) => {
+                if nodes[l].weight <= nodes[i].weight {
+                    *li += 1;
+                    l
+                } else {
+                    internals.pop_front();
+                    i
+                }
+            }
+            (Some(l), None) => {
+                *li += 1;
+                l
+            }
+            (None, Some(i)) => {
+                internals.pop_front();
+                i
+            }
+            (None, None) => unreachable!("ran out of nodes"),
+        }
+    };
+
+    for _ in 0..n - 1 {
+        let a = pop_min(&nodes, &mut li, &mut internals);
+        let b = pop_min(&nodes, &mut li, &mut internals);
+        let w = nodes[a].weight.saturating_add(nodes[b].weight);
+        nodes.push(Node {
+            weight: w,
+            left: a,
+            right: b,
+        });
+        internals.push_back(nodes.len() - 1);
+    }
+    // Depth-first traversal from the root to assign depths.
+    let root = nodes.len() - 1;
+    let mut lengths = vec![0u8; n];
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let node = nodes[idx];
+        if node.left == usize::MAX {
+            lengths[idx] = depth.max(1);
+        } else {
+            stack.push((node.left, depth.saturating_add(1)));
+            stack.push((node.right, depth.saturating_add(1)));
+        }
+    }
+    lengths
+}
+
+/// A canonical Huffman code: encode and decode tables built from
+/// `(symbol, length)` pairs.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    /// Encode table: indexed by symbol, `(code, len)`; len 0 = absent.
+    enc: Vec<(u32, u8)>,
+    /// For each length 1..=MAX: the first canonical code of that length.
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    /// For each length: offset into `sorted_syms` of its first symbol.
+    offset: [u32; MAX_CODE_LEN as usize + 1],
+    /// Count of codes per length.
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    /// Symbols sorted by (length, symbol).
+    sorted_syms: Vec<u32>,
+}
+
+/// Errors from canonical-code construction or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// Lengths do not satisfy the Kraft inequality / overfull tree.
+    InvalidLengths,
+    /// A decoded bit pattern matches no symbol.
+    BadCode,
+    /// Bitstream ended mid-symbol.
+    Truncated,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::InvalidLengths => write!(f, "invalid Huffman code lengths"),
+            HuffmanError::BadCode => write!(f, "bit pattern matches no Huffman symbol"),
+            HuffmanError::Truncated => write!(f, "bitstream ended mid-symbol"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+impl From<BitstreamOverrun> for HuffmanError {
+    fn from(_: BitstreamOverrun) -> Self {
+        HuffmanError::Truncated
+    }
+}
+
+impl CanonicalCode {
+    /// Builds encode/decode tables from `(symbol, length)` pairs.
+    pub fn from_lengths(lengths: &[(u32, u8)]) -> Result<CanonicalCode, HuffmanError> {
+        if lengths.is_empty() {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for &(_, l) in lengths {
+            if l == 0 || l > MAX_CODE_LEN {
+                return Err(HuffmanError::InvalidLengths);
+            }
+            count[l as usize] += 1;
+        }
+        // Kraft check (allow underfull trees — e.g. the 1-symbol code).
+        let mut kraft: u64 = 0;
+        for l in 1..=MAX_CODE_LEN as usize {
+            kraft += (count[l] as u64) << (MAX_CODE_LEN as usize - l);
+        }
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        // Canonical first codes.
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        for l in 1..=MAX_CODE_LEN as usize {
+            code = (code + count[l - 1]) << 1;
+            first_code[l] = code;
+        }
+        // Symbols sorted by (length, symbol).
+        let mut sorted: Vec<(u32, u8)> = lengths.to_vec();
+        sorted.sort_by_key(|&(s, l)| (l, s));
+        let sorted_syms: Vec<u32> = sorted.iter().map(|&(s, _)| s).collect();
+        let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
+        {
+            let mut acc = 0u32;
+            for l in 1..=MAX_CODE_LEN as usize {
+                offset[l] = acc;
+                acc += count[l];
+            }
+        }
+        // Encode table.
+        let max_sym = lengths.iter().map(|&(s, _)| s).max().expect("non-empty") as usize;
+        let mut enc = vec![(0u32, 0u8); max_sym + 1];
+        {
+            let mut next = first_code;
+            for &(s, l) in &sorted {
+                if enc[s as usize].1 != 0 {
+                    return Err(HuffmanError::InvalidLengths); // duplicate symbol
+                }
+                enc[s as usize] = (next[l as usize], l);
+                next[l as usize] += 1;
+            }
+        }
+        Ok(CanonicalCode {
+            enc,
+            first_code,
+            offset,
+            count,
+            sorted_syms,
+        })
+    }
+
+    /// Encodes one symbol (must be in the alphabet).
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: u32) {
+        let (code, len) = self.enc[symbol as usize];
+        debug_assert!(len > 0, "symbol {symbol} not in alphabet");
+        // MSB-first within the code.
+        for i in (0..len).rev() {
+            w.write_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    /// Decodes one symbol.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | r.read_bit()? as u32;
+            let c = self.count[len];
+            if c > 0 {
+                let first = self.first_code[len];
+                if code >= first && code - first < c {
+                    let idx = self.offset[len] + (code - first);
+                    return Ok(self.sorted_syms[idx as usize]);
+                }
+            }
+        }
+        Err(HuffmanError::BadCode)
+    }
+
+    /// Serializes the `(symbol, length)` table compactly.
+    pub fn serialize_lengths(lengths: &[(u32, u8)], out: &mut Vec<u8>) {
+        varint::write_u64(out, lengths.len() as u64);
+        let mut prev_sym = 0u32;
+        for &(s, l) in lengths {
+            // Symbols are emitted sorted by the callers; delta-encode.
+            varint::write_u64(out, (s - prev_sym) as u64);
+            out.push(l);
+            prev_sym = s;
+        }
+    }
+
+    /// Inverse of [`CanonicalCode::serialize_lengths`].
+    pub fn deserialize_lengths(
+        buf: &[u8],
+        pos: &mut usize,
+    ) -> Result<Vec<(u32, u8)>, HuffmanError> {
+        let n = varint::read_u64(buf, pos).map_err(|_| HuffmanError::InvalidLengths)? as usize;
+        if n == 0 || n > 1 << 24 {
+            return Err(HuffmanError::InvalidLengths);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut sym = 0u32;
+        for i in 0..n {
+            let delta = varint::read_u64(buf, pos).map_err(|_| HuffmanError::InvalidLengths)?;
+            sym = sym
+                .checked_add(delta as u32)
+                .ok_or(HuffmanError::InvalidLengths)?;
+            let l = *buf.get(*pos).ok_or(HuffmanError::InvalidLengths)?;
+            *pos += 1;
+            out.push((sym, l));
+            // Ensure strictly increasing symbols after the first.
+            if i > 0 && delta == 0 {
+                return Err(HuffmanError::InvalidLengths);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: builds lengths from a symbol iterator's frequencies
+/// (sorted by symbol) — the common path for codec implementations.
+pub fn lengths_from_symbols(symbols: impl Iterator<Item = u32>) -> Vec<(u32, u8)> {
+    use std::collections::BTreeMap;
+    let mut freqs: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    assert!(!freqs.is_empty(), "no symbols");
+    let pairs: Vec<(u32, u64)> = freqs.into_iter().collect();
+    build_code_lengths(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(symbols: &[u32]) {
+        let lengths = lengths_from_symbols(symbols.iter().copied());
+        let code = CanonicalCode::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(code.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn two_symbol_round_trip() {
+        round_trip(&[0, 1, 0, 0, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        round_trip(&[42, 42, 42, 42]);
+        let lengths = lengths_from_symbols([7u32, 7, 7].into_iter());
+        assert_eq!(lengths, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn skewed_distribution_gets_short_codes() {
+        // Symbol 5 dominates; it must get the shortest code.
+        let mut syms = vec![5u32; 1000];
+        syms.extend([1, 2, 3, 4].repeat(3));
+        let lengths = lengths_from_symbols(syms.iter().copied());
+        let code5 = lengths.iter().find(|&&(s, _)| s == 5).unwrap().1;
+        for &(s, l) in &lengths {
+            if s != 5 {
+                assert!(l >= code5, "symbol {s} shorter than dominant symbol");
+            }
+        }
+        round_trip(&syms);
+    }
+
+    #[test]
+    fn large_sparse_alphabet_round_trip() {
+        let symbols: Vec<u32> = (0..2000u32).map(|i| (i * 37) % 50000).collect();
+        round_trip(&symbols);
+    }
+
+    #[test]
+    fn average_length_beats_fixed_width_on_skew() {
+        let mut syms = vec![0u32; 10_000];
+        for i in 0..100 {
+            syms.push(i % 16 + 1);
+        }
+        let lengths = lengths_from_symbols(syms.iter().copied());
+        let code = CanonicalCode::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            code.encode(&mut w, s);
+        }
+        // 17 symbols would need 5 fixed bits; entropy coding must do much
+        // better on this skew.
+        assert!(w.bit_len() < syms.len() * 2);
+    }
+
+    #[test]
+    fn lengths_serialize_round_trip() {
+        let lengths = lengths_from_symbols([1u32, 1, 2, 2, 2, 900, 900, 65535].into_iter());
+        let mut buf = Vec::new();
+        CanonicalCode::serialize_lengths(&lengths, &mut buf);
+        let mut pos = 0;
+        let back = CanonicalCode::deserialize_lengths(&buf, &mut pos).unwrap();
+        assert_eq!(back, lengths);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        // Overfull: three codes of length 1.
+        let bad = vec![(0u32, 1u8), (1, 1), (2, 1)];
+        assert_eq!(
+            CanonicalCode::from_lengths(&bad).unwrap_err(),
+            HuffmanError::InvalidLengths
+        );
+        // Zero length.
+        assert!(CanonicalCode::from_lengths(&[(0, 0)]).is_err());
+        // Duplicate symbol.
+        assert!(CanonicalCode::from_lengths(&[(3, 1), (3, 2)]).is_err());
+        // Empty.
+        assert!(CanonicalCode::from_lengths(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let lengths =
+            lengths_from_symbols((0..16u32).flat_map(|s| std::iter::repeat_n(s, s as usize + 1)));
+        let code = CanonicalCode::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        for s in 0..16u32 {
+            code.encode(&mut w, s);
+        }
+        let mut bytes = w.into_bytes();
+        bytes.truncate(1);
+        let mut r = BitReader::new(&bytes);
+        let mut err = None;
+        for _ in 0..16 {
+            match code.decode(&mut r) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            err,
+            Some(HuffmanError::Truncated) | Some(HuffmanError::BadCode)
+        ));
+    }
+
+    #[test]
+    fn decode_error_on_garbage_table() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1 << 30); // absurd count
+        let mut pos = 0;
+        assert!(CanonicalCode::deserialize_lengths(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths =
+            lengths_from_symbols([0u32, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10].into_iter());
+        let code = CanonicalCode::from_lengths(&lengths).unwrap();
+        // Encode each symbol alone and check that no encoding is a prefix
+        // of another (by decoding a concatenation back).
+        let all: Vec<u32> = lengths.iter().map(|&(s, _)| s).collect();
+        let mut w = BitWriter::new();
+        for &s in &all {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &all {
+            assert_eq!(code.decode(&mut r).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! # mq-compress — compression substrate for the MEMQSIM reproduction
+//!
+//! The paper leverages "a state-of-the-art data compressor" (SZ) to shrink
+//! state-vector chunks resident in CPU memory. This crate builds that
+//! substrate from scratch:
+//!
+//! * primitives — [`bitstream`], [`varint`], [`huffman`], [`lzss`],
+//!   [`rle`], [`shuffle`];
+//! * codecs — [`szlike`] (error-bounded lossy, the headline compressor),
+//!   [`fpc`] (lossless XOR-predictor), zero-RLE, byte-shuffle+LZSS, and a
+//!   null codec, all behind the [`Codec`] trait;
+//! * [`CodecSpec`] — a parseable registry so harness binaries can sweep
+//!   codecs by name (`"sz:1e-8"`, `"fpc"`, ...);
+//! * complex-amplitude helpers — [`compress_complex`] /
+//!   [`decompress_complex`] split interleaved amplitudes into re/im planes
+//!   (prediction works far better within a plane).
+
+//!
+//! ## Example
+//!
+//! ```
+//! use mq_compress::{Codec, CodecSpec};
+//!
+//! let codec = CodecSpec::parse("sz:1e-8").unwrap().build();
+//! let data: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.01).sin()).collect();
+//! let compressed = codec.compress(&data);
+//! assert!(compressed.len() < data.len() * 8);
+//!
+//! let mut out = vec![0.0; data.len()];
+//! codec.decompress(&compressed, &mut out).unwrap();
+//! for (a, b) in data.iter().zip(&out) {
+//!     assert!((a - b).abs() <= 1e-8);
+//! }
+//! ```
+
+pub mod bitstream;
+pub mod fpc;
+pub mod huffman;
+pub mod lzss;
+pub mod rle;
+pub mod shuffle;
+pub mod szlike;
+pub mod varint;
+
+use mq_num::complex::{as_f64_slice, as_f64_slice_mut};
+use mq_num::Complex64;
+use std::fmt;
+
+/// Unified codec error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The compressed stream is malformed or truncated.
+    Corrupt(String),
+    /// Output buffer length disagrees with the stream header.
+    LengthMismatch {
+        /// Element count recorded in the stream.
+        expected: usize,
+        /// Length of the caller's output buffer.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Corrupt(m) => write!(f, "corrupt compressed stream: {m}"),
+            CodecError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: stream has {expected}, buffer {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A floating-point array codec.
+///
+/// Implementations are stateless and `Send + Sync`, so one boxed codec can
+/// serve every pipeline thread concurrently.
+pub trait Codec: Send + Sync {
+    /// Short registry name (`"sz"`, `"fpc"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// True if decompression is bit-exact.
+    fn is_lossless(&self) -> bool;
+
+    /// The pointwise absolute error bound, `None` for lossless codecs.
+    fn error_bound(&self) -> Option<f64> {
+        None
+    }
+
+    /// Compresses `data` into a fresh byte buffer.
+    fn compress(&self, data: &[f64]) -> Vec<u8>;
+
+    /// Decompresses into `out`; `out.len()` must equal the original length.
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError>;
+}
+
+// --- codec implementations --------------------------------------------------
+
+/// Identity codec: raw little-endian bytes. The "no compression" baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCodec;
+
+impl Codec for NullCodec {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+    fn is_lossless(&self) -> bool {
+        true
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + data.len() * 8);
+        varint::write_u64(&mut out, data.len() as u64);
+        for &x in data {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        let mut pos = 0;
+        let n = varint::read_u64(bytes, &mut pos).map_err(|e| CodecError::Corrupt(e.to_string()))?
+            as usize;
+        if n != out.len() {
+            return Err(CodecError::LengthMismatch {
+                expected: n,
+                got: out.len(),
+            });
+        }
+        if pos + n * 8 > bytes.len() {
+            return Err(CodecError::Corrupt("truncated raw payload".into()));
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            let s = pos + i * 8;
+            *slot = f64::from_le_bytes(bytes[s..s + 8].try_into().expect("bounds checked"));
+        }
+        Ok(())
+    }
+}
+
+/// Zero run-length codec (lossless): exploits exact-zero sparsity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroRleCodec;
+
+impl Codec for ZeroRleCodec {
+    fn name(&self) -> &'static str {
+        "zero-rle"
+    }
+    fn is_lossless(&self) -> bool {
+        true
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        rle::encode(data, &mut out);
+        out
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        rle::decode(bytes, out).map_err(|e| match e {
+            rle::RleError::LengthMismatch { expected, got } => {
+                CodecError::LengthMismatch { expected, got }
+            }
+            other => CodecError::Corrupt(other.to_string()),
+        })
+    }
+}
+
+/// FPC-style lossless XOR-predictive codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpcCodec;
+
+impl Codec for FpcCodec {
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+    fn is_lossless(&self) -> bool {
+        true
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        fpc::encode(data, &mut out);
+        out
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        fpc::decode(bytes, out).map_err(|e| match e {
+            fpc::FpcError::LengthMismatch { expected, got } => {
+                CodecError::LengthMismatch { expected, got }
+            }
+            other => CodecError::Corrupt(other.to_string()),
+        })
+    }
+}
+
+/// Byte-shuffle + LZSS (lossless): dictionary coding over byte planes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShuffleLzssCodec;
+
+impl Codec for ShuffleLzssCodec {
+    fn name(&self) -> &'static str {
+        "shuffle-lzss"
+    }
+    fn is_lossless(&self) -> bool {
+        true
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut planes = Vec::new();
+        shuffle::shuffle(data, &mut planes);
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, data.len() as u64);
+        lzss::encode(&planes, &mut out);
+        out
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        let mut pos = 0;
+        let n = varint::read_u64(bytes, &mut pos).map_err(|e| CodecError::Corrupt(e.to_string()))?
+            as usize;
+        if n != out.len() {
+            return Err(CodecError::LengthMismatch {
+                expected: n,
+                got: out.len(),
+            });
+        }
+        let mut planes = vec![0u8; n * 8];
+        lzss::decode(&bytes[pos..], &mut planes).map_err(|e| match e {
+            lzss::LzssError::LengthMismatch { expected, got } => CodecError::LengthMismatch {
+                expected: expected / 8,
+                got: got / 8,
+            },
+            other => CodecError::Corrupt(other.to_string()),
+        })?;
+        shuffle::unshuffle(&planes, out);
+        Ok(())
+    }
+}
+
+/// SZ-style error-bounded lossy codec.
+#[derive(Debug, Clone, Copy)]
+pub struct SzCodec {
+    /// Pointwise absolute error bound (> 0).
+    pub eb: f64,
+}
+
+impl SzCodec {
+    /// Creates a codec with the given absolute error bound.
+    ///
+    /// # Panics
+    /// Panics unless `eb` is finite and positive.
+    pub fn new(eb: f64) -> SzCodec {
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive");
+        SzCodec { eb }
+    }
+}
+
+impl Codec for SzCodec {
+    fn name(&self) -> &'static str {
+        "sz"
+    }
+    fn is_lossless(&self) -> bool {
+        false
+    }
+    fn error_bound(&self) -> Option<f64> {
+        Some(self.eb)
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        szlike::encode(data, self.eb, &mut out);
+        out
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        szlike::decode(bytes, out).map(|_| ()).map_err(|e| match e {
+            szlike::SzError::LengthMismatch { expected, got } => {
+                CodecError::LengthMismatch { expected, got }
+            }
+            other => CodecError::Corrupt(other.to_string()),
+        })
+    }
+}
+
+// --- registry ----------------------------------------------------------------
+
+/// A parseable codec specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecSpec {
+    /// Raw bytes.
+    Null,
+    /// Zero run-length.
+    ZeroRle,
+    /// FPC-style lossless.
+    Fpc,
+    /// Byte-shuffle + LZSS lossless.
+    ShuffleLzss,
+    /// SZ-style lossy with absolute bound.
+    Sz {
+        /// Pointwise absolute error bound.
+        eb: f64,
+    },
+}
+
+impl CodecSpec {
+    /// Instantiates the codec.
+    pub fn build(&self) -> Box<dyn Codec> {
+        match *self {
+            CodecSpec::Null => Box::new(NullCodec),
+            CodecSpec::ZeroRle => Box::new(ZeroRleCodec),
+            CodecSpec::Fpc => Box::new(FpcCodec),
+            CodecSpec::ShuffleLzss => Box::new(ShuffleLzssCodec),
+            CodecSpec::Sz { eb } => Box::new(SzCodec::new(eb)),
+        }
+    }
+
+    /// Parses `"null" | "zero-rle" | "fpc" | "shuffle-lzss" | "sz:<eb>"`.
+    pub fn parse(s: &str) -> Result<CodecSpec, String> {
+        match s {
+            "null" => Ok(CodecSpec::Null),
+            "zero-rle" => Ok(CodecSpec::ZeroRle),
+            "fpc" => Ok(CodecSpec::Fpc),
+            "shuffle-lzss" => Ok(CodecSpec::ShuffleLzss),
+            _ => {
+                if let Some(eb_text) = s.strip_prefix("sz:") {
+                    let eb: f64 = eb_text
+                        .parse()
+                        .map_err(|_| format!("invalid error bound '{eb_text}'"))?;
+                    if !(eb.is_finite() && eb > 0.0) {
+                        return Err(format!("error bound must be positive, got {eb}"));
+                    }
+                    Ok(CodecSpec::Sz { eb })
+                } else {
+                    Err(format!("unknown codec '{s}'"))
+                }
+            }
+        }
+    }
+
+    /// The default sweep set used by the codec-comparison experiment.
+    pub fn sweep_set() -> Vec<CodecSpec> {
+        vec![
+            CodecSpec::Null,
+            CodecSpec::ZeroRle,
+            CodecSpec::Fpc,
+            CodecSpec::ShuffleLzss,
+            CodecSpec::Sz { eb: 1e-4 },
+            CodecSpec::Sz { eb: 1e-6 },
+            CodecSpec::Sz { eb: 1e-8 },
+            CodecSpec::Sz { eb: 1e-10 },
+        ]
+    }
+}
+
+impl fmt::Display for CodecSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecSpec::Null => write!(f, "null"),
+            CodecSpec::ZeroRle => write!(f, "zero-rle"),
+            CodecSpec::Fpc => write!(f, "fpc"),
+            CodecSpec::ShuffleLzss => write!(f, "shuffle-lzss"),
+            CodecSpec::Sz { eb } => write!(f, "sz:{eb:e}"),
+        }
+    }
+}
+
+// --- stats --------------------------------------------------------------------
+
+/// Aggregate compression accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressionStats {
+    /// Uncompressed bytes processed.
+    pub raw_bytes: usize,
+    /// Compressed bytes produced.
+    pub compressed_bytes: usize,
+    /// Number of compress calls.
+    pub blocks: usize,
+}
+
+impl CompressionStats {
+    /// Records one compressed block.
+    pub fn record(&mut self, raw: usize, compressed: usize) {
+        self.raw_bytes += raw;
+        self.compressed_bytes += compressed;
+        self.blocks += 1;
+    }
+
+    /// Overall ratio `raw / compressed` (1.0 when nothing was recorded).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.raw_bytes += other.raw_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+        self.blocks += other.blocks;
+    }
+}
+
+// --- complex helpers ------------------------------------------------------------
+
+/// Compresses interleaved complex amplitudes by first splitting them into a
+/// real plane followed by an imaginary plane (predictors behave much better
+/// within a plane than across the re/im interleave).
+pub fn compress_complex(codec: &dyn Codec, amps: &[Complex64]) -> Vec<u8> {
+    let n = amps.len();
+    let interleaved = as_f64_slice(amps);
+    let mut planes = vec![0.0f64; n * 2];
+    for i in 0..n {
+        planes[i] = interleaved[2 * i];
+        planes[n + i] = interleaved[2 * i + 1];
+    }
+    codec.compress(&planes)
+}
+
+/// Inverse of [`compress_complex`].
+pub fn decompress_complex(
+    codec: &dyn Codec,
+    bytes: &[u8],
+    out: &mut [Complex64],
+) -> Result<(), CodecError> {
+    let n = out.len();
+    let mut planes = vec![0.0f64; n * 2];
+    codec.decompress(bytes, &mut planes)?;
+    let interleaved = as_f64_slice_mut(out);
+    for i in 0..n {
+        interleaved[2 * i] = planes[i];
+        interleaved[2 * i + 1] = planes[n + i];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_num::complex::c64;
+
+    fn sample_data() -> Vec<f64> {
+        (0..4096)
+            .map(|i| (i as f64 * 0.01).sin() * 0.1 + if i % 97 == 0 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    fn all_specs() -> Vec<CodecSpec> {
+        CodecSpec::sweep_set()
+    }
+
+    #[test]
+    fn every_codec_round_trips_within_bound() {
+        let data = sample_data();
+        for spec in all_specs() {
+            let codec = spec.build();
+            let bytes = codec.compress(&data);
+            let mut out = vec![0.0f64; data.len()];
+            codec.decompress(&bytes, &mut out).unwrap();
+            let bound = codec.error_bound().unwrap_or(0.0);
+            for (a, b) in data.iter().zip(&out) {
+                assert!((a - b).abs() <= bound, "{spec}: |{a}-{b}| > {bound}");
+            }
+            if codec.is_lossless() {
+                for (a, b) in data.iter().zip(&out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{spec} not bit-exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_codec_rejects_length_mismatch() {
+        let data = sample_data();
+        for spec in all_specs() {
+            let codec = spec.build();
+            let bytes = codec.compress(&data);
+            let mut out = vec![0.0f64; data.len() + 1];
+            assert!(
+                matches!(
+                    codec.decompress(&bytes, &mut out),
+                    Err(CodecError::LengthMismatch { .. })
+                ),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_codec_detects_truncation() {
+        let data = sample_data();
+        for spec in all_specs() {
+            let codec = spec.build();
+            let mut bytes = codec.compress(&data);
+            bytes.truncate(bytes.len() / 3);
+            let mut out = vec![0.0f64; data.len()];
+            assert!(codec.decompress(&bytes, &mut out).is_err(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        for spec in all_specs() {
+            let s = spec.to_string();
+            let back = CodecSpec::parse(&s).unwrap();
+            match (spec, back) {
+                (CodecSpec::Sz { eb: a }, CodecSpec::Sz { eb: b }) => assert_eq!(a, b),
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+        assert!(CodecSpec::parse("bogus").is_err());
+        assert!(CodecSpec::parse("sz:abc").is_err());
+        assert!(CodecSpec::parse("sz:-1").is_err());
+        assert!(CodecSpec::parse("sz:0").is_err());
+    }
+
+    #[test]
+    fn sz_beats_lossless_on_smooth_data() {
+        let data: Vec<f64> = (0..32768).map(|i| (i as f64 * 1e-3).sin() * 0.01).collect();
+        let sz = SzCodec::new(1e-8).compress(&data).len();
+        let fpc = FpcCodec.compress(&data).len();
+        let raw = data.len() * 8;
+        assert!(sz < fpc, "sz {sz} vs fpc {fpc}");
+        assert!(sz * 4 < raw, "sz ratio too low: {}", raw as f64 / sz as f64);
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = CompressionStats::default();
+        a.record(1000, 100);
+        a.record(1000, 300);
+        assert_eq!(a.blocks, 2);
+        assert!((a.ratio() - 5.0).abs() < 1e-12);
+        let mut b = CompressionStats::default();
+        b.record(500, 500);
+        a.merge(&b);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.raw_bytes, 2500);
+        assert_eq!(CompressionStats::default().ratio(), 1.0);
+    }
+
+    #[test]
+    fn complex_round_trip_planes() {
+        let amps: Vec<Complex64> = (0..2048)
+            .map(|i| c64((i as f64 * 0.01).cos() * 0.1, (i as f64 * 0.01).sin() * 0.1))
+            .collect();
+        for spec in all_specs() {
+            let codec = spec.build();
+            let bytes = compress_complex(codec.as_ref(), &amps);
+            let mut out = vec![Complex64::ZERO; amps.len()];
+            decompress_complex(codec.as_ref(), &bytes, &mut out).unwrap();
+            let bound = codec.error_bound().unwrap_or(0.0);
+            for (a, b) in amps.iter().zip(&out) {
+                assert!((a.re - b.re).abs() <= bound, "{spec}");
+                assert!((a.im - b.im).abs() <= bound, "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn plane_split_helps_sz_on_complex_data() {
+        // Interleaved re/im breaks the Lorenzo predictor; planes restore it.
+        let amps: Vec<Complex64> = (0..8192)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                c64(t.cos() * 0.01, (t * 0.5).sin() * 0.02)
+            })
+            .collect();
+        let codec = SzCodec::new(1e-9);
+        let planes = compress_complex(&codec, &amps).len();
+        let interleaved = codec.compress(as_f64_slice(&amps)).len();
+        assert!(
+            planes < interleaved,
+            "planes {planes} vs interleaved {interleaved}"
+        );
+    }
+
+    #[test]
+    fn codecs_are_object_safe_and_shareable() {
+        fn takes_dyn(c: &dyn Codec) -> usize {
+            c.compress(&[1.0, 2.0]).len()
+        }
+        let boxed: Vec<Box<dyn Codec>> = all_specs().iter().map(|s| s.build()).collect();
+        for c in &boxed {
+            assert!(takes_dyn(c.as_ref()) > 0);
+        }
+        // Send + Sync: share across scoped threads.
+        let codec = SzCodec::new(1e-6);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let bytes = codec.compress(&[0.5; 64]);
+                    let mut out = [0.0f64; 64];
+                    codec.decompress(&bytes, &mut out).unwrap();
+                });
+            }
+        });
+    }
+}
+
+// --- adaptive codec -------------------------------------------------------------
+
+/// Picks the best backend codec *per block*: tries zero-RLE (wins on sparse
+/// chunks), FPC (wins on lossless-compressible data) and — when an error
+/// bound is configured — the SZ-style lossy codec, and keeps whichever
+/// output is smallest. A one-byte tag selects the decoder.
+///
+/// This is the paper's "adaptable to accommodate various compression
+/// algorithms" point made concrete: the store takes any [`Codec`], including
+/// this meta-codec.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveCodec {
+    /// Error bound for the lossy candidate; `None` restricts the choice to
+    /// lossless backends.
+    pub eb: Option<f64>,
+}
+
+impl AdaptiveCodec {
+    /// Adaptive lossless-only codec.
+    pub fn lossless() -> AdaptiveCodec {
+        AdaptiveCodec { eb: None }
+    }
+
+    /// Adaptive codec allowed to go lossy within `eb`.
+    pub fn lossy(eb: f64) -> AdaptiveCodec {
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive");
+        AdaptiveCodec { eb: Some(eb) }
+    }
+}
+
+const TAG_ZERO_RLE: u8 = 1;
+const TAG_FPC: u8 = 2;
+const TAG_SZ: u8 = 3;
+
+impl Codec for AdaptiveCodec {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn is_lossless(&self) -> bool {
+        self.eb.is_none()
+    }
+    fn error_bound(&self) -> Option<f64> {
+        self.eb
+    }
+    fn compress(&self, data: &[f64]) -> Vec<u8> {
+        let mut best = {
+            let mut out = vec![TAG_ZERO_RLE];
+            rle::encode(data, &mut out);
+            out
+        };
+        let fpc = {
+            let mut out = vec![TAG_FPC];
+            fpc::encode(data, &mut out);
+            out
+        };
+        if fpc.len() < best.len() {
+            best = fpc;
+        }
+        if let Some(eb) = self.eb {
+            let mut out = vec![TAG_SZ];
+            szlike::encode(data, eb, &mut out);
+            if out.len() < best.len() {
+                best = out;
+            }
+        }
+        best
+    }
+    fn decompress(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CodecError> {
+        let (tag, body) = bytes
+            .split_first()
+            .ok_or_else(|| CodecError::Corrupt("empty adaptive block".into()))?;
+        match *tag {
+            TAG_ZERO_RLE => rle::decode(body, out).map_err(|e| match e {
+                rle::RleError::LengthMismatch { expected, got } => {
+                    CodecError::LengthMismatch { expected, got }
+                }
+                other => CodecError::Corrupt(other.to_string()),
+            }),
+            TAG_FPC => fpc::decode(body, out).map_err(|e| match e {
+                fpc::FpcError::LengthMismatch { expected, got } => {
+                    CodecError::LengthMismatch { expected, got }
+                }
+                other => CodecError::Corrupt(other.to_string()),
+            }),
+            TAG_SZ => szlike::decode(body, out).map(|_| ()).map_err(|e| match e {
+                szlike::SzError::LengthMismatch { expected, got } => {
+                    CodecError::LengthMismatch { expected, got }
+                }
+                other => CodecError::Corrupt(other.to_string()),
+            }),
+            t => Err(CodecError::Corrupt(format!("unknown adaptive tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn picks_rle_on_sparse_data() {
+        let mut data = vec![0.0f64; 4096];
+        data[7] = 1.0;
+        let adaptive = AdaptiveCodec::lossless();
+        let bytes = adaptive.compress(&data);
+        assert_eq!(bytes[0], TAG_ZERO_RLE);
+        // And it beats plain FPC on this input.
+        assert!(bytes.len() < FpcCodec.compress(&data).len());
+        let mut out = vec![1.0f64; 4096];
+        adaptive.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn picks_sz_on_smooth_data_when_lossy_allowed() {
+        let data: Vec<f64> = (0..8192).map(|i| (i as f64 * 1e-3).sin() * 0.01).collect();
+        let adaptive = AdaptiveCodec::lossy(1e-8);
+        let bytes = adaptive.compress(&data);
+        assert_eq!(bytes[0], TAG_SZ);
+        let mut out = vec![0.0f64; data.len()];
+        adaptive.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= 1e-8);
+        }
+    }
+
+    #[test]
+    fn lossless_mode_never_uses_sz() {
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 1e-3).sin()).collect();
+        let adaptive = AdaptiveCodec::lossless();
+        let bytes = adaptive.compress(&data);
+        assert_ne!(bytes[0], TAG_SZ);
+        let mut out = vec![0.0f64; data.len()];
+        adaptive.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_never_loses_to_its_backends_by_more_than_a_tag() {
+        for data in [
+            vec![0.0f64; 1000],
+            (0..1000).map(|i| i as f64).collect::<Vec<_>>(),
+            (0..1000)
+                .map(|i| ((i * 2654435761usize) % 997) as f64 / 997.0)
+                .collect(),
+        ] {
+            let adaptive = AdaptiveCodec::lossy(1e-9).compress(&data).len();
+            let rle = ZeroRleCodec.compress(&data).len();
+            let fpc = FpcCodec.compress(&data).len();
+            let sz = SzCodec::new(1e-9).compress(&data).len();
+            let best = rle.min(fpc).min(sz);
+            assert!(adaptive <= best + 1, "adaptive {adaptive} vs best {best}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_and_empty() {
+        let adaptive = AdaptiveCodec::lossless();
+        let mut out = vec![0.0f64; 4];
+        assert!(adaptive.decompress(&[], &mut out).is_err());
+        assert!(adaptive.decompress(&[99, 0, 0], &mut out).is_err());
+    }
+}

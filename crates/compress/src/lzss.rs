@@ -1,0 +1,289 @@
+//! LZSS byte compression.
+//!
+//! A small dictionary compressor used behind the byte-shuffle transform:
+//! hash-chain match finding over a 64 KiB window, classic flag-byte token
+//! format (8 flags per control byte; literals are raw bytes, matches are
+//! little-endian `(offset: u16, len-MIN: u8)` pairs).
+
+use crate::varint::{self, VarintError};
+
+const WINDOW: usize = 1 << 16;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Hash-chain search depth; higher = better ratio, slower.
+const MAX_CHAIN: usize = 32;
+
+/// Compresses `data`, appending to `out`.
+pub fn encode(data: &[u8], out: &mut Vec<u8>) {
+    varint::write_u64(out, data.len() as u64);
+    if data.is_empty() {
+        return;
+    }
+
+    const HASH_BITS: u32 = 15;
+    let hash = |b: &[u8]| -> usize {
+        let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut i = 0usize;
+    // Token accumulation: control byte position then up to 8 tokens.
+    let mut flags = 0u8;
+    let mut nflags = 0u32;
+    let mut ctrl_pos = out.len();
+    out.push(0);
+
+    macro_rules! flush_flags_if_full {
+        () => {
+            if nflags == 8 {
+                out[ctrl_pos] = flags;
+                flags = 0;
+                nflags = 0;
+                ctrl_pos = out.len();
+                out.push(0);
+            }
+        };
+    }
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(&data[i..]);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Match token: flag bit 1.
+            flags |= 1 << nflags;
+            nflags += 1;
+            out.extend_from_slice(&(best_off as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Register hash entries for every covered position so later
+            // matches can reach into this region.
+            let end = i + best_len;
+            for j in i..end.min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                let h = hash(&data[j..]);
+                prev[j] = head[h];
+                head[h] = j;
+            }
+            i = end;
+        } else {
+            // Literal token: flag bit 0.
+            nflags += 1;
+            out.push(data[i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(&data[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        flush_flags_if_full!();
+    }
+    out[ctrl_pos] = flags;
+    // If the final control byte ended up unused (flags flushed exactly at
+    // the end), it still decodes fine: the decoder stops at `n` outputs.
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    /// Varint header failure.
+    Varint(VarintError),
+    /// Output buffer length differs from the encoded length.
+    LengthMismatch {
+        /// Encoded element count.
+        expected: usize,
+        /// Supplied buffer length.
+        got: usize,
+    },
+    /// Stream truncated or a match points before the start.
+    Corrupt,
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Varint(e) => write!(f, "lzss varint error: {e}"),
+            LzssError::LengthMismatch { expected, got } => {
+                write!(f, "lzss length mismatch: encoded {expected}, buffer {got}")
+            }
+            LzssError::Corrupt => write!(f, "corrupt lzss stream"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+impl From<VarintError> for LzssError {
+    fn from(e: VarintError) -> Self {
+        LzssError::Varint(e)
+    }
+}
+
+/// Decompresses into `out`, which must match the encoded length.
+pub fn decode(buf: &[u8], out: &mut [u8]) -> Result<(), LzssError> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(buf, &mut pos)? as usize;
+    if n != out.len() {
+        return Err(LzssError::LengthMismatch {
+            expected: n,
+            got: out.len(),
+        });
+    }
+    let mut oi = 0usize;
+    let mut flags = 0u8;
+    let mut nflags = 0u32;
+    while oi < n {
+        if nflags == 0 {
+            flags = *buf.get(pos).ok_or(LzssError::Corrupt)?;
+            pos += 1;
+            nflags = 8;
+        }
+        let is_match = flags & 1 == 1;
+        flags >>= 1;
+        nflags -= 1;
+        if is_match {
+            if pos + 3 > buf.len() {
+                return Err(LzssError::Corrupt);
+            }
+            let off = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+            let len = buf[pos + 2] as usize + MIN_MATCH;
+            pos += 3;
+            if off == 0 || off > oi || oi + len > n {
+                return Err(LzssError::Corrupt);
+            }
+            // Overlapping copy must go byte-by-byte.
+            for k in 0..len {
+                out[oi + k] = out[oi - off + k];
+            }
+            oi += len;
+        } else {
+            out[oi] = *buf.get(pos).ok_or(LzssError::Corrupt)?;
+            pos += 1;
+            oi += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let mut buf = Vec::new();
+        encode(data, &mut buf);
+        let mut out = vec![0u8; data.len()];
+        decode(&buf, &mut out).unwrap();
+        assert_eq!(&out, data);
+        buf.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(&[]);
+        round_trip(&[1]);
+        round_trip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"abcabcabcabcabcabcabcabcabcabc".to_vec();
+        let size = round_trip(&data);
+        assert!(size < data.len());
+    }
+
+    #[test]
+    fn long_runs_compress_hard() {
+        let data = vec![7u8; 100_000];
+        let size = round_trip(&data);
+        assert!(size < 2000, "got {size}");
+    }
+
+    #[test]
+    fn overlapping_match_semantics() {
+        // "aaaa..." forces matches with offset 1 < length.
+        let data = vec![b'a'; 1000];
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_bounded_expansion() {
+        // Pseudo-random bytes: expansion must stay under 1/8 + header.
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let mut buf = Vec::new();
+        encode(&data, &mut buf);
+        assert!(buf.len() < data.len() + data.len() / 8 + 32);
+        let mut out = vec![0u8; data.len()];
+        decode(&buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn structured_f64_planes_compress() {
+        // Byte-plane-like input: smooth low bytes.
+        let mut data = Vec::new();
+        for i in 0..4096u32 {
+            data.push((i / 64) as u8);
+        }
+        let size = round_trip(&data);
+        assert!(size < data.len() / 4);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut buf = Vec::new();
+        encode(&[1, 2, 3], &mut buf);
+        let mut out = vec![0u8; 5];
+        assert!(matches!(
+            decode(&buf, &mut out),
+            Err(LzssError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_offset_detected() {
+        // Handcraft: length 4, one control byte with a match flag, match
+        // offset 9 (before start).
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 4);
+        buf.push(0b0000_0001);
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.push(0);
+        let mut out = vec![0u8; 4];
+        assert_eq!(decode(&buf, &mut out), Err(LzssError::Corrupt));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = vec![3u8; 100];
+        let mut buf = Vec::new();
+        encode(&data, &mut buf);
+        buf.truncate(buf.len() - 2);
+        let mut out = vec![0u8; 100];
+        assert!(decode(&buf, &mut out).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! LEB128 varints and ZigZag signed mapping.
+
+/// Encodes `v` as LEB128, appending to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(VarintError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(VarintError::Overflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-maps a signed integer to unsigned (small magnitudes stay small).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a signed integer as zigzag LEB128.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Decodes a zigzag LEB128 signed integer.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, VarintError> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+/// Varint decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// Buffer ended mid-varint.
+    Truncated,
+    /// Encoding exceeds 64 bits.
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "truncated varint"),
+            VarintError::Overflow => write!(f, "varint overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+            u64::MAX - 1,
+            1 << 63,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        write_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-1000i64, -5, 0, 5, 1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips() {
+        let values = [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(VarintError::Truncated));
+        let empty: [u8; 0] = [];
+        let mut pos = 0;
+        assert_eq!(read_u64(&empty, &mut pos), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes exceed 64 bits.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(VarintError::Overflow));
+    }
+}

@@ -1,0 +1,126 @@
+//! MEMQSIM configuration.
+
+use mq_compress::CodecSpec;
+
+/// Configuration shared by the MEMQSIM engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemQSimConfig {
+    /// log2 of amplitudes per compressed chunk.
+    pub chunk_bits: u32,
+    /// Maximum distinct cross-chunk pairing qubits per stage (working set
+    /// per chunk group is `2^max_high_qubits` chunks).
+    pub max_high_qubits: u32,
+    /// Which codec compresses resident chunks.
+    pub codec: CodecSpec,
+    /// CPU worker threads for decompress/apply/recompress ("idle cores",
+    /// paper Fig. 2 step 5).
+    pub workers: usize,
+    /// In-flight staging buffers for the hybrid pipeline (2 = classic
+    /// double buffering).
+    pub pipeline_buffers: usize,
+    /// Fraction of chunk groups updated on the CPU instead of the device
+    /// in the hybrid engine (0.0 = all device, 1.0 = all CPU).
+    pub cpu_share: f64,
+    /// Hybrid engine: run transfers and kernels on *separate* device
+    /// streams linked by events, so the modeled device clock overlaps the
+    /// H2D of group `k+1` with the kernels of group `k` (paper Fig. 2 step
+    /// 3: "initiates the GPU kernel asynchronously during the CPU-GPU data
+    /// transfer").
+    pub dual_stream: bool,
+    /// Run the commutation-aware reordering pass
+    /// (`mq_circuit::reorder::reorder_for_locality`) before partitioning,
+    /// clustering same-signature gates to cut stage count further.
+    pub reorder: bool,
+}
+
+impl Default for MemQSimConfig {
+    fn default() -> Self {
+        MemQSimConfig {
+            chunk_bits: 16,
+            max_high_qubits: 2,
+            codec: CodecSpec::Sz { eb: 1e-10 },
+            workers: 1,
+            pipeline_buffers: 2,
+            cpu_share: 0.0,
+            dual_stream: false,
+            reorder: false,
+        }
+    }
+}
+
+impl MemQSimConfig {
+    /// Effective chunk bits for an `n`-qubit register: chunks never exceed
+    /// the state vector itself.
+    pub fn effective_chunk_bits(&self, n_qubits: u32) -> u32 {
+        self.chunk_bits.min(n_qubits)
+    }
+
+    /// Validates parameter sanity, returning a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_high_qubits == 0 {
+            return Err("max_high_qubits must be >= 1".into());
+        }
+        if self.max_high_qubits > 8 {
+            return Err("max_high_qubits > 8 would need 256-chunk groups".into());
+        }
+        if self.pipeline_buffers == 0 {
+            return Err("pipeline_buffers must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.cpu_share) {
+            return Err(format!("cpu_share {} outside [0, 1]", self.cpu_share));
+        }
+        if self.workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MemQSimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn effective_chunk_bits_clamps() {
+        let cfg = MemQSimConfig {
+            chunk_bits: 16,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_chunk_bits(10), 10);
+        assert_eq!(cfg.effective_chunk_bits(20), 16);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let bad = [
+            MemQSimConfig {
+                max_high_qubits: 0,
+                ..Default::default()
+            },
+            MemQSimConfig {
+                max_high_qubits: 9,
+                ..Default::default()
+            },
+            MemQSimConfig {
+                pipeline_buffers: 0,
+                ..Default::default()
+            },
+            MemQSimConfig {
+                cpu_share: 1.5,
+                ..Default::default()
+            },
+            MemQSimConfig {
+                workers: 0,
+                ..Default::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?}");
+        }
+    }
+}

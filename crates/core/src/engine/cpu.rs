@@ -1,0 +1,350 @@
+//! The compressed CPU engine.
+//!
+//! Executes a circuit directly against the [`CompressedStateVector`]:
+//! for every stage of the offline plan, every chunk group is decompressed
+//! into a working buffer, all of the stage's gates are applied (specialized
+//! to the group), and the chunks are recompressed — with groups distributed
+//! over "idle core" workers (paper Fig. 2, step 5).
+
+use crate::config::MemQSimConfig;
+use crate::engine::{EngineError, Granularity};
+use crate::planner::chunk_groups;
+use crate::specialize::{specialize, GroupContext, Specialized};
+use crate::store::CompressedStateVector;
+use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan};
+use mq_circuit::Circuit;
+use mq_num::parallel::par_for;
+use mq_num::Complex64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Timing and traffic report from a compressed-CPU run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuRunReport {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Cumulative time in chunk decompression (summed across workers).
+    pub decompress: Duration,
+    /// Cumulative time applying gates.
+    pub apply: Duration,
+    /// Cumulative time in chunk recompression.
+    pub compress: Duration,
+    /// Number of stages executed.
+    pub stages: usize,
+    /// Total chunk visits (decompress+recompress rounds).
+    pub chunk_visits: usize,
+    /// Gates applied (after specialization; skipped gates not counted).
+    pub gates_applied: usize,
+    /// Whole-buffer scalar multiplications applied.
+    pub scalars_applied: usize,
+    /// Peak resident compressed bytes during the run.
+    pub peak_compressed_bytes: usize,
+    /// Peak transient working-buffer bytes (per-worker buffers).
+    pub peak_buffer_bytes: usize,
+}
+
+/// Builds the plan for `circuit` under `cfg` at the given granularity,
+/// optionally running the commutation-aware reorder pass first.
+pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granularity) -> Plan {
+    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
+    let reordered;
+    let circuit = if cfg.reorder {
+        reordered = mq_circuit::reorder::reorder_for_locality(circuit, chunk_bits);
+        &reordered
+    } else {
+        circuit
+    };
+    match granularity {
+        Granularity::Staged => partition(
+            circuit,
+            &PartitionConfig {
+                chunk_bits,
+                max_high_qubits: cfg.max_high_qubits,
+            },
+        ),
+        Granularity::PerGate => partition_per_gate(circuit, chunk_bits),
+    }
+}
+
+/// Runs `circuit` against `store` on the CPU.
+///
+/// # Panics
+/// Panics if the store geometry does not match `cfg`/`circuit` (construct
+/// the store with the same config), or if a gate exceeds
+/// `cfg.max_high_qubits` (plan-time invariant).
+pub fn run(
+    store: &CompressedStateVector,
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    granularity: Granularity,
+) -> Result<CpuRunReport, EngineError> {
+    cfg.validate().map_err(EngineError::Config)?;
+    assert_eq!(store.n_qubits(), circuit.n_qubits(), "width mismatch");
+    assert_eq!(
+        store.chunk_bits(),
+        cfg.effective_chunk_bits(circuit.n_qubits()),
+        "store chunk size disagrees with config"
+    );
+
+    let plan = build_plan(circuit, cfg, granularity);
+    let chunk_amps = store.chunk_amps();
+
+    let t0 = Instant::now();
+    let decompress_ns = AtomicU64::new(0);
+    let apply_ns = AtomicU64::new(0);
+    let compress_ns = AtomicU64::new(0);
+    let gates_applied = AtomicUsize::new(0);
+    let scalars_applied = AtomicUsize::new(0);
+    let first_error = parking_lot::Mutex::new(None::<EngineError>);
+    let mut chunk_visits = 0usize;
+    let mut peak_buffer_bytes = 0usize;
+
+    for stage in &plan.stages {
+        let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+        chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
+        let group_amps = stage.group_size() * chunk_amps;
+        peak_buffer_bytes = peak_buffer_bytes.max(cfg.workers.min(groups.len()) * group_amps * 16);
+
+        par_for(groups.len(), cfg.workers, |gi| {
+            if first_error.lock().is_some() {
+                return;
+            }
+            let group = &groups[gi];
+            let mut buffer = vec![Complex64::ZERO; group_amps];
+
+            // Decompress members into their buffer slots.
+            let t = Instant::now();
+            for (j, &chunk) in group.iter().enumerate() {
+                if let Err(e) =
+                    store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
+                {
+                    *first_error.lock() = Some(e.into());
+                    return;
+                }
+            }
+            decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+            // Apply all stage gates, specialized to this group.
+            let t = Instant::now();
+            let ctx = GroupContext {
+                chunk_bits: plan.chunk_bits,
+                high: &stage.high_qubits,
+                base_chunk: group[0],
+            };
+            for gate in &stage.gates {
+                match specialize(gate, &ctx) {
+                    Specialized::Skip => {}
+                    Specialized::Scalar(s) => {
+                        for z in buffer.iter_mut() {
+                            *z *= s;
+                        }
+                        scalars_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Specialized::Apply(g) => {
+                        mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
+                        gates_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            apply_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+            // Recompress.
+            let t = Instant::now();
+            for (j, &chunk) in group.iter().enumerate() {
+                store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
+            }
+            compress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        });
+
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+    }
+
+    Ok(CpuRunReport {
+        wall: t0.elapsed(),
+        decompress: Duration::from_nanos(decompress_ns.into_inner()),
+        apply: Duration::from_nanos(apply_ns.into_inner()),
+        compress: Duration::from_nanos(compress_ns.into_inner()),
+        stages: plan.stages.len(),
+        chunk_visits,
+        gates_applied: gates_applied.into_inner(),
+        scalars_applied: scalars_applied.into_inner(),
+        peak_compressed_bytes: store.peak_compressed_bytes(),
+        peak_buffer_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_circuit::library;
+    use mq_circuit::unitary::run_dense;
+    use mq_compress::CodecSpec;
+    use mq_num::metrics::{fidelity, max_amp_err};
+    use std::sync::Arc;
+
+    fn cfg(chunk_bits: u32, codec: CodecSpec) -> MemQSimConfig {
+        MemQSimConfig {
+            chunk_bits,
+            max_high_qubits: 2,
+            codec,
+            workers: 1,
+            ..Default::default()
+        }
+    }
+
+    fn run_and_compare(
+        circuit: &mq_circuit::Circuit,
+        cfg: &MemQSimConfig,
+        tol: f64,
+    ) -> CpuRunReport {
+        let store = CompressedStateVector::zero_state(
+            circuit.n_qubits(),
+            cfg.effective_chunk_bits(circuit.n_qubits()),
+            Arc::from(cfg.codec.build()),
+        );
+        let report = run(&store, circuit, cfg, Granularity::Staged).unwrap();
+        let got = store.to_dense().unwrap();
+        let want = run_dense(circuit, 0);
+        let err = max_amp_err(&got, &want);
+        assert!(err <= tol, "{}: max amp err {err} > {tol}", circuit.name());
+        report
+    }
+
+    #[test]
+    fn suite_matches_dense_reference_lossless() {
+        for c in library::standard_suite(7) {
+            for chunk_bits in [3u32, 5, 7] {
+                run_and_compare(&c, &cfg(chunk_bits, CodecSpec::Fpc), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_matches_dense_reference_lossy() {
+        for c in library::standard_suite(6) {
+            let report = run_and_compare(&c, &cfg(3, CodecSpec::Sz { eb: 1e-12 }), 1e-6);
+            assert!(report.gates_applied > 0);
+        }
+    }
+
+    #[test]
+    fn lossy_fidelity_stays_high() {
+        let c = library::qft(8);
+        let config = cfg(4, CodecSpec::Sz { eb: 1e-10 });
+        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        run(&store, &c, &config, Granularity::Staged).unwrap();
+        let got = store.to_dense().unwrap();
+        let want = run_dense(&c, 0);
+        let f = fidelity(&got, &want);
+        assert!(f > 0.999999, "fidelity {f}");
+    }
+
+    #[test]
+    fn multithreaded_run_matches_single_threaded() {
+        let c = library::random_circuit(8, 8, 5);
+        let mk = |workers| MemQSimConfig {
+            workers,
+            ..cfg(3, CodecSpec::Fpc)
+        };
+        let s1 = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+        run(&s1, &c, &mk(1), Granularity::Staged).unwrap();
+        let s4 = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+        run(&s4, &c, &mk(4), Granularity::Staged).unwrap();
+        let err = max_amp_err(&s1.to_dense().unwrap(), &s4.to_dense().unwrap());
+        assert!(err < 1e-12, "thread count changed the result: {err}");
+    }
+
+    #[test]
+    fn per_gate_granularity_same_result_more_visits() {
+        let c = library::qft(7);
+        let config = cfg(3, CodecSpec::Fpc);
+        let staged_store =
+            CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+        let staged = run(&staged_store, &c, &config, Granularity::Staged).unwrap();
+        let pg_store = CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+        let per_gate = run(&pg_store, &c, &config, Granularity::PerGate).unwrap();
+        let err = max_amp_err(
+            &staged_store.to_dense().unwrap(),
+            &pg_store.to_dense().unwrap(),
+        );
+        assert!(err < 1e-12);
+        assert!(
+            per_gate.chunk_visits > staged.chunk_visits,
+            "per-gate {} vs staged {}",
+            per_gate.chunk_visits,
+            staged.chunk_visits
+        );
+        assert_eq!(per_gate.stages, c.len());
+    }
+
+    #[test]
+    fn grover_finds_marked_state_through_compression() {
+        let n = 7;
+        let marked = 0b1011010u64;
+        let c = library::grover(n, marked, library::optimal_grover_iterations(n));
+        let config = cfg(3, CodecSpec::Sz { eb: 1e-11 });
+        let store = CompressedStateVector::zero_state(n, 3, Arc::from(config.codec.build()));
+        run(&store, &c, &config, Granularity::Staged).unwrap();
+        let p = store.probability(marked as usize).unwrap();
+        assert!(p > 0.9, "p(marked) = {p}");
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let c = library::hardware_efficient_ansatz(8, 2, 3);
+        let config = cfg(4, CodecSpec::Sz { eb: 1e-10 });
+        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        run(&store, &c, &config, Granularity::Staged).unwrap();
+        let n = store.norm().unwrap();
+        assert!((n - 1.0).abs() < 1e-5, "norm {n}");
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let c = library::ghz(8);
+        let config = cfg(4, CodecSpec::Fpc);
+        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        let r = run(&store, &c, &config, Granularity::Staged).unwrap();
+        assert!(r.stages >= 1);
+        assert!(r.chunk_visits >= store.chunk_count());
+        assert!(r.peak_compressed_bytes > 0);
+        assert!(r.peak_buffer_bytes > 0);
+        // GHZ has no outside-diagonal gates, so no scalars.
+        assert_eq!(r.scalars_applied, 0);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let c = library::ghz(4);
+        let mut config = cfg(2, CodecSpec::Fpc);
+        config.workers = 0;
+        let store = CompressedStateVector::zero_state(4, 2, Arc::from(CodecSpec::Fpc.build()));
+        assert!(matches!(
+            run(&store, &c, &config, Granularity::Staged),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn adder_works_chunked() {
+        let n_bits = 2;
+        let (a, b) = (2u64, 3u64);
+        let mut c = library::arithmetic::load_operands(n_bits, a, b);
+        c.extend(&library::ripple_carry_adder(n_bits));
+        let config = cfg(2, CodecSpec::ZeroRle);
+        let store =
+            CompressedStateVector::zero_state(c.n_qubits(), 2, Arc::from(config.codec.build()));
+        run(&store, &c, &config, Granularity::Staged).unwrap();
+        let dense = store.to_dense().unwrap();
+        let hot: Vec<usize> = (0..dense.len())
+            .filter(|&i| dense[i].norm() > 0.5)
+            .collect();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(
+            library::arithmetic::decode_sum(n_bits, hot[0] as u64),
+            a + b
+        );
+    }
+}

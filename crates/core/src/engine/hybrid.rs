@@ -1,0 +1,723 @@
+//! The hybrid CPU/GPU pipeline engine — the paper's Figure 2.
+//!
+//! Per stage, every chunk group flows through the six steps:
+//!
+//! 1. CPU decompresses the group's chunks into a pinned staging buffer;
+//! 2. the buffer is copied host→device (bulk copy — the Table 1 winner);
+//! 3. the device executes the stage's (specialized) gate kernels
+//!    asynchronously;
+//! 4. results are copied device→host into the same pinned buffer;
+//! 5. "idle cores" optionally take a share of the groups entirely on the
+//!    CPU (`cpu_share`);
+//! 6. the CPU recompresses the group back into main memory.
+//!
+//! In pipelined mode three roles run concurrently — decompressor, device
+//! issuer, recompressor — connected by bounded channels with
+//! `pipeline_buffers` in-flight staging slots (2 = double buffering), so
+//! step 1 of group `k+1` overlaps steps 2–4 of group `k`. Stage boundaries
+//! are barriers (a stage may read chunks the previous stage wrote).
+
+use crate::config::MemQSimConfig;
+use crate::engine::EngineError;
+use crate::engine::Granularity;
+use crate::planner::chunk_groups;
+use crate::specialize::{specialize, GroupContext, Specialized};
+use crate::store::CompressedStateVector;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use mq_circuit::{Circuit, Gate};
+use mq_device::{Device, DeviceBuffer, PinnedBuffer, StreamStats};
+use mq_num::parallel::par_for;
+use mq_num::Complex64;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Report from a hybrid run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridRunReport {
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Cumulative CPU time decompressing chunks.
+    pub decompress: Duration,
+    /// Cumulative CPU time recompressing chunks.
+    pub compress: Duration,
+    /// Cumulative CPU time applying gates on the CPU share of groups.
+    pub cpu_apply: Duration,
+    /// Device-side accounting (modeled H2D/kernel/D2H and real time).
+    pub device: StreamStats,
+    /// Groups routed through the device.
+    pub groups_device: usize,
+    /// Groups handled by CPU idle cores (step 5).
+    pub groups_cpu: usize,
+    /// Stages executed.
+    pub stages: usize,
+    /// Peak resident compressed bytes.
+    pub peak_compressed_bytes: usize,
+    /// Host pinned staging bytes held by the pipeline.
+    pub pinned_bytes: usize,
+    /// Device working-buffer bytes held by the pipeline.
+    pub device_buffer_bytes: usize,
+    /// Modeled end-to-end time with no overlap (sum of all phases).
+    pub modeled_serial: Duration,
+    /// Modeled end-to-end time with perfect phase overlap
+    /// (max of CPU-side and device-side busy time).
+    pub modeled_overlapped: Duration,
+}
+
+/// One unit of pipeline work: a chunk group, staged and specialized.
+struct Work {
+    group: Vec<usize>,
+    amps: usize,
+    slot: usize,
+    gates: Vec<Gate>,
+    scalar: Complex64,
+}
+
+enum ToDevice {
+    Work(Work),
+    StageEnd,
+}
+
+enum ToCompleter {
+    Work(Work, mq_device::Event),
+    StageEnd,
+}
+
+/// Runs `circuit` against `store` through `device`. With `pipelined =
+/// false` every group completes before the next starts (the Fig. 2 ablation
+/// baseline); with `true` the three roles overlap.
+pub fn run(
+    store: &CompressedStateVector,
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    device: &Device,
+    pipelined: bool,
+) -> Result<HybridRunReport, EngineError> {
+    cfg.validate().map_err(EngineError::Config)?;
+    assert_eq!(store.n_qubits(), circuit.n_qubits(), "width mismatch");
+    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
+    assert_eq!(store.chunk_bits(), chunk_bits, "store chunk size mismatch");
+
+    let plan = super::cpu::build_plan(circuit, cfg, Granularity::Staged);
+    let chunk_amps = store.chunk_amps();
+    let max_group_amps = chunk_amps << cfg.max_high_qubits;
+    let slots = cfg.pipeline_buffers.max(1);
+
+    // Staging: `slots` pinned host buffers + matching device buffers.
+    let pinned: Vec<PinnedBuffer> = (0..slots)
+        .map(|_| PinnedBuffer::new(max_group_amps))
+        .collect();
+    let dev_bufs: Vec<DeviceBuffer> = (0..slots)
+        .map(|_| device.alloc(max_group_amps))
+        .collect::<Result<_, _>>()?;
+
+    let decompress_ns = AtomicU64::new(0);
+    let compress_ns = AtomicU64::new(0);
+    let cpu_apply_ns = AtomicU64::new(0);
+    let groups_cpu = AtomicUsize::new(0);
+    let groups_device = AtomicUsize::new(0);
+    let error: Mutex<Option<EngineError>> = Mutex::new(None);
+
+    let copy_stream = device.create_stream();
+    // Dual-stream mode actually uses three streams (upload / compute /
+    // download) so the next group's H2D overlaps this group's kernels and
+    // the previous group's D2H — the standard CUDA double-buffering shape.
+    let extra_streams = if cfg.dual_stream {
+        Some((device.create_stream(), device.create_stream()))
+    } else {
+        None
+    };
+    let t0 = Instant::now();
+
+    let result: Result<(), EngineError> = crossbeam::thread::scope(|scope| {
+        let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
+        let (to_completer_tx, to_completer_rx) = bounded::<ToCompleter>(slots);
+        let (pool_tx, pool_rx) = bounded::<usize>(slots);
+        let (stage_ack_tx, stage_ack_rx) = bounded::<()>(1);
+        for i in 0..slots {
+            pool_tx.send(i).expect("pool has capacity");
+        }
+
+        // --- device issuer ------------------------------------------------
+        let copy_ref = &copy_stream;
+        let extra_ref = extra_streams.as_ref();
+        let pinned_ref = &pinned;
+        let dev_bufs_ref = &dev_bufs;
+        scope.spawn(move |_| {
+            while let Ok(msg) = to_completer_forwarder(&to_device_rx) {
+                match msg {
+                    ToDevice::StageEnd => {
+                        if to_completer_tx.send(ToCompleter::StageEnd).is_err() {
+                            break;
+                        }
+                    }
+                    ToDevice::Work(work) => {
+                        let pb = &pinned_ref[work.slot];
+                        let db = dev_bufs_ref[work.slot];
+                        let event = match extra_ref {
+                            // Multi-stream: uploads, kernels and downloads
+                            // each get their own in-order stream, linked by
+                            // events, so group k+1's H2D overlaps group k's
+                            // kernels and group k-1's D2H — the paper's
+                            // step (3): kernels run "asynchronously during
+                            // the CPU-GPU data transfer".
+                            Some((compute, down)) => {
+                                copy_ref.h2d(pb, 0, db, 0, work.amps);
+                                let uploaded = copy_ref.record_event();
+                                compute.wait_event(&uploaded);
+                                for g in &work.gates {
+                                    compute.run_gate_region(db, work.amps, g.clone());
+                                }
+                                let kernels_done = compute.record_event();
+                                down.wait_event(&kernels_done);
+                                down.d2h(db, 0, pb, 0, work.amps);
+                                down.record_event()
+                            }
+                            None => {
+                                copy_ref.h2d(pb, 0, db, 0, work.amps);
+                                for g in &work.gates {
+                                    // The kernel operates on the leading
+                                    // `amps` region of the slot buffer.
+                                    copy_ref.run_gate_region(db, work.amps, g.clone());
+                                }
+                                copy_ref.d2h(db, 0, pb, 0, work.amps);
+                                copy_ref.record_event()
+                            }
+                        };
+                        if to_completer_tx
+                            .send(ToCompleter::Work(work, event))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        // --- completer / recompressor --------------------------------------
+        let compress_ref = &compress_ns;
+        let store_ref = store;
+        let groups_device_ref = &groups_device;
+        scope.spawn(move |_| {
+            while let Ok(msg) = to_completer_rx.recv() {
+                match msg {
+                    ToCompleter::StageEnd => {
+                        if stage_ack_tx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                    ToCompleter::Work(work, event) => {
+                        event.wait();
+                        let t = Instant::now();
+                        pinned_ref[work.slot].write(|data| {
+                            if work.scalar != Complex64::ONE {
+                                for z in &mut data[..work.amps] {
+                                    *z *= work.scalar;
+                                }
+                            }
+                            for (j, &chunk) in work.group.iter().enumerate() {
+                                store_ref.store_chunk(
+                                    chunk,
+                                    &data[j * chunk_amps..(j + 1) * chunk_amps],
+                                );
+                            }
+                        });
+                        compress_ref.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        groups_device_ref.fetch_add(1, Ordering::Relaxed);
+                        let _ = pool_tx.send(work.slot);
+                    }
+                }
+            }
+        });
+
+        // --- producer (this thread): decompress + specialize ---------------
+        'stages: for stage in &plan.stages {
+            let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+            let n_cpu = ((groups.len() as f64) * cfg.cpu_share).round() as usize;
+            let (cpu_groups, dev_groups) = groups.split_at(n_cpu.min(groups.len()));
+
+            // Step 5: idle-core CPU share, processed before device issue so
+            // both halves of the stage stay within the stage barrier.
+            if !cpu_groups.is_empty() {
+                process_groups_on_cpu(
+                    store,
+                    stage,
+                    cpu_groups,
+                    plan.chunk_bits,
+                    cfg.workers,
+                    &decompress_ns,
+                    &cpu_apply_ns,
+                    &compress_ns,
+                    &error,
+                );
+                groups_cpu.fetch_add(cpu_groups.len(), Ordering::Relaxed);
+                if error.lock().is_some() {
+                    break 'stages;
+                }
+            }
+
+            for group in dev_groups {
+                if error.lock().is_some() {
+                    break 'stages;
+                }
+                // Acquire a staging slot (poll so a dead completer cannot
+                // wedge the producer).
+                let slot = loop {
+                    match pool_rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(s) => break s,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if error.lock().is_some() {
+                                break 'stages;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break 'stages,
+                    }
+                };
+                let amps = group.len() * chunk_amps;
+                let t = Instant::now();
+                let mut failed = None;
+                pinned[slot].write(|data| {
+                    for (j, &chunk) in group.iter().enumerate() {
+                        if let Err(e) =
+                            store.load_chunk(chunk, &mut data[j * chunk_amps..(j + 1) * chunk_amps])
+                        {
+                            failed = Some(e);
+                            return;
+                        }
+                    }
+                });
+                if let Some(e) = failed {
+                    *error.lock() = Some(e.into());
+                    break 'stages;
+                }
+                decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                let ctx = GroupContext {
+                    chunk_bits: plan.chunk_bits,
+                    high: &stage.high_qubits,
+                    base_chunk: group[0],
+                };
+                let mut gates = Vec::new();
+                let mut scalar = Complex64::ONE;
+                for gate in &stage.gates {
+                    match specialize(gate, &ctx) {
+                        Specialized::Skip => {}
+                        Specialized::Scalar(s) => scalar *= s,
+                        Specialized::Apply(g) => gates.push(g),
+                    }
+                }
+                let work = Work {
+                    group: group.clone(),
+                    amps,
+                    slot,
+                    gates,
+                    scalar,
+                };
+                if to_device_tx.send(ToDevice::Work(work)).is_err() {
+                    break 'stages;
+                }
+                if !pipelined {
+                    // Serial ablation: drain the pipeline after every group.
+                    if to_device_tx.send(ToDevice::StageEnd).is_err() {
+                        break 'stages;
+                    }
+                    if stage_ack_rx.recv().is_err() {
+                        break 'stages;
+                    }
+                }
+            }
+            if pipelined {
+                if to_device_tx.send(ToDevice::StageEnd).is_err() {
+                    break 'stages;
+                }
+                if stage_ack_rx.recv().is_err() {
+                    break 'stages;
+                }
+            }
+        }
+        drop(to_device_tx); // shut the pipeline down
+        Ok(())
+    })
+    .expect("pipeline thread panicked");
+    result?;
+
+    let mut device_stats = copy_stream.synchronize()?;
+    if let Some((compute, down)) = &extra_streams {
+        for s in [compute.synchronize()?, down.synchronize()?] {
+            // Streams share the device epoch: the device is done when the
+            // last stream is; category busy-times add.
+            device_stats.modeled = device_stats.modeled.max(s.modeled);
+            device_stats.modeled_h2d += s.modeled_h2d;
+            device_stats.modeled_d2h += s.modeled_d2h;
+            device_stats.modeled_kernel += s.modeled_kernel;
+            device_stats.modeled_scatter += s.modeled_scatter;
+            device_stats.modeled_wait += s.modeled_wait;
+            device_stats.real += s.real;
+            device_stats.commands += s.commands;
+            device_stats.bytes_h2d += s.bytes_h2d;
+            device_stats.bytes_d2h += s.bytes_d2h;
+        }
+    }
+    let wall = t0.elapsed();
+
+    for db in dev_bufs {
+        device.free(db)?;
+    }
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+
+    let decompress = Duration::from_nanos(decompress_ns.into_inner());
+    let compress = Duration::from_nanos(compress_ns.into_inner());
+    let cpu_apply = Duration::from_nanos(cpu_apply_ns.into_inner());
+    let cpu_side = decompress + compress + cpu_apply;
+    Ok(HybridRunReport {
+        wall,
+        decompress,
+        compress,
+        cpu_apply,
+        device: device_stats,
+        groups_device: groups_device.into_inner(),
+        groups_cpu: groups_cpu.into_inner(),
+        stages: plan.stages.len(),
+        peak_compressed_bytes: store.peak_compressed_bytes(),
+        pinned_bytes: slots * max_group_amps * 16,
+        device_buffer_bytes: slots * max_group_amps * 16,
+        modeled_serial: cpu_side + device_stats.modeled,
+        modeled_overlapped: cpu_side.max(device_stats.modeled),
+    })
+}
+
+/// Forwards a receive, keeping the issuer loop tidy.
+fn to_completer_forwarder(
+    rx: &Receiver<ToDevice>,
+) -> Result<ToDevice, crossbeam::channel::RecvError> {
+    rx.recv()
+}
+
+/// Step 5: process a slice of groups entirely on CPU workers.
+#[allow(clippy::too_many_arguments)]
+fn process_groups_on_cpu(
+    store: &CompressedStateVector,
+    stage: &mq_circuit::partition::Stage,
+    groups: &[Vec<usize>],
+    chunk_bits: u32,
+    workers: usize,
+    decompress_ns: &AtomicU64,
+    apply_ns: &AtomicU64,
+    compress_ns: &AtomicU64,
+    error: &Mutex<Option<EngineError>>,
+) {
+    let chunk_amps = 1usize << chunk_bits;
+    par_for(groups.len(), workers, |gi| {
+        if error.lock().is_some() {
+            return;
+        }
+        let group = &groups[gi];
+        let mut buffer = vec![Complex64::ZERO; group.len() * chunk_amps];
+        let t = Instant::now();
+        for (j, &chunk) in group.iter().enumerate() {
+            if let Err(e) =
+                store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
+            {
+                *error.lock() = Some(e.into());
+                return;
+            }
+        }
+        decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let t = Instant::now();
+        let ctx = GroupContext {
+            chunk_bits,
+            high: &stage.high_qubits,
+            base_chunk: group[0],
+        };
+        for gate in &stage.gates {
+            match specialize(gate, &ctx) {
+                Specialized::Skip => {}
+                Specialized::Scalar(s) => {
+                    for z in buffer.iter_mut() {
+                        *z *= s;
+                    }
+                }
+                Specialized::Apply(g) => mq_statevec::apply::apply_gate(&mut buffer, &g, 1),
+            }
+        }
+        apply_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let t = Instant::now();
+        for (j, &chunk) in group.iter().enumerate() {
+            store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
+        }
+        compress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_circuit::library;
+    use mq_circuit::unitary::run_dense;
+    use mq_compress::CodecSpec;
+    use mq_device::DeviceSpec;
+    use mq_num::metrics::max_amp_err;
+    use std::sync::Arc;
+
+    fn cfg(chunk_bits: u32) -> MemQSimConfig {
+        MemQSimConfig {
+            chunk_bits,
+            max_high_qubits: 2,
+            codec: CodecSpec::Fpc,
+            workers: 1,
+            pipeline_buffers: 2,
+            cpu_share: 0.0,
+            dual_stream: false,
+            reorder: false,
+        }
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceSpec::tiny_test(1 << 20))
+    }
+
+    fn run_and_compare(
+        circuit: &Circuit,
+        config: &MemQSimConfig,
+        pipelined: bool,
+    ) -> HybridRunReport {
+        let store = CompressedStateVector::zero_state(
+            circuit.n_qubits(),
+            config.effective_chunk_bits(circuit.n_qubits()),
+            Arc::from(config.codec.build()),
+        );
+        let dev = device();
+        let report = run(&store, circuit, config, &dev, pipelined).unwrap();
+        let got = store.to_dense().unwrap();
+        let want = run_dense(circuit, 0);
+        let err = max_amp_err(&got, &want);
+        assert!(err < 1e-10, "{}: err {err}", circuit.name());
+        report
+    }
+
+    #[test]
+    fn suite_matches_dense_reference_pipelined() {
+        for c in library::standard_suite(6) {
+            let r = run_and_compare(&c, &cfg(3), true);
+            assert!(r.groups_device > 0, "{}", c.name());
+            assert!(r.device.modeled_h2d > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn suite_matches_dense_reference_serial() {
+        for c in library::standard_suite(6) {
+            run_and_compare(&c, &cfg(3), false);
+        }
+    }
+
+    #[test]
+    fn cpu_share_splits_work_and_stays_correct() {
+        let c = library::qft(7);
+        for share in [0.0, 0.3, 0.7, 1.0] {
+            let config = MemQSimConfig {
+                cpu_share: share,
+                ..cfg(3)
+            };
+            let r = run_and_compare(&c, &config, true);
+            if share == 0.0 {
+                assert_eq!(r.groups_cpu, 0);
+            }
+            if share == 1.0 {
+                assert_eq!(r.groups_device, 0);
+            }
+            if share > 0.0 && share < 1.0 {
+                assert!(r.groups_cpu > 0 && r.groups_device > 0, "share {share}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_pipeline_buffers_same_answer() {
+        let c = library::random_circuit(7, 6, 2);
+        for buffers in [1usize, 2, 4] {
+            let config = MemQSimConfig {
+                pipeline_buffers: buffers,
+                ..cfg(3)
+            };
+            run_and_compare(&c, &config, true);
+        }
+    }
+
+    #[test]
+    fn device_oom_surfaces_as_engine_error() {
+        let c = library::ghz(8);
+        let config = cfg(4);
+        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        // Device too small for even one staging buffer (2^(4+2) amps needed).
+        let dev = Device::new(DeviceSpec::tiny_test(8));
+        match run(&store, &c, &config, &dev, true) {
+            Err(EngineError::Device(mq_device::DeviceError::OutOfMemory { .. })) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modeled_overlap_never_exceeds_serial() {
+        let c = library::qft(7);
+        let r = run_and_compare(&c, &cfg(3), true);
+        assert!(r.modeled_overlapped <= r.modeled_serial);
+        assert_eq!(
+            r.modeled_serial,
+            r.decompress + r.compress + r.cpu_apply + r.device.modeled
+        );
+    }
+
+    #[test]
+    fn grover_through_the_full_pipeline() {
+        let n = 6;
+        let marked = 0b110101u64;
+        let c = library::grover(n, marked, library::optimal_grover_iterations(n));
+        let config = MemQSimConfig {
+            codec: CodecSpec::Sz { eb: 1e-11 },
+            ..cfg(3)
+        };
+        let store = CompressedStateVector::zero_state(n, 3, Arc::from(config.codec.build()));
+        let dev = device();
+        run(&store, &c, &config, &dev, true).unwrap();
+        let p = store.probability(marked as usize).unwrap();
+        assert!(p > 0.9, "p = {p}");
+    }
+
+    #[test]
+    fn report_byte_accounting() {
+        let c = library::ghz(7);
+        let r = run_and_compare(&c, &cfg(3), true);
+        // 2 slots * 2^(3+2) amps * 16 bytes.
+        assert_eq!(r.pinned_bytes, 2 * (1 << 5) * 16);
+        assert_eq!(r.device_buffer_bytes, r.pinned_bytes);
+        assert!(r.peak_compressed_bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod dual_stream_tests {
+    use super::*;
+    use mq_circuit::library;
+    use mq_circuit::unitary::run_dense;
+    use mq_compress::CodecSpec;
+    use mq_device::DeviceSpec;
+    use mq_num::metrics::max_amp_err;
+    use std::sync::Arc;
+
+    fn cfg(dual_stream: bool) -> MemQSimConfig {
+        MemQSimConfig {
+            chunk_bits: 3,
+            max_high_qubits: 2,
+            codec: CodecSpec::Fpc,
+            workers: 1,
+            pipeline_buffers: 2,
+            cpu_share: 0.0,
+            dual_stream,
+            reorder: false,
+        }
+    }
+
+    #[test]
+    fn dual_stream_matches_single_stream_exactly() {
+        for circuit in library::standard_suite(7) {
+            let mk = |ds: bool| {
+                let store =
+                    CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+                let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+                run(&store, &circuit, &cfg(ds), &dev, true).unwrap();
+                store.to_dense().unwrap()
+            };
+            let single = mk(false);
+            let dual = mk(true);
+            let err = max_amp_err(&single, &dual);
+            assert!(
+                err < 1e-12,
+                "{}: dual-stream drifted by {err}",
+                circuit.name()
+            );
+            assert!(max_amp_err(&dual, &run_dense(&circuit, 0)) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dual_stream_overlaps_the_modeled_device_clock() {
+        // Many groups with real kernel work: in dual-stream mode, group
+        // k+1's H2D overlaps group k's kernels, so the device finishes
+        // strictly earlier than the serial sum of its busy categories.
+        let circuit = library::supremacy_like(12, 6, 8);
+        let store = CompressedStateVector::zero_state(12, 3, Arc::from(CodecSpec::Fpc.build()));
+        let dev = Device::new(DeviceSpec::tiny_test(1 << 14));
+        let config = MemQSimConfig {
+            chunk_bits: 3,
+            ..cfg(true)
+        };
+        let r = run(&store, &circuit, &config, &dev, true).unwrap();
+        let busy = r.device.modeled_h2d
+            + r.device.modeled_d2h
+            + r.device.modeled_kernel
+            + r.device.modeled_scatter;
+        assert!(
+            r.device.modeled < busy,
+            "no overlap: end {:?} vs busy sum {:?}",
+            r.device.modeled,
+            busy
+        );
+        assert!(r.device.modeled_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn dual_stream_works_serial_and_with_cpu_share() {
+        let circuit = library::qft(8);
+        let want = run_dense(&circuit, 0);
+        for (pipelined, share) in [(false, 0.0), (true, 0.5)] {
+            let config = MemQSimConfig {
+                cpu_share: share,
+                ..cfg(true)
+            };
+            let store = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+            let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+            run(&store, &circuit, &config, &dev, pipelined).unwrap();
+            assert!(max_amp_err(&store.to_dense().unwrap(), &want) < 1e-10);
+        }
+    }
+}
+
+#[cfg(test)]
+mod max_high_one_tests {
+    use super::*;
+    use mq_circuit::library;
+    use mq_circuit::unitary::run_dense;
+    use mq_compress::CodecSpec;
+    use mq_device::DeviceSpec;
+    use mq_num::metrics::max_amp_err;
+    use std::sync::Arc;
+
+    #[test]
+    fn pair_only_scheduling_works_end_to_end() {
+        // max_high_qubits = 1: every cross-chunk stage handles exactly one
+        // pairing qubit, so groups are chunk *pairs* — the minimal working
+        // set (GHZ/W/BV never need more).
+        let cfg = MemQSimConfig {
+            chunk_bits: 3,
+            max_high_qubits: 1,
+            codec: CodecSpec::Fpc,
+            workers: 1,
+            pipeline_buffers: 2,
+            cpu_share: 0.0,
+            dual_stream: true,
+            reorder: true,
+        };
+        for circuit in [library::ghz(8), library::w_state(8)] {
+            let store =
+                CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+            let dev = Device::new(DeviceSpec::tiny_test(1 << 10));
+            run(&store, &circuit, &cfg, &dev, true).unwrap();
+            let err = max_amp_err(&store.to_dense().unwrap(), &run_dense(&circuit, 0));
+            assert!(err < 1e-10, "{}: {err}", circuit.name());
+        }
+    }
+}

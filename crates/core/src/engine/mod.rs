@@ -1,0 +1,59 @@
+//! The MEMQSIM execution engines.
+//!
+//! * [`cpu`] — the compressed CPU engine: decompress → apply stage →
+//!   recompress, chunk groups processed by "idle core" workers. Also hosts
+//!   the per-gate granularity baseline (Wu et al.\[6\]).
+//! * [`hybrid`] — the full paper pipeline (Fig. 2): CPU decompression,
+//!   pinned staging buffers, H2D, device gate kernels, D2H, CPU
+//!   recompression, overlapped across in-flight buffer slots.
+
+pub mod cpu;
+pub mod hybrid;
+
+use mq_compress::CodecError;
+use mq_device::DeviceError;
+use std::fmt;
+
+/// Errors surfaced by the engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A chunk failed to decompress (corruption or codec bug).
+    Codec(CodecError),
+    /// The simulated device failed (OOM, stale buffer, ...).
+    Device(DeviceError),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Codec(e) => write!(f, "codec error: {e}"),
+            EngineError::Device(e) => write!(f, "device error: {e}"),
+            EngineError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+impl From<DeviceError> for EngineError {
+    fn from(e: DeviceError) -> Self {
+        EngineError::Device(e)
+    }
+}
+
+/// Compression scheduling granularity — the paper's design challenge (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// One decompress→recompress round per *stage* (MEMQSIM).
+    Staged,
+    /// One round per *gate* (the Wu et al.\[6\] baseline).
+    PerGate,
+}

@@ -1,0 +1,468 @@
+//! Gate specialization for chunk-group buffers.
+//!
+//! When a stage executes, the engine assembles a buffer holding a *group*
+//! of `2^|H|` chunks (`H` = the stage's high pairing qubits). A circuit
+//! gate's qubits then fall into three classes:
+//!
+//! * **local** (`q < chunk_bits`) — same bit position inside the buffer;
+//! * **in `H`** — mapped to buffer bit `chunk_bits + rank(q in H)`;
+//! * **outside** — a high qubit not in `H`. Its value is *fixed* for the
+//!   whole group (every chunk in the group shares those bits), so the gate
+//!   specializes: controls drop away or kill the gate, diagonal action
+//!   collapses to a smaller gate or a global scalar.
+//!
+//! The planner guarantees outside qubits are never *paired* by the gate, so
+//! specialization is always possible; hitting the `unreachable!` arms means
+//! the plan was built with the wrong config.
+
+use mq_circuit::gate::Gate;
+use mq_circuit::matrix::Mat2;
+use mq_num::Complex64;
+
+/// The result of specializing one circuit gate to one chunk group.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // transient value, applied immediately
+pub enum Specialized {
+    /// The gate does not touch this group at all.
+    Skip,
+    /// The gate multiplies the whole group buffer by a scalar.
+    Scalar(Complex64),
+    /// The gate acts inside the buffer with remapped qubit indices.
+    Apply(Gate),
+}
+
+/// Context for specialization: the chunk geometry and the group identity.
+#[derive(Debug, Clone)]
+pub struct GroupContext<'a> {
+    /// log2 amplitudes per chunk.
+    pub chunk_bits: u32,
+    /// The stage's high pairing qubits, sorted ascending.
+    pub high: &'a [u32],
+    /// Any chunk index belonging to the group (its non-`high` high bits
+    /// identify the group; its `high` bits are ignored).
+    pub base_chunk: usize,
+}
+
+impl<'a> GroupContext<'a> {
+    /// Buffer width in qubits: chunk bits + one per high qubit.
+    pub fn buffer_qubits(&self) -> u32 {
+        self.chunk_bits + self.high.len() as u32
+    }
+
+    /// Classifies a global qubit: `Ok(local_index)` if representable in the
+    /// buffer, `Err(bit_value)` if outside (with its fixed value).
+    fn map(&self, q: u32) -> Result<u32, bool> {
+        if q < self.chunk_bits {
+            return Ok(q);
+        }
+        if let Some(rank) = self.high.iter().position(|&h| h == q) {
+            return Ok(self.chunk_bits + rank as u32);
+        }
+        Err((self.base_chunk >> (q - self.chunk_bits)) & 1 == 1)
+    }
+}
+
+/// Specializes `gate` to the chunk group described by `ctx`.
+pub fn specialize(gate: &Gate, ctx: &GroupContext<'_>) -> Specialized {
+    use Gate::*;
+    match gate {
+        // --- single-qubit gates -------------------------------------------
+        H(q) | X(q) | Y(q) | Sx(q) | Sxdg(q) | Rx(q, _) | Ry(q, _) | U3(q, _, _, _) => {
+            match ctx.map(*q) {
+                Ok(l) => Specialized::Apply(remap_1q(gate, l)),
+                Err(_) => unreachable!("pairing gate {gate} on outside qubit"),
+            }
+        }
+        Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | Rz(q, _) | P(q, _) => match ctx.map(*q) {
+            Ok(l) => Specialized::Apply(remap_1q(gate, l)),
+            Err(bit) => scalar_from_diag(diag_of_1q(gate), bit),
+        },
+        U1q(q, m) => match ctx.map(*q) {
+            Ok(l) => Specialized::Apply(U1q(l, *m)),
+            Err(bit) => {
+                assert!(m.is_diagonal(0.0), "pairing U1q on outside qubit");
+                scalar_from_diag((m.0[0], m.0[3]), bit)
+            }
+        },
+        // --- controlled-pairing gates -------------------------------------
+        Cx(c, t) | Cy(c, t) => {
+            let target = match ctx.map(*t) {
+                Ok(l) => l,
+                Err(_) => unreachable!("pairing target of {gate} outside buffer"),
+            };
+            match ctx.map(*c) {
+                Ok(lc) => Specialized::Apply(match gate {
+                    Cx(..) => Cx(lc, target),
+                    _ => Cy(lc, target),
+                }),
+                Err(false) => Specialized::Skip,
+                Err(true) => Specialized::Apply(match gate {
+                    Cx(..) => X(target),
+                    _ => Y(target),
+                }),
+            }
+        }
+        // --- diagonal two-qubit gates --------------------------------------
+        Cz(a, b) => specialize_diag2(ctx, *a, *b, |ba, bb| {
+            if ba && bb {
+                -Complex64::ONE
+            } else {
+                Complex64::ONE
+            }
+        }),
+        Cp(a, b, l) => {
+            let phase = Complex64::cis(*l);
+            specialize_diag2(
+                ctx,
+                *a,
+                *b,
+                move |ba, bb| {
+                    if ba && bb {
+                        phase
+                    } else {
+                        Complex64::ONE
+                    }
+                },
+            )
+        }
+        Rzz(a, b, t) => {
+            let e_m = Complex64::cis(-t / 2.0);
+            let e_p = Complex64::cis(t / 2.0);
+            specialize_diag2(ctx, *a, *b, move |ba, bb| if ba == bb { e_m } else { e_p })
+        }
+        // --- two-qubit pairing gates ----------------------------------------
+        Swap(a, b) => match (ctx.map(*a), ctx.map(*b)) {
+            (Ok(la), Ok(lb)) => Specialized::Apply(Swap(la, lb)),
+            _ => unreachable!("swap pairs both qubits; planner must cover them"),
+        },
+        U2q(a, b, m) => match (ctx.map(*a), ctx.map(*b)) {
+            (Ok(la), Ok(lb)) => Specialized::Apply(U2q(la, lb, *m)),
+            _ => unreachable!("u2q pairs both qubits; planner must cover them"),
+        },
+        // --- multi-controlled ----------------------------------------------
+        Mcu {
+            controls,
+            target,
+            u,
+        } => {
+            let mut kept: Vec<u32> = Vec::with_capacity(controls.len());
+            for &c in controls {
+                match ctx.map(c) {
+                    Ok(l) => kept.push(l),
+                    Err(false) => return Specialized::Skip,
+                    Err(true) => {} // satisfied control drops away
+                }
+            }
+            match ctx.map(*target) {
+                Ok(lt) => {
+                    kept.sort_unstable();
+                    if kept.is_empty() {
+                        Specialized::Apply(U1q(lt, *u))
+                    } else {
+                        Specialized::Apply(Mcu {
+                            controls: kept,
+                            target: lt,
+                            u: *u,
+                        })
+                    }
+                }
+                Err(bit) => {
+                    // Outside target: must be diagonal (planner guarantee).
+                    assert!(u.is_diagonal(0.0), "pairing mcu target outside buffer");
+                    let scalar = if bit { u.0[3] } else { u.0[0] };
+                    controlled_scalar(&kept, scalar)
+                }
+            }
+        }
+    }
+}
+
+/// Remaps a plain single-qubit gate to a new qubit index.
+fn remap_1q(gate: &Gate, l: u32) -> Gate {
+    use Gate::*;
+    match gate {
+        H(_) => H(l),
+        X(_) => X(l),
+        Y(_) => Y(l),
+        Z(_) => Z(l),
+        S(_) => S(l),
+        Sdg(_) => Sdg(l),
+        T(_) => T(l),
+        Tdg(_) => Tdg(l),
+        Sx(_) => Sx(l),
+        Sxdg(_) => Sxdg(l),
+        Rx(_, t) => Rx(l, *t),
+        Ry(_, t) => Ry(l, *t),
+        Rz(_, t) => Rz(l, *t),
+        P(_, p) => P(l, *p),
+        U3(_, a, b, c) => U3(l, *a, *b, *c),
+        U1q(_, m) => U1q(l, *m),
+        _ => unreachable!("not a 1q gate"),
+    }
+}
+
+/// Diagonal `(d0, d1)` of a diagonal single-qubit gate.
+fn diag_of_1q(gate: &Gate) -> (Complex64, Complex64) {
+    let m = gate.mat2().expect("diagonal 1q gate");
+    (m.0[0], m.0[3])
+}
+
+fn scalar_from_diag(d: (Complex64, Complex64), bit: bool) -> Specialized {
+    let s = if bit { d.1 } else { d.0 };
+    if s == Complex64::ONE {
+        Specialized::Skip
+    } else {
+        Specialized::Scalar(s)
+    }
+}
+
+/// Specializes a diagonal 2q gate with diagonal factor `f(bit_a, bit_b)`.
+fn specialize_diag2(
+    ctx: &GroupContext<'_>,
+    a: u32,
+    b: u32,
+    f: impl Fn(bool, bool) -> Complex64,
+) -> Specialized {
+    match (ctx.map(a), ctx.map(b)) {
+        (Ok(la), Ok(lb)) => {
+            // Representable: emit as U2q? Cheaper: keep as a diagonal gate.
+            // Reconstruct the original gate shape via a diagonal U2q.
+            let mut m = mq_circuit::matrix::Mat4::identity();
+            m.0[0] = f(false, false);
+            m.0[5] = f(true, false);
+            m.0[10] = f(false, true);
+            m.0[15] = f(true, true);
+            Specialized::Apply(Gate::U2q(la, lb, m))
+        }
+        (Ok(la), Err(bb)) => diag1_apply(la, f(false, bb), f(true, bb)),
+        (Err(ba), Ok(lb)) => diag1_apply(lb, f(ba, false), f(ba, true)),
+        (Err(ba), Err(bb)) => {
+            let s = f(ba, bb);
+            if s == Complex64::ONE {
+                Specialized::Skip
+            } else {
+                Specialized::Scalar(s)
+            }
+        }
+    }
+}
+
+fn diag1_apply(l: u32, d0: Complex64, d1: Complex64) -> Specialized {
+    if d0 == Complex64::ONE && d1 == Complex64::ONE {
+        return Specialized::Skip;
+    }
+    Specialized::Apply(Gate::U1q(
+        l,
+        Mat2::new(d0, Complex64::ZERO, Complex64::ZERO, d1),
+    ))
+}
+
+/// "Multiply amplitudes with all `controls` set by `scalar`" as a gate.
+fn controlled_scalar(controls: &[u32], scalar: Complex64) -> Specialized {
+    if scalar == Complex64::ONE {
+        return Specialized::Skip;
+    }
+    let mut cs = controls.to_vec();
+    cs.sort_unstable();
+    match cs.split_last() {
+        None => Specialized::Scalar(scalar),
+        Some((&last, rest)) => {
+            let u = Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, scalar);
+            if rest.is_empty() {
+                Specialized::Apply(Gate::U1q(last, u))
+            } else {
+                Specialized::Apply(Gate::Mcu {
+                    controls: rest.to_vec(),
+                    target: last,
+                    u,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_num::complex::c64;
+
+    fn ctx<'a>(chunk_bits: u32, high: &'a [u32], base_chunk: usize) -> GroupContext<'a> {
+        GroupContext {
+            chunk_bits,
+            high,
+            base_chunk,
+        }
+    }
+
+    #[test]
+    fn local_gates_pass_through_unchanged() {
+        let c = ctx(4, &[], 0);
+        assert_eq!(specialize(&Gate::H(2), &c), Specialized::Apply(Gate::H(2)));
+        assert_eq!(
+            specialize(&Gate::Cx(1, 3), &c),
+            Specialized::Apply(Gate::Cx(1, 3))
+        );
+    }
+
+    #[test]
+    fn high_qubits_remap_to_buffer_top() {
+        // chunk_bits=4, H = [6, 9]: qubit 6 -> 4, qubit 9 -> 5.
+        let c = ctx(4, &[6, 9], 0);
+        assert_eq!(specialize(&Gate::H(6), &c), Specialized::Apply(Gate::H(4)));
+        assert_eq!(
+            specialize(&Gate::Cx(9, 2), &c),
+            Specialized::Apply(Gate::Cx(5, 2))
+        );
+        assert_eq!(
+            specialize(&Gate::Swap(6, 9), &c),
+            Specialized::Apply(Gate::Swap(4, 5))
+        );
+    }
+
+    #[test]
+    fn outside_control_skips_or_drops() {
+        // qubit 7 outside; base_chunk bit (7-4)=3 decides.
+        let c0 = ctx(4, &[], 0b0000);
+        assert_eq!(specialize(&Gate::Cx(7, 1), &c0), Specialized::Skip);
+        let c1 = ctx(4, &[], 0b1000);
+        assert_eq!(
+            specialize(&Gate::Cx(7, 1), &c1),
+            Specialized::Apply(Gate::X(1))
+        );
+    }
+
+    #[test]
+    fn outside_diagonal_1q_becomes_scalar() {
+        let c1 = ctx(4, &[], 0b0010); // qubit 5 bit = 1
+        match specialize(&Gate::Z(5), &c1) {
+            Specialized::Scalar(s) => assert!(s.approx_eq(c64(-1.0, 0.0), 1e-15)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let c0 = ctx(4, &[], 0b0000);
+        assert_eq!(specialize(&Gate::Z(5), &c0), Specialized::Skip);
+        // Rz has a phase on both bit values.
+        match specialize(&Gate::Rz(5, 1.0), &c0) {
+            Specialized::Scalar(s) => assert!(s.approx_eq(Complex64::cis(-0.5), 1e-15)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cz_with_one_outside_qubit() {
+        // Cz(local 2, outside 6): bit=1 -> Z(2) as diagonal U1q.
+        let c1 = ctx(4, &[], 0b0100);
+        match specialize(&Gate::Cz(2, 6), &c1) {
+            Specialized::Apply(Gate::U1q(2, m)) => {
+                assert!(m.0[0].approx_eq(Complex64::ONE, 1e-15));
+                assert!(m.0[3].approx_eq(c64(-1.0, 0.0), 1e-15));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let c0 = ctx(4, &[], 0);
+        assert_eq!(specialize(&Gate::Cz(2, 6), &c0), Specialized::Skip);
+    }
+
+    #[test]
+    fn cz_with_both_outside_qubits() {
+        let c11 = ctx(2, &[], 0b11); // qubits 2 and 3 both 1
+        match specialize(&Gate::Cz(2, 3), &c11) {
+            Specialized::Scalar(s) => assert!(s.approx_eq(c64(-1.0, 0.0), 1e-15)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let c01 = ctx(2, &[], 0b01);
+        assert_eq!(specialize(&Gate::Cz(2, 3), &c01), Specialized::Skip);
+    }
+
+    #[test]
+    fn rzz_specializations() {
+        let t = 0.8;
+        // One outside (bit 0): Rz-like diagonal on the local qubit.
+        let c = ctx(4, &[], 0);
+        match specialize(&Gate::Rzz(1, 6, t), &c) {
+            Specialized::Apply(Gate::U1q(1, m)) => {
+                assert!(m.0[0].approx_eq(Complex64::cis(-t / 2.0), 1e-15));
+                assert!(m.0[3].approx_eq(Complex64::cis(t / 2.0), 1e-15));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Both outside, equal bits: scalar e^{-it/2}.
+        let c11 = ctx(2, &[], 0b11);
+        match specialize(&Gate::Rzz(2, 3, t), &c11) {
+            Specialized::Scalar(s) => assert!(s.approx_eq(Complex64::cis(-t / 2.0), 1e-15)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mcu_with_outside_controls() {
+        // mcx(controls=[5,6], target=1), chunk_bits=4.
+        let g = Gate::mcx(&[5, 6], 1);
+        // Both outside controls satisfied: bare X (as a fused U1q).
+        let c = ctx(4, &[], 0b0110);
+        assert_eq!(
+            specialize(&g, &c),
+            Specialized::Apply(Gate::U1q(1, mq_circuit::gate::mat2_x()))
+        );
+        // One unsatisfied: skip.
+        let c = ctx(4, &[], 0b0100);
+        assert_eq!(specialize(&g, &c), Specialized::Skip);
+        // Mixed: control 2 local, control 6 outside satisfied.
+        let g2 = Gate::mcx(&[2, 6], 1);
+        let c = ctx(4, &[], 0b0100);
+        assert_eq!(
+            specialize(&g2, &c),
+            Specialized::Apply(Gate::Mcu {
+                controls: vec![2],
+                target: 1,
+                u: mq_circuit::gate::mat2_x()
+            })
+        );
+    }
+
+    #[test]
+    fn diagonal_mcu_with_outside_target() {
+        // mcz(controls=[1], target=7): outside target bit=1 -> controlled
+        // scalar -1 on qubit 1 = U1q diag(1, -1) = Z.
+        let g = Gate::mcz(&[1], 7);
+        let c = ctx(4, &[], 0b1000);
+        match specialize(&g, &c) {
+            Specialized::Apply(Gate::U1q(1, m)) => {
+                assert!(m.0[3].approx_eq(c64(-1.0, 0.0), 1e-15));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Target bit = 0: diag entry is 1 -> skip.
+        let c = ctx(4, &[], 0);
+        assert_eq!(specialize(&g, &c), Specialized::Skip);
+    }
+
+    #[test]
+    fn mcu_all_outside_becomes_scalar() {
+        // mcp(controls=[5], target=6, pi): both outside, both bits 1.
+        let g = Gate::mcp(&[5], 6, std::f64::consts::PI);
+        let c = ctx(4, &[], 0b0110);
+        match specialize(&g, &c) {
+            Specialized::Scalar(s) => assert!(s.approx_eq(c64(-1.0, 0.0), 1e-12)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_qubit_diag2_stays_in_buffer() {
+        // Cp between a local and an H qubit: full U2q inside the buffer.
+        let high = [6u32];
+        let c = ctx(4, &high, 0);
+        match specialize(&Gate::Cp(2, 6, 0.3), &c) {
+            Specialized::Apply(Gate::U2q(2, 4, m)) => {
+                assert!(m.0[15].approx_eq(Complex64::cis(0.3), 1e-15));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_qubits_counts_high() {
+        assert_eq!(ctx(4, &[], 0).buffer_qubits(), 4);
+        assert_eq!(ctx(4, &[6, 9], 0).buffer_qubits(), 6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Device error types.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation exceeds free device memory.
+    OutOfMemory {
+        /// Amplitudes requested.
+        requested: usize,
+        /// Amplitudes currently free.
+        available: usize,
+    },
+    /// A buffer handle does not refer to a live allocation.
+    InvalidBuffer,
+    /// An access range falls outside its buffer.
+    RangeOutOfBounds {
+        /// Start offset of the access (amplitudes).
+        offset: usize,
+        /// Length of the access (amplitudes).
+        len: usize,
+        /// Buffer capacity (amplitudes).
+        buffer_len: usize,
+    },
+    /// The stream worker has shut down (e.g. it panicked).
+    StreamClosed,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} amps, {available} free"
+            ),
+            DeviceError::InvalidBuffer => write!(f, "invalid device buffer handle"),
+            DeviceError::RangeOutOfBounds {
+                offset,
+                len,
+                buffer_len,
+            } => write!(
+                f,
+                "device access [{offset}, {offset}+{len}) outside buffer of {buffer_len} amps"
+            ),
+            DeviceError::StreamClosed => write!(f, "device stream is closed"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

@@ -1,0 +1,348 @@
+//! Device memory: a capacity-limited arena with a first-fit free-list
+//! allocator, plus pinned host buffers for DMA staging.
+//!
+//! The arena *is* the simulated DRAM: one host allocation of
+//! `spec.memory_amps` amplitudes. Buffer handles are `(id, offset, len)`
+//! triples validated on every access, so use-after-free and out-of-bounds
+//! ranges surface as typed [`DeviceError`]s instead of silent corruption.
+
+use crate::error::DeviceError;
+use mq_num::Complex64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An owned handle to a device allocation. Obtained from `Device::alloc`
+/// and released with `Device::free`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceBuffer {
+    pub(crate) id: u64,
+    /// Capacity in amplitudes.
+    pub(crate) len: usize,
+}
+
+impl DeviceBuffer {
+    /// Capacity in amplitudes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A pinned host staging buffer, shareable with stream workers (stands in
+/// for page-locked memory registered with the driver).
+#[derive(Debug, Clone)]
+pub struct PinnedBuffer {
+    data: Arc<Mutex<Vec<Complex64>>>,
+}
+
+impl PinnedBuffer {
+    /// Allocates a zeroed pinned buffer of `amps` amplitudes.
+    pub fn new(amps: usize) -> PinnedBuffer {
+        PinnedBuffer {
+            data: Arc::new(Mutex::new(vec![Complex64::ZERO; amps])),
+        }
+    }
+
+    /// Creates a pinned buffer from existing amplitudes.
+    pub fn from_slice(amps: &[Complex64]) -> PinnedBuffer {
+        PinnedBuffer {
+            data: Arc::new(Mutex::new(amps.to_vec())),
+        }
+    }
+
+    /// Buffer length in amplitudes.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// True for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` with read access to the contents.
+    pub fn read<R>(&self, f: impl FnOnce(&[Complex64]) -> R) -> R {
+        f(&self.data.lock())
+    }
+
+    /// Runs `f` with write access to the contents.
+    pub fn write<R>(&self, f: impl FnOnce(&mut [Complex64]) -> R) -> R {
+        f(&mut self.data.lock())
+    }
+
+    /// Copies the contents out.
+    pub fn to_vec(&self) -> Vec<Complex64> {
+        self.data.lock().clone()
+    }
+
+    pub(crate) fn lock(&self) -> parking_lot::MutexGuard<'_, Vec<Complex64>> {
+        self.data.lock()
+    }
+}
+
+/// One live allocation inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct Allocation {
+    offset: usize,
+    len: usize,
+}
+
+/// The arena allocator state.
+///
+/// The backing `storage` is grown lazily: a 16 GiB simulated card does not
+/// pin 16 GiB of host RAM — only the high-water mark of *touched* device
+/// memory is backed (zero-filled on first touch, like real DRAM after
+/// `cudaMalloc` + `cudaMemset`).
+#[derive(Debug)]
+pub(crate) struct Arena {
+    /// Simulated device DRAM (lazily grown to `capacity`).
+    pub(crate) storage: Vec<Complex64>,
+    /// Advertised capacity in amplitudes.
+    capacity: usize,
+    /// Live allocations by buffer id.
+    live: HashMap<u64, Allocation>,
+    /// Sorted free list of `(offset, len)` holes.
+    free: Vec<(usize, usize)>,
+    next_id: u64,
+}
+
+impl Arena {
+    pub(crate) fn new(capacity_amps: usize) -> Arena {
+        Arena {
+            storage: Vec::new(),
+            capacity: capacity_amps,
+            live: HashMap::new(),
+            free: vec![(0, capacity_amps)],
+            next_id: 1,
+        }
+    }
+
+    /// Total capacity in amplitudes.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ensures the backing store covers `..end` (zero-filled growth).
+    fn ensure_backed(&mut self, end: usize) {
+        if self.storage.len() < end {
+            self.storage.resize(end, Complex64::ZERO);
+        }
+    }
+
+    /// Amplitudes currently allocated.
+    pub(crate) fn used(&self) -> usize {
+        self.live.values().map(|a| a.len).sum()
+    }
+
+    /// Amplitudes free (possibly fragmented).
+    pub(crate) fn available(&self) -> usize {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// First-fit allocation.
+    pub(crate) fn alloc(&mut self, amps: usize) -> Result<DeviceBuffer, DeviceError> {
+        if amps == 0 {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.live.insert(id, Allocation { offset: 0, len: 0 });
+            return Ok(DeviceBuffer { id, len: 0 });
+        }
+        let slot = self.free.iter().position(|&(_, l)| l >= amps);
+        match slot {
+            Some(k) => {
+                let (off, l) = self.free[k];
+                if l == amps {
+                    self.free.remove(k);
+                } else {
+                    self.free[k] = (off + amps, l - amps);
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                self.live.insert(
+                    id,
+                    Allocation {
+                        offset: off,
+                        len: amps,
+                    },
+                );
+                Ok(DeviceBuffer { id, len: amps })
+            }
+            None => Err(DeviceError::OutOfMemory {
+                requested: amps,
+                available: self.available(),
+            }),
+        }
+    }
+
+    /// Frees a buffer, coalescing adjacent holes.
+    pub(crate) fn free(&mut self, buf: DeviceBuffer) -> Result<(), DeviceError> {
+        let alloc = self
+            .live
+            .remove(&buf.id)
+            .ok_or(DeviceError::InvalidBuffer)?;
+        if alloc.len == 0 {
+            return Ok(());
+        }
+        let pos = self
+            .free
+            .binary_search_by_key(&alloc.offset, |&(o, _)| o)
+            .unwrap_err();
+        self.free.insert(pos, (alloc.offset, alloc.len));
+        // Coalesce around `pos`.
+        if pos + 1 < self.free.len() {
+            let (o, l) = self.free[pos];
+            let (no, nl) = self.free[pos + 1];
+            if o + l == no {
+                self.free[pos] = (o, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (po, pl) = self.free[pos - 1];
+            let (o, l) = self.free[pos];
+            if po + pl == o {
+                self.free[pos - 1] = (po, pl + l);
+                self.free.remove(pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a `(buffer, offset, len)` access to an arena range, growing
+    /// the lazy backing store to cover it.
+    pub(crate) fn resolve(
+        &mut self,
+        buf: DeviceBuffer,
+        offset: usize,
+        len: usize,
+    ) -> Result<std::ops::Range<usize>, DeviceError> {
+        let alloc = self.live.get(&buf.id).ok_or(DeviceError::InvalidBuffer)?;
+        if offset.checked_add(len).is_none_or(|end| end > alloc.len) {
+            return Err(DeviceError::RangeOutOfBounds {
+                offset,
+                len,
+                buffer_len: alloc.len,
+            });
+        }
+        let start = alloc.offset + offset;
+        self.ensure_backed(start + len);
+        Ok(start..start + len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_num::complex::c64;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut a = Arena::new(1000);
+        assert_eq!(a.capacity(), 1000);
+        let b1 = a.alloc(400).unwrap();
+        let b2 = a.alloc(400).unwrap();
+        assert_eq!(a.used(), 800);
+        assert_eq!(a.available(), 200);
+        assert!(a.alloc(300).is_err());
+        a.free(b1).unwrap();
+        assert_eq!(a.available(), 600);
+        // Fragmented: 400 hole + 200 tail; 500 contiguous fails.
+        assert!(matches!(a.alloc(500), Err(DeviceError::OutOfMemory { .. })));
+        let b3 = a.alloc(400).unwrap();
+        a.free(b2).unwrap();
+        a.free(b3).unwrap();
+        // Fully coalesced again.
+        let big = a.alloc(1000).unwrap();
+        assert_eq!(big.len(), 1000);
+    }
+
+    #[test]
+    fn oom_reports_availability() {
+        let mut a = Arena::new(100);
+        let _b = a.alloc(60).unwrap();
+        match a.alloc(50) {
+            Err(DeviceError::OutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 50);
+                assert_eq!(available, 40);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_is_invalid_buffer() {
+        let mut a = Arena::new(100);
+        let b = a.alloc(10).unwrap();
+        a.free(b).unwrap();
+        assert_eq!(a.free(b), Err(DeviceError::InvalidBuffer));
+    }
+
+    #[test]
+    fn resolve_validates_ranges() {
+        let mut a = Arena::new(100);
+        let b = a.alloc(10).unwrap();
+        assert!(a.resolve(b, 0, 10).is_ok());
+        assert!(a.resolve(b, 5, 5).is_ok());
+        assert!(matches!(
+            a.resolve(b, 5, 6),
+            Err(DeviceError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            a.resolve(b, usize::MAX, 2),
+            Err(DeviceError::RangeOutOfBounds { .. })
+        ));
+        let stale = b;
+        a.free(b).unwrap();
+        assert_eq!(a.resolve(stale, 0, 1), Err(DeviceError::InvalidBuffer));
+    }
+
+    #[test]
+    fn zero_length_allocations() {
+        let mut a = Arena::new(10);
+        let z = a.alloc(0).unwrap();
+        assert!(z.is_empty());
+        assert_eq!(a.used(), 0);
+        a.free(z).unwrap();
+    }
+
+    #[test]
+    fn coalescing_merges_three_way() {
+        let mut a = Arena::new(300);
+        let b1 = a.alloc(100).unwrap();
+        let b2 = a.alloc(100).unwrap();
+        let b3 = a.alloc(100).unwrap();
+        a.free(b1).unwrap();
+        a.free(b3).unwrap();
+        a.free(b2).unwrap(); // middle free must merge all three
+        assert_eq!(a.free.len(), 1);
+        assert_eq!(a.free[0], (0, 300));
+    }
+
+    #[test]
+    fn pinned_buffer_read_write() {
+        let p = PinnedBuffer::new(4);
+        assert_eq!(p.len(), 4);
+        p.write(|d| d[2] = c64(1.0, -1.0));
+        assert_eq!(p.read(|d| d[2]), c64(1.0, -1.0));
+        let v = p.to_vec();
+        assert_eq!(v[2], c64(1.0, -1.0));
+        let q = PinnedBuffer::from_slice(&v);
+        assert_eq!(q.to_vec(), v);
+    }
+
+    #[test]
+    fn pinned_buffer_is_shared() {
+        let p = PinnedBuffer::new(1);
+        let p2 = p.clone();
+        p.write(|d| d[0] = c64(2.0, 0.0));
+        assert_eq!(p2.read(|d| d[0]), c64(2.0, 0.0));
+    }
+}

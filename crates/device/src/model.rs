@@ -1,0 +1,179 @@
+//! The device cost model.
+//!
+//! Every command a [`Stream`](crate::stream::Stream) executes is charged a
+//! deterministic *modeled* duration from this spec, alongside the real work
+//! it performs. The default calibration reproduces the paper's Table 1
+//! within a few percent (see `transfer::tests::table1_shape`): the paper's
+//! numbers are dominated by (a) per-API-call launch overhead and (b) PCIe
+//! bandwidth asymmetry, both of which are explicit parameters here.
+
+use std::time::Duration;
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Device memory capacity in amplitudes (16 bytes each).
+    pub memory_amps: usize,
+    /// Host-to-device bandwidth, bytes/second.
+    pub h2d_bandwidth: f64,
+    /// Device-to-host bandwidth, bytes/second.
+    pub d2h_bandwidth: f64,
+    /// Per-call overhead of an H2D copy (driver + launch), seconds.
+    pub h2d_call_overhead: f64,
+    /// Per-call overhead of a D2H copy, seconds.
+    pub d2h_call_overhead: f64,
+    /// Kernel launch overhead, seconds.
+    pub kernel_launch_overhead: f64,
+    /// Gate-kernel throughput, amplitudes/second.
+    pub kernel_amp_throughput: f64,
+    /// Scatter/gather kernel throughput, amplitudes/second.
+    pub scatter_amp_throughput: f64,
+}
+
+impl DeviceSpec {
+    /// The calibration used throughout the experiments: a PCIe-gen3 datacenter
+    /// card. Chosen so the three Table 1 strategies land on the paper's
+    /// measurements:
+    ///
+    /// * 20q sync: 0.003 s H2D / 0.008 s D2H (paper: 0.003 / 0.008)
+    /// * 25q sync: 0.089 s H2D / 0.244 s D2H (paper: 0.080 / 0.233)
+    /// * 20q async-per-element: 2.6 s / 9.2 s (paper: 2.7 / 9.2)
+    /// * buffer strategy ≈ 1.03x sync
+    pub fn pcie_gen3() -> DeviceSpec {
+        DeviceSpec {
+            name: "sim-pcie-gen3".to_string(),
+            // 16 GiB card.
+            memory_amps: (16usize << 30) / 16,
+            h2d_bandwidth: 6.0e9,
+            d2h_bandwidth: 2.2e9,
+            h2d_call_overhead: 2.5e-6,
+            d2h_call_overhead: 8.8e-6,
+            kernel_launch_overhead: 5.0e-6,
+            kernel_amp_throughput: 2.0e10,
+            scatter_amp_throughput: 1.4e10,
+        }
+    }
+
+    /// A small test device: tiny memory so OOM paths are easy to exercise,
+    /// fast model constants so tests don't accumulate huge modeled times.
+    pub fn tiny_test(memory_amps: usize) -> DeviceSpec {
+        DeviceSpec {
+            name: "sim-tiny".to_string(),
+            memory_amps,
+            ..DeviceSpec::pcie_gen3()
+        }
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_amps * 16
+    }
+
+    /// Modeled duration of a bulk copy of `amps` amplitudes.
+    pub fn bulk_copy_time(&self, amps: usize, h2d: bool) -> Duration {
+        let (bw, ovh) = if h2d {
+            (self.h2d_bandwidth, self.h2d_call_overhead)
+        } else {
+            (self.d2h_bandwidth, self.d2h_call_overhead)
+        };
+        secs_to_duration(ovh + (amps as f64 * 16.0) / bw)
+    }
+
+    /// Modeled duration of `amps` individual per-element async copies.
+    pub fn per_element_copy_time(&self, amps: usize, h2d: bool) -> Duration {
+        let (bw, ovh) = if h2d {
+            (self.h2d_bandwidth, self.h2d_call_overhead)
+        } else {
+            (self.d2h_bandwidth, self.d2h_call_overhead)
+        };
+        secs_to_duration(amps as f64 * (ovh + 16.0 / bw))
+    }
+
+    /// Modeled duration of a gate kernel over `amps` amplitudes.
+    pub fn kernel_time(&self, amps: usize) -> Duration {
+        secs_to_duration(self.kernel_launch_overhead + amps as f64 / self.kernel_amp_throughput)
+    }
+
+    /// Modeled duration of a scatter/gather kernel over `amps` amplitudes.
+    pub fn scatter_time(&self, amps: usize) -> Duration {
+        secs_to_duration(self.kernel_launch_overhead + amps as f64 / self.scatter_amp_throughput)
+    }
+}
+
+fn secs_to_duration(s: f64) -> Duration {
+    Duration::from_nanos((s * 1e9).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(d: Duration, want_s: f64, rel: f64) -> bool {
+        let got = d.as_secs_f64();
+        (got - want_s).abs() <= want_s * rel
+    }
+
+    #[test]
+    fn sync_copy_matches_paper_table1() {
+        let spec = DeviceSpec::pcie_gen3();
+        // 20 qubits = 2^20 amplitudes = 16 MiB.
+        assert!(close(spec.bulk_copy_time(1 << 20, true), 0.003, 0.15));
+        assert!(close(spec.bulk_copy_time(1 << 20, false), 0.008, 0.15));
+        // 25 qubits = 512 MiB.
+        assert!(close(spec.bulk_copy_time(1 << 25, true), 0.080, 0.15));
+        assert!(close(spec.bulk_copy_time(1 << 25, false), 0.233, 0.15));
+    }
+
+    #[test]
+    fn per_element_matches_paper_table1() {
+        let spec = DeviceSpec::pcie_gen3();
+        assert!(close(spec.per_element_copy_time(1 << 20, true), 2.7, 0.15));
+        assert!(close(spec.per_element_copy_time(1 << 20, false), 9.2, 0.15));
+        assert!(close(spec.per_element_copy_time(1 << 25, true), 77.9, 0.15));
+        assert!(close(
+            spec.per_element_copy_time(1 << 25, false),
+            294.4,
+            0.15
+        ));
+    }
+
+    #[test]
+    fn async_to_sync_ratio_is_hundreds() {
+        let spec = DeviceSpec::pcie_gen3();
+        let sync = spec.bulk_copy_time(1 << 25, true).as_secs_f64();
+        let async_ = spec.per_element_copy_time(1 << 25, true).as_secs_f64();
+        let ratio = async_ / sync;
+        assert!(
+            (500.0..1500.0).contains(&ratio),
+            "ratio {ratio} out of the paper's ~870x regime"
+        );
+    }
+
+    #[test]
+    fn buffer_strategy_overhead_is_small() {
+        let spec = DeviceSpec::pcie_gen3();
+        let amps = 1usize << 25;
+        let sync = spec.bulk_copy_time(amps, true).as_secs_f64();
+        let buffered = sync + spec.scatter_time(amps).as_secs_f64();
+        let ratio = buffered / sync;
+        assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn kernel_time_scales_linearly() {
+        let spec = DeviceSpec::pcie_gen3();
+        let t1 = spec.kernel_time(1 << 20).as_secs_f64();
+        let t2 = spec.kernel_time(1 << 21).as_secs_f64();
+        assert!(t2 > t1 * 1.8 && t2 < t1 * 2.2);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let spec = DeviceSpec::tiny_test(1024);
+        assert_eq!(spec.memory_amps, 1024);
+        assert_eq!(spec.memory_bytes(), 16384);
+        assert!(DeviceSpec::pcie_gen3().memory_bytes() == 16 << 30);
+    }
+}

@@ -1,0 +1,891 @@
+//! Command streams: the device execution engine.
+//!
+//! A [`Stream`] mirrors a CUDA stream: commands (copies, kernels, events)
+//! are issued asynchronously from the host and executed in order by a
+//! dedicated worker thread against the device arena. Each command is
+//! charged a deterministic *modeled* duration from the [`DeviceSpec`]
+//! alongside the real work it performs, so experiments report both a
+//! reproducible simulated clock and actual wall time.
+//!
+//! Errors (stale buffer handles, range violations) are detected at
+//! execution time and are *sticky*: subsequent commands are skipped and the
+//! first error is returned from [`Stream::synchronize`].
+
+use crate::error::DeviceError;
+use crate::memory::{Arena, DeviceBuffer, PinnedBuffer};
+use crate::model::DeviceSpec;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mq_circuit::Gate;
+use mq_num::Complex64;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared device state.
+#[derive(Debug)]
+pub(crate) struct DeviceInner {
+    pub(crate) spec: DeviceSpec,
+    pub(crate) arena: Mutex<Arena>,
+}
+
+/// A simulated GPU.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Creates a device with the given spec (allocates the simulated DRAM).
+    pub fn new(spec: DeviceSpec) -> Device {
+        let arena = Arena::new(spec.memory_amps);
+        Device {
+            inner: Arc::new(DeviceInner {
+                spec,
+                arena: Mutex::new(arena),
+            }),
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+
+    /// Allocates `amps` amplitudes of device memory.
+    pub fn alloc(&self, amps: usize) -> Result<DeviceBuffer, DeviceError> {
+        self.inner.arena.lock().alloc(amps)
+    }
+
+    /// Frees a device buffer.
+    pub fn free(&self, buf: DeviceBuffer) -> Result<(), DeviceError> {
+        self.inner.arena.lock().free(buf)
+    }
+
+    /// Amplitudes currently allocated.
+    pub fn used_amps(&self) -> usize {
+        self.inner.arena.lock().used()
+    }
+
+    /// Amplitudes free.
+    pub fn available_amps(&self) -> usize {
+        self.inner.arena.lock().available()
+    }
+
+    /// Total capacity in amplitudes.
+    pub fn capacity_amps(&self) -> usize {
+        self.inner.arena.lock().capacity()
+    }
+
+    /// Reads back a device buffer synchronously (test/debug convenience —
+    /// real transfers go through a stream).
+    pub fn debug_read(&self, buf: DeviceBuffer) -> Result<Vec<Complex64>, DeviceError> {
+        let mut arena = self.inner.arena.lock();
+        let range = arena.resolve(buf, 0, buf.len())?;
+        Ok(arena.storage[range].to_vec())
+    }
+
+    /// Creates a new command stream.
+    pub fn create_stream(&self) -> Stream {
+        Stream::spawn(self.inner.clone())
+    }
+}
+
+/// Address mapping for scatter/gather kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterMap {
+    /// `map(i) = dst_off + i`.
+    Contiguous {
+        /// Base offset.
+        dst_off: usize,
+    },
+    /// `map(i) = start + i * stride`.
+    Strided {
+        /// First index.
+        start: usize,
+        /// Index step.
+        stride: usize,
+    },
+}
+
+impl ScatterMap {
+    #[inline]
+    fn index(&self, i: usize) -> usize {
+        match *self {
+            ScatterMap::Contiguous { dst_off } => dst_off + i,
+            ScatterMap::Strided { start, stride } => start + i * stride,
+        }
+    }
+
+    /// Largest index produced over `len` elements (None for len == 0).
+    fn max_index(&self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.index(len - 1))
+        }
+    }
+}
+
+/// Per-stream accounting, in both modeled and real time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Total modeled busy time.
+    pub modeled: Duration,
+    /// Modeled time in H2D copies.
+    pub modeled_h2d: Duration,
+    /// Modeled time in D2H copies.
+    pub modeled_d2h: Duration,
+    /// Modeled time in gate kernels.
+    pub modeled_kernel: Duration,
+    /// Modeled time in scatter/gather kernels.
+    pub modeled_scatter: Duration,
+    /// Modeled idle time spent waiting on cross-stream events.
+    pub modeled_wait: Duration,
+    /// Real execution time of all commands.
+    pub real: Duration,
+    /// Commands executed.
+    pub commands: usize,
+    /// Bytes moved host-to-device.
+    pub bytes_h2d: usize,
+    /// Bytes moved device-to-host.
+    pub bytes_d2h: usize,
+}
+
+/// A recorded event: the stream's clocks at the moment the event executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRecord {
+    /// Stream modeled time at the event.
+    pub modeled: Duration,
+    /// Stream real busy time at the event.
+    pub real: Duration,
+}
+
+/// A CUDA-event-like synchronization point.
+#[derive(Clone)]
+pub struct Event {
+    inner: Arc<(Mutex<Option<EventRecord>>, Condvar)>,
+}
+
+impl Event {
+    fn new() -> Event {
+        Event {
+            inner: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    /// Blocks until the event has executed; returns the stream clocks.
+    pub fn wait(&self) -> EventRecord {
+        let (lock, cond) = &*self.inner;
+        let mut guard = lock.lock();
+        while guard.is_none() {
+            cond.wait(&mut guard);
+        }
+        guard.expect("checked above")
+    }
+
+    /// Non-blocking query.
+    pub fn query(&self) -> Option<EventRecord> {
+        *self.inner.0.lock()
+    }
+
+    fn signal(&self, record: EventRecord) {
+        let (lock, cond) = &*self.inner;
+        *lock.lock() = Some(record);
+        cond.notify_all();
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // commands are moved once, never stored
+enum Command {
+    CopyH2d {
+        src: PinnedBuffer,
+        src_off: usize,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        len: usize,
+        per_element: bool,
+    },
+    CopyD2h {
+        src: DeviceBuffer,
+        src_off: usize,
+        dst: PinnedBuffer,
+        dst_off: usize,
+        len: usize,
+        per_element: bool,
+    },
+    Scatter {
+        src: DeviceBuffer,
+        src_off: usize,
+        dst: DeviceBuffer,
+        map: ScatterMap,
+        len: usize,
+    },
+    Gather {
+        src: DeviceBuffer,
+        map: ScatterMap,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        len: usize,
+    },
+    RunGate {
+        buf: DeviceBuffer,
+        amps: usize,
+        gate: Gate,
+    },
+    RecordEvent(Event),
+    WaitEvent(Event),
+    Sync(Sender<Result<StreamStats, DeviceError>>),
+    Shutdown,
+}
+
+/// An in-order asynchronous command queue backed by a worker thread.
+pub struct Stream {
+    tx: Sender<Command>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Stream {
+    fn spawn(device: Arc<DeviceInner>) -> Stream {
+        let (tx, rx) = unbounded::<Command>();
+        let worker = std::thread::Builder::new()
+            .name("mq-device-stream".to_string())
+            .spawn(move || stream_worker(device, rx))
+            .expect("failed to spawn stream worker");
+        Stream {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    fn send(&self, cmd: Command) {
+        // A closed channel means the worker died; surfaced on synchronize.
+        let _ = self.tx.send(cmd);
+    }
+
+    /// Enqueues a bulk host-to-device copy.
+    pub fn h2d(
+        &self,
+        src: &PinnedBuffer,
+        src_off: usize,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.send(Command::CopyH2d {
+            src: src.clone(),
+            src_off,
+            dst,
+            dst_off,
+            len,
+            per_element: false,
+        });
+    }
+
+    /// Enqueues `len` *individual* async element copies (the paper's slow
+    /// strategy): same data movement, but charged one call overhead per
+    /// amplitude.
+    pub fn h2d_per_element(
+        &self,
+        src: &PinnedBuffer,
+        src_off: usize,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.send(Command::CopyH2d {
+            src: src.clone(),
+            src_off,
+            dst,
+            dst_off,
+            len,
+            per_element: true,
+        });
+    }
+
+    /// Enqueues a bulk device-to-host copy.
+    pub fn d2h(
+        &self,
+        src: DeviceBuffer,
+        src_off: usize,
+        dst: &PinnedBuffer,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.send(Command::CopyD2h {
+            src,
+            src_off,
+            dst: dst.clone(),
+            dst_off,
+            len,
+            per_element: false,
+        });
+    }
+
+    /// Per-element variant of [`Stream::d2h`].
+    pub fn d2h_per_element(
+        &self,
+        src: DeviceBuffer,
+        src_off: usize,
+        dst: &PinnedBuffer,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.send(Command::CopyD2h {
+            src,
+            src_off,
+            dst: dst.clone(),
+            dst_off,
+            len,
+            per_element: true,
+        });
+    }
+
+    /// Enqueues a scatter kernel: `dst[map(i)] = src[src_off + i]`.
+    pub fn scatter(
+        &self,
+        src: DeviceBuffer,
+        src_off: usize,
+        dst: DeviceBuffer,
+        map: ScatterMap,
+        len: usize,
+    ) {
+        self.send(Command::Scatter {
+            src,
+            src_off,
+            dst,
+            map,
+            len,
+        });
+    }
+
+    /// Enqueues a gather kernel: `dst[dst_off + i] = src[map(i)]`.
+    pub fn gather(
+        &self,
+        src: DeviceBuffer,
+        map: ScatterMap,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.send(Command::Gather {
+            src,
+            map,
+            dst,
+            dst_off,
+            len,
+        });
+    }
+
+    /// Enqueues a gate kernel over the whole buffer (the gate's qubit
+    /// indices address within the buffer).
+    pub fn run_gate(&self, buf: DeviceBuffer, gate: Gate) {
+        let amps = buf.len();
+        self.send(Command::RunGate { buf, amps, gate });
+    }
+
+    /// Enqueues a gate kernel over the leading `amps` amplitudes of the
+    /// buffer (`amps` must be a power of two). Used when a working buffer
+    /// is larger than the live group staged in it.
+    pub fn run_gate_region(&self, buf: DeviceBuffer, amps: usize, gate: Gate) {
+        self.send(Command::RunGate { buf, amps, gate });
+    }
+
+    /// Enqueues an event; it signals when all prior commands have executed.
+    pub fn record_event(&self) -> Event {
+        let e = Event::new();
+        self.send(Command::RecordEvent(e.clone()));
+        e
+    }
+
+    /// Makes this stream wait for an event recorded on *another* stream
+    /// (cudaStreamWaitEvent): execution blocks until the event has fired,
+    /// and the modeled clock advances to at least the event's modeled time
+    /// (streams share the device epoch).
+    pub fn wait_event(&self, event: &Event) {
+        self.send(Command::WaitEvent(event.clone()));
+    }
+
+    /// Blocks until all enqueued commands have executed. Returns cumulative
+    /// stats, or the first execution error (sticky).
+    pub fn synchronize(&self) -> Result<StreamStats, DeviceError> {
+        let (tx, rx) = unbounded();
+        self.send(Command::Sync(tx));
+        rx.recv().map_err(|_| DeviceError::StreamClosed)?
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn stream_worker(device: Arc<DeviceInner>, rx: Receiver<Command>) {
+    let mut stats = StreamStats::default();
+    let mut error: Option<DeviceError> = None;
+    let spec = device.spec.clone();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Sync(reply) => {
+                let _ = reply.send(match &error {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(stats),
+                });
+                continue;
+            }
+            Command::RecordEvent(e) => {
+                e.signal(EventRecord {
+                    modeled: stats.modeled,
+                    real: stats.real,
+                });
+                continue;
+            }
+            Command::WaitEvent(e) => {
+                // Block for real, then advance the modeled clock to the
+                // event's modeled time (cross-stream dependency edge).
+                let record = e.wait();
+                if record.modeled > stats.modeled {
+                    stats.modeled_wait += record.modeled - stats.modeled;
+                    stats.modeled = record.modeled;
+                }
+                continue;
+            }
+            Command::Shutdown => break,
+            cmd => {
+                if error.is_some() {
+                    continue; // sticky error: skip the rest
+                }
+                let start = Instant::now();
+                let result = execute(&device, &spec, cmd, &mut stats);
+                stats.real += start.elapsed();
+                stats.commands += 1;
+                if let Err(e) = result {
+                    error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+fn execute(
+    device: &DeviceInner,
+    spec: &DeviceSpec,
+    cmd: Command,
+    stats: &mut StreamStats,
+) -> Result<(), DeviceError> {
+    match cmd {
+        Command::CopyH2d {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            len,
+            per_element,
+        } => {
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(dst, dst_off, len)?;
+            let host = src.lock();
+            if src_off + len > host.len() {
+                return Err(DeviceError::RangeOutOfBounds {
+                    offset: src_off,
+                    len,
+                    buffer_len: host.len(),
+                });
+            }
+            arena.storage[range].copy_from_slice(&host[src_off..src_off + len]);
+            let t = if per_element {
+                spec.per_element_copy_time(len, true)
+            } else {
+                spec.bulk_copy_time(len, true)
+            };
+            stats.modeled += t;
+            stats.modeled_h2d += t;
+            stats.bytes_h2d += len * 16;
+            Ok(())
+        }
+        Command::CopyD2h {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            len,
+            per_element,
+        } => {
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(src, src_off, len)?;
+            let mut host = dst.lock();
+            if dst_off + len > host.len() {
+                return Err(DeviceError::RangeOutOfBounds {
+                    offset: dst_off,
+                    len,
+                    buffer_len: host.len(),
+                });
+            }
+            host[dst_off..dst_off + len].copy_from_slice(&arena.storage[range]);
+            let t = if per_element {
+                spec.per_element_copy_time(len, false)
+            } else {
+                spec.bulk_copy_time(len, false)
+            };
+            stats.modeled += t;
+            stats.modeled_d2h += t;
+            stats.bytes_d2h += len * 16;
+            Ok(())
+        }
+        Command::Scatter {
+            src,
+            src_off,
+            dst,
+            map,
+            len,
+        } => {
+            let mut arena = device.arena.lock();
+            let src_range = arena.resolve(src, src_off, len)?;
+            if let Some(max) = map.max_index(len) {
+                // Validate the farthest write.
+                arena.resolve(dst, max, 1)?;
+            }
+            let dst_range = arena.resolve(dst, 0, dst.len())?;
+            let dst_start = dst_range.start;
+            // src and dst may alias only if disjoint; enforce disjointness.
+            let storage = &mut arena.storage;
+            if ranges_overlap(&src_range, &dst_range) && src.id == dst.id {
+                // In-buffer scatter: copy out first (a real GPU kernel would
+                // read-then-write through registers; emulate with a temp).
+                let tmp: Vec<Complex64> = storage[src_range.clone()].to_vec();
+                for (i, v) in tmp.into_iter().enumerate() {
+                    storage[dst_start + map.index(i)] = v;
+                }
+            } else {
+                for i in 0..len {
+                    let v = storage[src_range.start + i];
+                    storage[dst_start + map.index(i)] = v;
+                }
+            }
+            let t = spec.scatter_time(len);
+            stats.modeled += t;
+            stats.modeled_scatter += t;
+            Ok(())
+        }
+        Command::Gather {
+            src,
+            map,
+            dst,
+            dst_off,
+            len,
+        } => {
+            let mut arena = device.arena.lock();
+            if let Some(max) = map.max_index(len) {
+                arena.resolve(src, max, 1)?;
+            }
+            let src_range = arena.resolve(src, 0, src.len())?;
+            let dst_range = arena.resolve(dst, dst_off, len)?;
+            let src_start = src_range.start;
+            let dst_start = dst_range.start;
+            let storage = &mut arena.storage;
+            if ranges_overlap(&src_range, &dst_range) && src.id == dst.id {
+                let tmp: Vec<Complex64> = (0..len)
+                    .map(|i| storage[src_start + map.index(i)])
+                    .collect();
+                storage[dst_start..dst_start + len].copy_from_slice(&tmp);
+            } else {
+                for i in 0..len {
+                    storage[dst_start + i] = storage[src_start + map.index(i)];
+                }
+            }
+            let t = spec.scatter_time(len);
+            stats.modeled += t;
+            stats.modeled_scatter += t;
+            Ok(())
+        }
+        Command::RunGate { buf, amps, gate } => {
+            assert!(amps.is_power_of_two(), "kernel region must be 2^m amps");
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(buf, 0, amps)?;
+            mq_statevec::apply::apply_gate(&mut arena.storage[range], &gate, 1);
+            let t = spec.kernel_time(amps);
+            stats.modeled += t;
+            stats.modeled_kernel += t;
+            Ok(())
+        }
+        Command::Sync(_) | Command::RecordEvent(_) | Command::WaitEvent(_) | Command::Shutdown => {
+            unreachable!()
+        }
+    }
+}
+
+fn ranges_overlap(a: &std::ops::Range<usize>, b: &std::ops::Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_num::complex::c64;
+
+    fn tiny_device(amps: usize) -> Device {
+        Device::new(DeviceSpec::tiny_test(amps))
+    }
+
+    #[test]
+    fn h2d_then_d2h_round_trips() {
+        let dev = tiny_device(1024);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(256).unwrap();
+        let src = PinnedBuffer::from_slice(
+            &(0..256)
+                .map(|i| c64(i as f64, -(i as f64)))
+                .collect::<Vec<_>>(),
+        );
+        let dst = PinnedBuffer::new(256);
+        stream.h2d(&src, 0, buf, 0, 256);
+        stream.d2h(buf, 0, &dst, 0, 256);
+        let stats = stream.synchronize().unwrap();
+        assert_eq!(dst.to_vec(), src.to_vec());
+        assert_eq!(stats.commands, 2);
+        assert_eq!(stats.bytes_h2d, 256 * 16);
+        assert_eq!(stats.bytes_d2h, 256 * 16);
+        assert!(stats.modeled > Duration::ZERO);
+    }
+
+    #[test]
+    fn per_element_copies_cost_much_more_model_time() {
+        let dev = tiny_device(1 << 12);
+        let buf = dev.alloc(1 << 12).unwrap();
+        let src = PinnedBuffer::new(1 << 12);
+
+        let s1 = dev.create_stream();
+        s1.h2d(&src, 0, buf, 0, 1 << 12);
+        let bulk = s1.synchronize().unwrap().modeled;
+
+        let s2 = dev.create_stream();
+        s2.h2d_per_element(&src, 0, buf, 0, 1 << 12);
+        let per_el = s2.synchronize().unwrap().modeled;
+
+        let ratio = per_el.as_secs_f64() / bulk.as_secs_f64();
+        assert!(ratio > 50.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gate_kernel_runs_on_device_memory() {
+        let dev = tiny_device(1024);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(8).unwrap();
+        // |000> on the device.
+        let mut init = vec![Complex64::ZERO; 8];
+        init[0] = Complex64::ONE;
+        let src = PinnedBuffer::from_slice(&init);
+        stream.h2d(&src, 0, buf, 0, 8);
+        stream.run_gate(buf, Gate::H(0));
+        stream.run_gate(buf, Gate::Cx(0, 1));
+        stream.run_gate(buf, Gate::Cx(1, 2));
+        let out = PinnedBuffer::new(8);
+        stream.d2h(buf, 0, &out, 0, 8);
+        let stats = stream.synchronize().unwrap();
+        let v = out.to_vec();
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(c64(r, 0.0), 1e-12));
+        assert!(v[7].approx_eq(c64(r, 0.0), 1e-12));
+        assert!(stats.modeled_kernel > Duration::ZERO);
+    }
+
+    #[test]
+    fn scatter_strided_places_amplitudes() {
+        let dev = tiny_device(64);
+        let stream = dev.create_stream();
+        let staging = dev.alloc(4).unwrap();
+        let dst = dev.alloc(16).unwrap();
+        let src =
+            PinnedBuffer::from_slice(&[c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)]);
+        stream.h2d(&src, 0, staging, 0, 4);
+        stream.scatter(
+            staging,
+            0,
+            dst,
+            ScatterMap::Strided {
+                start: 1,
+                stride: 4,
+            },
+            4,
+        );
+        stream.synchronize().unwrap();
+        let v = dev.debug_read(dst).unwrap();
+        assert_eq!(v[1], c64(1.0, 0.0));
+        assert_eq!(v[5], c64(2.0, 0.0));
+        assert_eq!(v[9], c64(3.0, 0.0));
+        assert_eq!(v[13], c64(4.0, 0.0));
+        assert_eq!(v[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn gather_is_scatter_inverse() {
+        let dev = tiny_device(64);
+        let stream = dev.create_stream();
+        let big = dev.alloc(16).unwrap();
+        let staging = dev.alloc(4).unwrap();
+        let src =
+            PinnedBuffer::from_slice(&(0..16).map(|i| c64(i as f64, 0.0)).collect::<Vec<_>>());
+        stream.h2d(&src, 0, big, 0, 16);
+        stream.gather(
+            big,
+            ScatterMap::Strided {
+                start: 2,
+                stride: 3,
+            },
+            staging,
+            0,
+            4,
+        );
+        let out = PinnedBuffer::new(4);
+        stream.d2h(staging, 0, &out, 0, 4);
+        stream.synchronize().unwrap();
+        let v = out.to_vec();
+        assert_eq!(v[0], c64(2.0, 0.0));
+        assert_eq!(v[1], c64(5.0, 0.0));
+        assert_eq!(v[2], c64(8.0, 0.0));
+        assert_eq!(v[3], c64(11.0, 0.0));
+    }
+
+    #[test]
+    fn errors_are_sticky_and_reported() {
+        let dev = tiny_device(64);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(8).unwrap();
+        let src = PinnedBuffer::new(8);
+        // Out-of-range copy fails...
+        stream.h2d(&src, 0, buf, 4, 8);
+        // ...and this valid command is skipped.
+        stream.h2d(&src, 0, buf, 0, 8);
+        match stream.synchronize() {
+            Err(DeviceError::RangeOutOfBounds { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_buffer_detected_at_execution() {
+        let dev = tiny_device(64);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(8).unwrap();
+        dev.free(buf).unwrap();
+        stream.run_gate(buf, Gate::H(0));
+        assert_eq!(stream.synchronize(), Err(DeviceError::InvalidBuffer));
+    }
+
+    #[test]
+    fn events_record_monotonic_clocks() {
+        let dev = tiny_device(1024);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(512).unwrap();
+        let src = PinnedBuffer::new(512);
+        let e0 = stream.record_event();
+        stream.h2d(&src, 0, buf, 0, 512);
+        let e1 = stream.record_event();
+        stream.run_gate(buf, Gate::H(0));
+        let e2 = stream.record_event();
+        stream.synchronize().unwrap();
+        let (r0, r1, r2) = (e0.wait(), e1.wait(), e2.wait());
+        assert!(r0.modeled <= r1.modeled);
+        assert!(r1.modeled < r2.modeled);
+        assert!(e2.query().is_some());
+    }
+
+    #[test]
+    fn two_streams_share_the_arena() {
+        let dev = tiny_device(1024);
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let b1 = dev.alloc(128).unwrap();
+        let b2 = dev.alloc(128).unwrap();
+        let src1 = PinnedBuffer::from_slice(&vec![c64(1.0, 0.0); 128]);
+        let src2 = PinnedBuffer::from_slice(&vec![c64(2.0, 0.0); 128]);
+        s1.h2d(&src1, 0, b1, 0, 128);
+        s2.h2d(&src2, 0, b2, 0, 128);
+        s1.synchronize().unwrap();
+        s2.synchronize().unwrap();
+        assert_eq!(dev.debug_read(b1).unwrap()[0], c64(1.0, 0.0));
+        assert_eq!(dev.debug_read(b2).unwrap()[0], c64(2.0, 0.0));
+    }
+
+    #[test]
+    fn synchronize_on_empty_stream() {
+        let dev = tiny_device(16);
+        let stream = dev.create_stream();
+        let stats = stream.synchronize().unwrap();
+        assert_eq!(stats.commands, 0);
+        assert_eq!(stats.modeled, Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod wait_event_tests {
+    use super::*;
+    use mq_circuit::Gate;
+
+    #[test]
+    fn cross_stream_wait_orders_execution() {
+        let dev = Device::new(DeviceSpec::tiny_test(1024));
+        let copy = dev.create_stream();
+        let compute = dev.create_stream();
+        let buf = dev.alloc(256).unwrap();
+        let mut init = vec![Complex64::ZERO; 256];
+        init[0] = Complex64::ONE;
+        let src = PinnedBuffer::from_slice(&init);
+
+        copy.h2d(&src, 0, buf, 0, 256);
+        let uploaded = copy.record_event();
+        // Compute must observe the uploaded data, not zeros.
+        compute.wait_event(&uploaded);
+        compute.run_gate(buf, Gate::H(0));
+        let computed = compute.record_event();
+        // Copy stream pulls the result back only after the kernel.
+        copy.wait_event(&computed);
+        let out = PinnedBuffer::new(256);
+        copy.d2h(buf, 0, &out, 0, 256);
+        copy.synchronize().unwrap();
+        compute.synchronize().unwrap();
+        let v = out.to_vec();
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(mq_num::complex::c64(r, 0.0), 1e-12));
+        assert!(v[1].approx_eq(mq_num::complex::c64(r, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn wait_advances_modeled_clock_to_event_time() {
+        let dev = Device::new(DeviceSpec::tiny_test(1 << 16));
+        let a = dev.create_stream();
+        let b = dev.create_stream();
+        let buf = dev.alloc(1 << 14).unwrap();
+        let src = PinnedBuffer::new(1 << 14);
+        // Stream a does a big copy; stream b does nothing but wait.
+        a.h2d(&src, 0, buf, 0, 1 << 14);
+        let e = a.record_event();
+        b.wait_event(&e);
+        let sa = a.synchronize().unwrap();
+        let sb = b.synchronize().unwrap();
+        assert!(sb.modeled >= sa.modeled_h2d);
+        assert_eq!(sb.modeled_wait, sb.modeled);
+    }
+
+    #[test]
+    fn overlapping_streams_beat_serial_on_the_model() {
+        // Two independent copies on two streams: each stream's modeled end is
+        // one copy, so the device-level end (max) is half the serial sum.
+        let dev = Device::new(DeviceSpec::tiny_test(1 << 16));
+        let a = dev.create_stream();
+        let b = dev.create_stream();
+        let buf_a = dev.alloc(1 << 14).unwrap();
+        let buf_b = dev.alloc(1 << 14).unwrap();
+        let src = PinnedBuffer::new(1 << 14);
+        a.h2d(&src, 0, buf_a, 0, 1 << 14);
+        b.h2d(&src, 0, buf_b, 0, 1 << 14);
+        let sa = a.synchronize().unwrap();
+        let sb = b.synchronize().unwrap();
+        let overlapped = sa.modeled.max(sb.modeled);
+        let serial = sa.modeled + sb.modeled;
+        assert!(overlapped.as_secs_f64() < serial.as_secs_f64() * 0.6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Cache-line-aligned heap buffers.
+//!
+//! State-vector chunks are streamed through compressors, staging buffers and
+//! (simulated) DMA engines; 64-byte alignment keeps every chunk start on a
+//! cache-line boundary and makes the buffers friendly to future SIMD kernels.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// Alignment (bytes) for all [`AlignedVec`] allocations: one x86-64 cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-length, 64-byte-aligned, zero-initialized heap buffer.
+///
+/// Unlike `Vec<T>`, an `AlignedVec` cannot grow — chunk sizes in MEMQSIM are
+/// fixed at plan time, and a non-growing buffer means the allocation is done
+/// exactly once and never moves (important for the simulated-DMA code that
+/// holds raw ranges into it).
+pub struct AlignedVec<T: Copy> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively; T: Copy has no drop
+// glue or interior mutability.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocates a zero-initialized buffer of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if the layout is invalid (overflowing size) — allocation
+    /// failure aborts via `handle_alloc_error`, as is conventional.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has nonzero size (len > 0, size_of::<T>() > 0 is
+        // enforced by the assert in layout()).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            ptr: raw as *mut T,
+            len,
+        }
+    }
+
+    /// Allocates a buffer of `len` elements, every element set to `fill`.
+    pub fn filled(len: usize, fill: T) -> Self {
+        let mut v = Self::zeroed(len);
+        for x in v.iter_mut() {
+            *x = fill;
+        }
+        v
+    }
+
+    /// Builds an aligned buffer by copying a slice.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe a single live allocation we own.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as as_slice, plus &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    fn layout(len: usize) -> Layout {
+        assert!(std::mem::size_of::<T>() > 0, "ZSTs are not supported");
+        let size = std::mem::size_of::<T>()
+            .checked_mul(len)
+            .expect("AlignedVec size overflow");
+        let align = CACHE_LINE.max(std::mem::align_of::<T>());
+        Layout::from_size_align(size, align).expect("invalid AlignedVec layout")
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated with the identical layout in zeroed().
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Index<usize> for AlignedVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.as_slice()[i]
+    }
+}
+
+impl<T: Copy> IndexMut<usize> for AlignedVec<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::Complex64;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v: AlignedVec<f64> = AlignedVec::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn filled_and_from_slice() {
+        let v = AlignedVec::filled(5, 3u32);
+        assert_eq!(v.as_slice(), &[3, 3, 3, 3, 3]);
+        let w = AlignedVec::from_slice(&[1u8, 2, 3]);
+        assert_eq!(w.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let v: AlignedVec<Complex64> = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice().len(), 0);
+        let _ = v.clone();
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v: AlignedVec<Complex64> = AlignedVec::zeroed(4);
+        v[2] = c64(1.0, -1.0);
+        assert_eq!(v[2], c64(1.0, -1.0));
+        v.as_mut_slice()[0] = c64(0.5, 0.0);
+        assert_eq!(v[0], c64(0.5, 0.0));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::from_slice(&[1.0f64, 2.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b.as_slice(), &[1.0, 2.0]);
+        assert_eq!(a.as_slice(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn eq_compares_contents() {
+        let a = AlignedVec::from_slice(&[1u64, 2, 3]);
+        let b = AlignedVec::from_slice(&[1u64, 2, 3]);
+        let c = AlignedVec::from_slice(&[1u64, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn complex_buffers_are_cache_aligned() {
+        for len in [1usize, 7, 64, 1 << 12] {
+            let v: AlignedVec<Complex64> = AlignedVec::zeroed(len);
+            assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+        }
+    }
+}

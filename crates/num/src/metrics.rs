@@ -1,0 +1,197 @@
+//! Error and fidelity metrics.
+//!
+//! Used in three places: (1) the compression stack verifies its error-bound
+//! guarantee, (2) the engines track how far a lossy-compressed run drifts
+//! from the dense reference, (3) the experiment harness reports PSNR /
+//! fidelity columns.
+
+use crate::complex::Complex64;
+
+/// Maximum absolute component-wise error between two `f64` sequences.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square error between two `f64` sequences.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken as the value range
+/// of `a`. Returns `f64::INFINITY` for identical inputs.
+pub fn psnr(a: &[f64], b: &[f64]) -> f64 {
+    let e = rmse(a, b);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in a {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    20.0 * (range / e).log10()
+}
+
+/// L2 norm of a complex vector.
+pub fn l2_norm(v: &[Complex64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Inner product `<a|b> = sum conj(a_i) * b_i`.
+pub fn inner_product(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(Complex64::ZERO, |acc, (x, y)| x.conj().mul_add(*y, acc))
+}
+
+/// Quantum state fidelity `|<a|b>|^2 / (|a|^2 |b|^2)`.
+///
+/// Normalization-insensitive, so it is meaningful even after lossy
+/// compression has slightly denormalized a state. Returns 1.0 for two zero
+/// vectors (vacuously identical).
+pub fn fidelity(a: &[Complex64], b: &[Complex64]) -> f64 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let ip = inner_product(a, b).norm();
+    let f = ip / (na * nb);
+    (f * f).min(1.0)
+}
+
+/// Maximum absolute amplitude difference between two states.
+pub fn max_amp_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+/// Total-variation distance between two probability distributions.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// True if `|v|` is within `tol` of 1.
+pub fn is_normalized(v: &[Complex64], tol: f64) -> bool {
+    (l2_norm(v) - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn max_abs_and_rmse_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert_eq!(max_abs_err(&a, &b), 1.0);
+        let want = ((0.0 + 0.25 + 1.0) / 3.0f64).sqrt();
+        assert!((rmse(&a, &b) - want).abs() < 1e-15);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let a = [0.0, 0.5, 1.0];
+        assert!(psnr(&a, &a).is_infinite());
+        let b = [0.0, 0.5, 1.001];
+        assert!(psnr(&a, &b) > 40.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let small: Vec<f64> = a.iter().map(|x| x + 1e-6).collect();
+        let big: Vec<f64> = a.iter().map(|x| x + 1e-2).collect();
+        assert!(psnr(&a, &small) > psnr(&a, &big));
+    }
+
+    #[test]
+    fn l2_and_inner_product() {
+        let a = [c64(1.0, 0.0), c64(0.0, 1.0)];
+        assert!((l2_norm(&a) - 2.0f64.sqrt()).abs() < 1e-15);
+        let ip = inner_product(&a, &a);
+        assert!(ip.approx_eq(c64(2.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let a = [c64(0.6, 0.0), c64(0.0, 0.8)];
+        assert!((fidelity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = [c64(1.0, 0.0), c64(0.0, 0.0)];
+        let b = [c64(0.0, 0.0), c64(1.0, 0.0)];
+        assert!(fidelity(&a, &b) < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_is_phase_invariant() {
+        let a = [c64(0.6, 0.0), c64(0.8, 0.0)];
+        let phase = Complex64::cis(1.234);
+        let b: Vec<Complex64> = a.iter().map(|z| *z * phase).collect();
+        assert!((fidelity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_scale_invariant() {
+        let a = [c64(0.6, 0.0), c64(0.8, 0.0)];
+        let b: Vec<Complex64> = a.iter().map(|z| *z * 3.0).collect();
+        assert!((fidelity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_zero_vectors() {
+        let z = [Complex64::ZERO; 2];
+        let a = [c64(1.0, 0.0), Complex64::ZERO];
+        assert_eq!(fidelity(&z, &z), 1.0);
+        assert_eq!(fidelity(&z, &a), 0.0);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-15);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn normalization_check() {
+        let a = [c64(0.6, 0.0), c64(0.0, 0.8)];
+        assert!(is_normalized(&a, 1e-12));
+        let b = [c64(0.6, 0.0), c64(0.0, 0.9)];
+        assert!(!is_normalized(&b, 1e-3));
+    }
+
+    #[test]
+    fn max_amp_err_basics() {
+        let a = [c64(1.0, 0.0), c64(0.0, 0.0)];
+        let b = [c64(1.0, 0.0), c64(0.0, 0.5)];
+        assert!((max_amp_err(&a, &b) - 0.5).abs() < 1e-15);
+    }
+}

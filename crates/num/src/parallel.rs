@@ -1,0 +1,211 @@
+//! Scoped-thread chunked parallelism.
+//!
+//! MEMQSIM's Fig. 2 step (5) uses "idle cores" to decompress/update/compress
+//! chunks while the device works. We implement that with
+//! `crossbeam::thread::scope` rather than a global pool: each call site says
+//! how many workers it wants (configs make this explicit so the pipeline is
+//! exercised under real multithreading in tests, even though the benchmark
+//! host may have a single core).
+
+use crossbeam::thread;
+
+/// Runs `f(start, chunk)` over `data` split into at most `workers` contiguous
+/// near-equal pieces, in parallel. `start` is the offset of `chunk` within
+/// `data`.
+///
+/// With `workers <= 1` or a single piece, runs inline on the caller's thread
+/// (no spawn overhead).
+pub fn par_chunks_mut<T, F>(data: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_len = n.div_ceil(workers);
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            s.spawn(move |_| fref(start, head));
+            start += take;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel index loop: runs `f(i)` for every `i in 0..n`, distributing
+/// blocks of indices over at most `workers` scoped threads.
+pub fn par_for<F>(n: usize, workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let block = n.div_ceil(workers);
+    thread::scope(|s| {
+        for w in 0..workers {
+            let lo = w * block;
+            let hi = ((w + 1) * block).min(n);
+            if lo >= hi {
+                break;
+            }
+            let fref = &f;
+            s.spawn(move |_| {
+                for i in lo..hi {
+                    fref(i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map-reduce: computes `f(i)` for each index and folds the results
+/// with `reduce`, starting from `identity` in each worker.
+///
+/// `reduce` must be associative and commute with the identity for the result
+/// to be deterministic (per-worker partials are combined in worker order, so
+/// associativity suffices for floating-point reproducibility at fixed
+/// `workers`).
+pub fn par_map_reduce<R, F, G>(n: usize, workers: usize, identity: R, f: F, reduce: G) -> R
+where
+    R: Send + Clone,
+    F: Fn(usize) -> R + Sync,
+    G: Fn(R, R) -> R + Sync + Send + Copy,
+{
+    if n == 0 {
+        return identity;
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = reduce(acc, f(i));
+        }
+        return acc;
+    }
+    let block = n.div_ceil(workers);
+    let partials: Vec<R> = thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * block;
+            let hi = ((w + 1) * block).min(n);
+            if lo >= hi {
+                break;
+            }
+            let fref = &f;
+            let id = identity.clone();
+            handles.push(s.spawn(move |_| {
+                let mut acc = id;
+                for i in lo..hi {
+                    acc = reduce(acc, fref(i));
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("worker thread panicked");
+    partials.into_iter().fold(identity, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        for workers in [1, 2, 3, 8, 100] {
+            let mut v = vec![0u32; 1000];
+            par_chunks_mut(&mut v, workers, |start, chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (start + k) as u32;
+                }
+            });
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i as u32, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_and_tiny() {
+        let mut e: Vec<u8> = vec![];
+        par_chunks_mut(&mut e, 4, |_, _| panic!("must not run"));
+        let mut one = vec![5u8];
+        par_chunks_mut(&mut one, 16, |start, c| {
+            assert_eq!(start, 0);
+            c[0] += 1;
+        });
+        assert_eq!(one[0], 6);
+    }
+
+    #[test]
+    fn par_for_visits_each_index_once() {
+        for workers in [1, 2, 5] {
+            let count = AtomicUsize::new(0);
+            let sum = AtomicUsize::new(0);
+            par_for(100, workers, |i| {
+                count.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 100);
+            assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+        }
+    }
+
+    #[test]
+    fn par_for_zero_is_noop() {
+        par_for(0, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        for workers in [1, 2, 3, 7] {
+            let s = par_map_reduce(1000, workers, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(s, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn map_reduce_max() {
+        let m = par_map_reduce(
+            100,
+            4,
+            f64::NEG_INFINITY,
+            |i| ((i as f64) - 50.0).abs(),
+            f64::max,
+        );
+        assert_eq!(m, 50.0);
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_identity() {
+        let r = par_map_reduce(0, 4, 42i32, |_| panic!("must not run"), |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+}

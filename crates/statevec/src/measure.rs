@@ -1,0 +1,160 @@
+//! Born-rule measurement: full-register sampling, per-qubit measurement
+//! with collapse, and multi-shot histogram sampling.
+
+use crate::state::State;
+use mq_num::Complex64;
+use rand::Rng;
+
+/// Samples one full-register outcome (a basis-state index) without
+/// collapsing the state. Inverse-CDF over the probability distribution.
+pub fn sample_once<R: Rng>(state: &State, rng: &mut R) -> usize {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    let amps = state.amplitudes();
+    for (i, z) in amps.iter().enumerate() {
+        acc += z.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    // Floating-point slack: return the last state with nonzero probability.
+    amps.iter()
+        .rposition(|z| z.norm_sqr() > 0.0)
+        .unwrap_or(amps.len() - 1)
+}
+
+/// Samples `shots` outcomes, returning `(basis_state, count)` pairs sorted
+/// by descending count (ties by index).
+pub fn sample_counts<R: Rng>(state: &State, shots: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for _ in 0..shots {
+        *counts.entry(sample_once(state, rng)).or_insert(0) += 1;
+    }
+    let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Measures qubit `q`, collapsing the state. Returns the observed bit.
+pub fn measure_qubit<R: Rng>(state: &mut State, q: u32, rng: &mut R) -> bool {
+    let p1 = state.probability_of_one(q);
+    let outcome = rng.gen_range(0.0..1.0) < p1;
+    collapse(state, q, outcome);
+    outcome
+}
+
+/// Projects qubit `q` onto `outcome` and renormalizes.
+///
+/// # Panics
+/// Panics if the requested outcome has (numerically) zero probability.
+pub fn collapse(state: &mut State, q: u32, outcome: bool) {
+    let n = state.n_qubits();
+    assert!(q < n, "qubit out of range");
+    let mask = 1usize << q;
+    let mut kept = 0.0f64;
+    for (i, z) in state.amplitudes().iter().enumerate() {
+        if ((i & mask) != 0) == outcome {
+            kept += z.norm_sqr();
+        }
+    }
+    assert!(
+        kept > 1e-300,
+        "collapse onto zero-probability outcome (p = {kept})"
+    );
+    let scale = 1.0 / kept.sqrt();
+    for (i, z) in state.amplitudes_mut().iter_mut().enumerate() {
+        if ((i & mask) != 0) == outcome {
+            *z = *z * scale;
+        } else {
+            *z = Complex64::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{run_circuit, CpuConfig};
+    use mq_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_state_samples_itself() {
+        let s = State::basis(4, 11);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(sample_once(&s, &mut rng), 11);
+        }
+    }
+
+    #[test]
+    fn ghz_samples_only_extremes() {
+        let s = run_circuit(&library::ghz(5), &CpuConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = sample_counts(&s, 2000, &mut rng);
+        assert!(counts.len() == 2);
+        let states: Vec<usize> = counts.iter().map(|&(s, _)| s).collect();
+        assert!(states.contains(&0));
+        assert!(states.contains(&31));
+        // Roughly balanced.
+        let (a, b) = (counts[0].1 as f64, counts[1].1 as f64);
+        assert!((a / (a + b) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let s = run_circuit(&library::qft(4), &CpuConfig::default());
+        let a = sample_counts(&s, 100, &mut StdRng::seed_from_u64(7));
+        let b = sample_counts(&s, 100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_collapses_bell_pair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..16 {
+            let mut s = run_circuit(&library::bell_pair(2, 0, 1), &CpuConfig::default());
+            let m0 = measure_qubit(&mut s, 0, &mut rng);
+            // Perfect correlation: qubit 1 now deterministic.
+            let p1 = s.probability_of_one(1);
+            if m0 {
+                assert!((p1 - 1.0).abs() < 1e-10);
+            } else {
+                assert!(p1 < 1e-10);
+            }
+            assert!((s.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut s = run_circuit(&library::w_state(3), &CpuConfig::default());
+        collapse(&mut s, 0, false);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        // After projecting qubit 0 to 0, remaining excitations on 1 and 2.
+        assert!(s.probability(0b010) > 0.4);
+        assert!(s.probability(0b100) > 0.4);
+        assert!(s.probability(0b001) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn collapse_on_impossible_outcome_panics() {
+        let mut s = State::basis(2, 0);
+        collapse(&mut s, 0, true); // qubit 0 is definitely 0
+    }
+
+    #[test]
+    fn sample_frequencies_approximate_probabilities() {
+        let s = run_circuit(&library::qft(3), &CpuConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = sample_counts(&s, 8000, &mut rng);
+        // QFT|0> is uniform: every outcome near 1000.
+        assert_eq!(counts.len(), 8);
+        for &(_, c) in &counts {
+            assert!((c as f64 - 1000.0).abs() < 150.0, "count {c}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration: the hybrid pipeline under stress and failure injection —
+//! tiny staging pools, many chunks, worker threads, device OOM, and
+//! sampling equivalence between dense and compressed paths.
+
+use memqsim_core::{engine::hybrid, measure, CompressedStateVector, EngineError, MemQSimConfig};
+use mq_circuit::library;
+use mq_circuit::unitary::run_dense;
+use mq_compress::CodecSpec;
+use mq_device::{Device, DeviceError, DeviceSpec};
+use mq_num::metrics::max_amp_err;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn cfg(chunk_bits: u32) -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits,
+        max_high_qubits: 2,
+        codec: CodecSpec::Sz { eb: 1e-12 },
+        workers: 2,
+        pipeline_buffers: 2,
+        cpu_share: 0.0,
+        dual_stream: false,
+        reorder: false,
+    }
+}
+
+fn run_hybrid(
+    circuit: &mq_circuit::Circuit,
+    config: &MemQSimConfig,
+    device_amps: usize,
+    pipelined: bool,
+) {
+    let chunk_bits = config.effective_chunk_bits(circuit.n_qubits());
+    let store = CompressedStateVector::zero_state(
+        circuit.n_qubits(),
+        chunk_bits,
+        Arc::from(config.codec.build()),
+    );
+    let device = Device::new(DeviceSpec::tiny_test(device_amps));
+    hybrid::run(&store, circuit, config, &device, pipelined).expect("hybrid run failed");
+    let got = store.to_dense().expect("store readable");
+    let want = run_dense(circuit, 0);
+    let err = max_amp_err(&got, &want);
+    assert!(err < 1e-8, "{}: err {err}", circuit.name());
+}
+
+#[test]
+fn many_tiny_chunks_through_a_small_pool() {
+    // 2^7 chunks of 4 amps each with only 1-3 in-flight slots.
+    let circuit = library::qft(9);
+    for buffers in [1usize, 2, 3] {
+        let config = MemQSimConfig {
+            pipeline_buffers: buffers,
+            ..cfg(2)
+        };
+        run_hybrid(&circuit, &config, 1 << 12, true);
+        run_hybrid(&circuit, &config, 1 << 12, false);
+    }
+}
+
+#[test]
+fn heavy_cpu_share_with_worker_threads() {
+    let circuit = library::random_circuit(9, 6, 21);
+    for share in [0.5, 0.9] {
+        let config = MemQSimConfig {
+            cpu_share: share,
+            workers: 3,
+            ..cfg(3)
+        };
+        run_hybrid(&circuit, &config, 1 << 12, true);
+    }
+}
+
+#[test]
+fn device_exactly_fits_the_staging_buffers() {
+    // Device capacity == pipeline_buffers * group size: must succeed.
+    let circuit = library::ghz(8);
+    let config = cfg(3); // groups up to 2^(3+2) = 32 amps; 2 slots = 64 amps
+    run_hybrid(&circuit, &config, 64, true);
+}
+
+#[test]
+fn device_one_amp_short_is_oom() {
+    let circuit = library::ghz(8);
+    let config = cfg(3);
+    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let device = Device::new(DeviceSpec::tiny_test(63));
+    match hybrid::run(&store, &circuit, &config, &device, true) {
+        Err(EngineError::Device(DeviceError::OutOfMemory {
+            requested,
+            available,
+        })) => {
+            assert_eq!(requested, 32);
+            assert!(available < 32);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn store_survives_a_failed_run() {
+    // After an OOM the store must still be structurally readable.
+    let circuit = library::ghz(8);
+    let config = cfg(3);
+    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let device = Device::new(DeviceSpec::tiny_test(8));
+    let _ = hybrid::run(&store, &circuit, &config, &device, true);
+    let dense = store.to_dense().expect("store must stay readable");
+    assert_eq!(dense.len(), 256);
+    // The |0..0> amplitude is still there (no gates committed).
+    assert!((store.norm().unwrap() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn sampling_matches_between_dense_and_compressed() {
+    let circuit = library::w_state(8);
+    let config = cfg(3);
+    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let device = Device::new(DeviceSpec::tiny_test(1 << 10));
+    hybrid::run(&store, &circuit, &config, &device, true).expect("run failed");
+
+    let shots = 4000;
+    let counts = measure::sample_counts(&store, shots, &mut StdRng::seed_from_u64(5)).unwrap();
+    // W state: 8 single-excitation outcomes, each ~shots/8.
+    assert_eq!(counts.len(), 8);
+    for &(state, count) in &counts {
+        assert_eq!(state.count_ones(), 1);
+        let expect = shots as f64 / 8.0;
+        assert!(
+            (count as f64 - expect).abs() < expect * 0.5,
+            "state {state:#b} count {count}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_on_one_device_reuse_memory_cleanly() {
+    // Allocations must be freed between runs: 8 consecutive runs on a device
+    // sized for ~1.5 runs' worth of buffers.
+    let circuit = library::ghz(8);
+    let config = cfg(3);
+    let device = Device::new(DeviceSpec::tiny_test(96));
+    for round in 0..8 {
+        let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+        hybrid::run(&store, &circuit, &config, &device, true)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+    assert_eq!(device.used_amps(), 0, "device memory leaked");
+}
+
+#[test]
+fn pipelined_and_serial_produce_identical_states() {
+    let circuit = library::supremacy_like(9, 5, 4);
+    let config = cfg(3);
+    let mk = || CompressedStateVector::zero_state(9, 3, Arc::from(config.codec.build()));
+    let a = mk();
+    let b = mk();
+    let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+    hybrid::run(&a, &circuit, &config, &dev, true).unwrap();
+    hybrid::run(&b, &circuit, &config, &dev, false).unwrap();
+    let err = max_amp_err(&a.to_dense().unwrap(), &b.to_dense().unwrap());
+    assert!(err < 1e-12, "pipelining changed the result: {err}");
+}

@@ -1,0 +1,177 @@
+//! Property tests over the substrates: bit kernels, compression
+//! primitives, the device allocator, and QASM round trips — randomized
+//! inputs, structural invariants.
+
+use mq_circuit::{qasm, Circuit, Gate};
+use mq_compress::{lzss, varint};
+use mq_device::{Device, DeviceBuffer, DeviceSpec};
+use mq_num::bits;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- bit kernels ---------------------------------------------------------
+
+    #[test]
+    fn insert_zero_bit_clears_exactly_that_bit(i in 0usize..(1 << 20), pos in 0u32..20) {
+        let j = bits::insert_zero_bit(i, pos);
+        prop_assert!(!bits::bit(j, pos));
+        // Removing the inserted bit recovers i.
+        let low = j & ((1usize << pos) - 1);
+        let high = (j >> (pos + 1)) << pos;
+        prop_assert_eq!(high | low, i);
+    }
+
+    #[test]
+    fn split_join_identity(global in 0usize..(1 << 30), chunk_bits in 0u32..20) {
+        let (c, o) = bits::split_index(global, chunk_bits);
+        prop_assert_eq!(bits::join_index(c, o, chunk_bits), global);
+    }
+
+    #[test]
+    fn bit_reverse_is_involutive(i in 0usize..(1 << 16)) {
+        prop_assert_eq!(bits::bit_reverse(bits::bit_reverse(i, 16), 16), i);
+    }
+
+    // --- varint / lzss over arbitrary bytes -----------------------------------
+
+    #[test]
+    fn varint_round_trips(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn lzss_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut buf = Vec::new();
+        lzss::encode(&data, &mut buf);
+        let mut out = vec![0u8; data.len()];
+        lzss::decode(&buf, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fpc_round_trips_arbitrary_bit_patterns(raw in prop::collection::vec(any::<u64>(), 0..512)) {
+        // Arbitrary u64 bit patterns — includes NaN payloads and subnormals.
+        let data: Vec<f64> = raw.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = Vec::new();
+        mq_compress::fpc::encode(&data, &mut buf);
+        let mut out = vec![0.0f64; data.len()];
+        mq_compress::fpc::decode(&buf, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // --- device allocator invariants -------------------------------------------
+
+    #[test]
+    fn arena_alloc_free_invariants(ops in prop::collection::vec((any::<bool>(), 1usize..200), 1..60)) {
+        let device = Device::new(DeviceSpec::tiny_test(2048));
+        let mut live: Vec<DeviceBuffer> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                match device.alloc(size) {
+                    Ok(buf) => live.push(buf),
+                    Err(_) => {
+                        // OOM acceptable; accounting must still balance.
+                    }
+                }
+            } else {
+                let buf = live.swap_remove(size % live.len());
+                device.free(buf).unwrap();
+            }
+            let used: usize = live.iter().map(|b| b.len()).sum();
+            prop_assert_eq!(device.used_amps(), used);
+            prop_assert_eq!(device.available_amps(), 2048 - used);
+        }
+        for buf in live {
+            device.free(buf).unwrap();
+        }
+        prop_assert_eq!(device.used_amps(), 0);
+        prop_assert_eq!(device.available_amps(), 2048);
+    }
+
+    // --- qasm round trip ---------------------------------------------------------
+
+    #[test]
+    fn qasm_round_trips_random_expressible_circuits(
+        seeds in prop::collection::vec((0u8..7, 0u32..5, 0u32..5, -3.0f64..3.0), 1..30),
+    ) {
+        let n = 5u32;
+        let mut circuit = Circuit::new(n);
+        for (kind, a, b, theta) in seeds {
+            let a = a % n;
+            let b = b % n;
+            let gate = match kind {
+                0 => Gate::H(a),
+                1 => Gate::T(a),
+                2 => Gate::Rz(a, theta),
+                3 => Gate::U3(a, theta, -theta, 0.5 * theta),
+                4 if a != b => Gate::Cx(a, b),
+                5 if a != b => Gate::Cp(a, b, theta),
+                6 if a != b => Gate::Swap(a, b),
+                _ => Gate::X(a),
+            };
+            circuit.push(gate);
+        }
+        let text = qasm::emit(&circuit).unwrap();
+        let back = qasm::parse(&text).unwrap().circuit;
+        prop_assert_eq!(back.n_qubits(), n);
+        let want = mq_circuit::unitary::run_dense(&circuit, 0);
+        let got = mq_circuit::unitary::run_dense(&back, 0);
+        let err = mq_num::metrics::max_amp_err(&want, &got);
+        prop_assert!(err < 1e-12, "round trip drifted by {}", err);
+    }
+
+    // --- partition invariants over random circuits ------------------------------
+
+    #[test]
+    fn partition_preserves_gates_and_bounds_high_sets(
+        seeds in prop::collection::vec((0u8..6, 0u32..8, 0u32..8, -2.0f64..2.0), 1..40),
+        chunk_bits in 1u32..8,
+    ) {
+        let n = 8u32;
+        let mut circuit = Circuit::new(n);
+        for (kind, a, b, theta) in seeds {
+            let a = a % n;
+            let b = b % n;
+            let gate = match kind {
+                0 => Gate::H(a),
+                1 => Gate::Rz(a, theta),
+                2 if a != b => Gate::Cx(a, b),
+                3 if a != b => Gate::Cz(a, b),
+                4 if a != b => Gate::Swap(a, b),
+                5 if a != b => Gate::Rzz(a, b, theta),
+                _ => Gate::X(a),
+            };
+            circuit.push(gate);
+        }
+        let plan = mq_circuit::partition::partition(
+            &circuit,
+            &mq_circuit::partition::PartitionConfig {
+                chunk_bits,
+                max_high_qubits: 2,
+            },
+        );
+        let flat: Vec<&Gate> = plan.stages.iter().flat_map(|s| s.gates.iter()).collect();
+        prop_assert_eq!(flat.len(), circuit.len());
+        for (x, y) in flat.iter().zip(circuit.gates()) {
+            prop_assert_eq!(*x, y);
+        }
+        for stage in &plan.stages {
+            prop_assert!(stage.high_qubits.len() <= 2);
+            for &h in &stage.high_qubits {
+                prop_assert!(h >= chunk_bits);
+            }
+        }
+    }
+}
