@@ -127,8 +127,7 @@ fn main() {
             ..Default::default()
         };
         let circuit = mq_circuit::library::hardware_efficient_ansatz(n, 2, 7);
-        let store =
-            CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+        let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
         let r = memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged)
             .expect("engine run failed");
         t.row(&[

@@ -48,7 +48,12 @@ fn main() {
     println!("algorithm and the compute backend (paper Fig. 1).\n");
 
     for circuit in library::standard_suite(n) {
-        let runs = run_on_all(&circuit, &backends, 1e-6).expect("backend run failed");
+        // Divergence comes back as a typed error naming both backends, so a
+        // failed modularity check reads as a diagnosis, not a panic.
+        let runs = run_on_all(&circuit, &backends, 1e-6).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", circuit.name());
+            std::process::exit(1);
+        });
         println!("## {} ({} gates)\n", circuit.name(), circuit.len());
         let mut t = Table::new(&["backend", "wall", "peak state", "peak working", "detail"]);
         for (b, r) in backends.iter().zip(&runs) {

@@ -9,8 +9,8 @@
 //! Usage: `cargo run -p mq-bench --release --bin pipeline_breakdown
 //!         [--qubits 16] [--chunk-bits 12]`
 
-use memqsim_core::{engine::hybrid, CompressedStateVector, MemQSimConfig};
-use mq_bench::{Args, Table};
+use memqsim_core::{engine::hybrid, CompressedStateVector, Counter, MemQSimConfig};
+use mq_bench::{write_results_json, Args, Table};
 use mq_circuit::library;
 use mq_compress::CodecSpec;
 use mq_device::{Device, DeviceSpec};
@@ -41,16 +41,16 @@ fn main() {
 
     let circuit = library::qft(n);
     let mut rows = Vec::new();
-    for (label, pipelined, dual_stream) in [
-        ("serial (no overlap)", false, false),
-        ("pipelined (Fig. 2)", true, false),
-        ("pipelined + dual-stream", true, true),
+    for (key, label, pipelined, dual_stream) in [
+        ("serial", "serial (no overlap)", false, false),
+        ("pipelined", "pipelined (Fig. 2)", true, false),
+        ("dual_stream", "pipelined + dual-stream", true, true),
     ] {
         let cfg = MemQSimConfig { dual_stream, ..cfg };
         let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
         let device = Device::new(DeviceSpec::pcie_gen3());
         let r = hybrid::run(&store, &circuit, &cfg, &device, pipelined).expect("hybrid run failed");
-        rows.push((label, r));
+        rows.push((key, label, r));
     }
 
     let mut t = Table::new(&[
@@ -64,7 +64,7 @@ fn main() {
         "modeled overlapped",
         "wall",
     ]);
-    for (label, r) in &rows {
+    for (_, label, r) in &rows {
         t.row(&[
             label.to_string(),
             fmt(r.decompress),
@@ -79,8 +79,35 @@ fn main() {
     }
     println!("{t}");
 
-    let dual = &rows[2].1;
-    let single = &rows[1].1;
+    // Measured role timeline, straight from the mq-telemetry span record:
+    // the union of busy intervals is what actually ran concurrently.
+    let mut measured = Table::new(&[
+        "mode",
+        "busy sum",
+        "busy union",
+        "measured overlap",
+        "roles overlap?",
+        "H2D bytes",
+        "D2H bytes",
+        "kernel launches",
+    ]);
+    for (_, label, r) in &rows {
+        let t = &r.telemetry;
+        measured.row(&[
+            label.to_string(),
+            fmt(t.serial_sum()),
+            fmt(t.union_busy()),
+            fmt(t.overlap()),
+            t.has_role_overlap().to_string(),
+            t.counter(Counter::BytesH2d).to_string(),
+            t.counter(Counter::BytesD2h).to_string(),
+            t.counter(Counter::KernelLaunches).to_string(),
+        ]);
+    }
+    println!("Measured role timeline (mq-telemetry):\n\n{measured}");
+
+    let dual = &rows[2].2;
+    let single = &rows[1].2;
     let dual_busy = dual.device.modeled_h2d
         + dual.device.modeled_d2h
         + dual.device.modeled_kernel
@@ -105,12 +132,56 @@ fn main() {
     println!("\nModeled overlap gain (serial / overlapped): {overlap_gain:.2}x");
     println!("(Perfect double-buffering hides the smaller of CPU-side and device-side time;");
     println!("the paper's Fig. 2 pipelines decompression, transfer and kernels the same way.)");
-    let ok = r.modeled_overlapped <= r.modeled_serial;
+
+    // Shape checks. The serial ablation's stage barrier makes role overlap
+    // structurally impossible; the pipelined runs must show *measured*
+    // overlap (busy union strictly below the busy sum) — but only when the
+    // workload offers any (more than one group per stage; a single-chunk
+    // degenerate run has nothing to pipeline).
+    let serial = &rows[0].2;
+    let model_ok = r.modeled_overlapped <= r.modeled_serial;
+    let serial_ok = !serial.telemetry.has_role_overlap();
+    let pipelinable = r.groups_device + r.groups_cpu > r.stages;
+    let piped_ok = !pipelinable
+        || rows[1..]
+            .iter()
+            .all(|(_, _, r)| r.telemetry.union_busy() < r.telemetry.serial_sum());
     println!(
-        "\nShape {} — overlapped <= serial.",
-        if ok { "[OK]" } else { "[FAIL]" }
+        "\nShape {} — overlapped <= serial (model).",
+        if model_ok { "[OK]" } else { "[FAIL]" }
     );
-    if !ok {
+    println!(
+        "Shape {} — serial run measured no role overlap.",
+        if serial_ok { "[OK]" } else { "[FAIL]" }
+    );
+    println!(
+        "Shape {} — pipelined runs measured real overlap (union < sum).",
+        if !pipelinable {
+            "[n/a: one group per stage]"
+        } else if piped_ok {
+            "[OK]"
+        } else {
+            "[FAIL]"
+        }
+    );
+
+    let modes = rows
+        .iter()
+        .map(|(key, _, r)| format!("    \"{key}\": {}", r.telemetry.to_json(false)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"pipeline_breakdown\",\n  \"circuit\": \"qft{n}\",\n  \
+         \"chunk_bits\": {chunk_bits},\n  \"checks\": {{\"model_overlap\": {model_ok}, \
+         \"serial_no_overlap\": {serial_ok}, \"pipelined_overlap\": {piped_ok}}},\n  \
+         \"modes\": {{\n{modes}\n  }}\n}}"
+    );
+    match write_results_json("telemetry_pipeline_breakdown", &json) {
+        Ok(path) => println!("\nTelemetry written to {}.", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
+    }
+
+    if !(model_ok && serial_ok && piped_ok) {
         std::process::exit(1);
     }
 }

@@ -8,8 +8,9 @@
 //! Usage: `cargo run -p mq-bench --release --bin table1 [--fast]`
 //! (`--fast` restricts to 20 qubits to keep the run under a few seconds).
 
-use mq_bench::{fmt_secs, Args, Table};
+use mq_bench::{fmt_secs, write_results_json, Args, Table};
 use mq_device::{run_transfer_experiment, Device, DeviceSpec, TransferStrategy};
+use mq_telemetry::{Counter, Telemetry};
 
 fn main() {
     let args = Args::capture();
@@ -56,11 +57,16 @@ fn main() {
     let mut sync_total = std::collections::HashMap::new();
     let mut results = Vec::new();
 
+    let mut telemetry_entries = Vec::new();
     for &q in &qubit_rows {
         for strategy in TransferStrategy::all() {
             let piece = 1usize << q; // paper moves the whole vector at once
+            let telemetry = Telemetry::new();
+            device.attach_telemetry(telemetry.clone());
             let r = run_transfer_experiment(&device, q, piece, strategy)
                 .expect("transfer experiment failed");
+            device.detach_telemetry();
+            let record = telemetry.finish();
             let (ph, pd) = paper(q, strategy);
             let h2d = r.effective_h2d().as_secs_f64();
             let d2h = r.effective_d2h().as_secs_f64();
@@ -78,9 +84,30 @@ fn main() {
                 sync_total.insert(q, h2d + d2h);
             }
             results.push((q, strategy, h2d, d2h));
+            telemetry_entries.push((q, strategy, h2d, d2h, record));
         }
     }
     println!("{table}");
+
+    // Counter sanity: every strategy moves the exact same payload (the full
+    // 2^q-amplitude vector, 16 bytes per amplitude) in each direction; only
+    // buffered scatter performs gather/scatter passes.
+    let mut counters_ok = true;
+    for (q, strategy, _, _, record) in &telemetry_entries {
+        let expect = (1u64 << q) * 16;
+        let h2d_bytes = record.counter(Counter::BytesH2d);
+        let d2h_bytes = record.counter(Counter::BytesD2h);
+        let scatter = record.counter(Counter::ScatterOps);
+        let uniform = h2d_bytes == expect && d2h_bytes == expect;
+        let scatter_sane = (*strategy == TransferStrategy::BufferedScatter) == (scatter > 0);
+        counters_ok &= uniform && scatter_sane && record.balanced();
+        if !(uniform && scatter_sane) {
+            println!(
+                "counter mismatch at {q}q/{}: h2d {h2d_bytes} d2h {d2h_bytes} scatter {scatter}",
+                strategy.label()
+            );
+        }
+    }
 
     println!("## Claim checks\n");
     let mut ok = true;
@@ -107,6 +134,56 @@ fn main() {
             TransferStrategy::Sync => {}
         }
     }
+    println!(
+        "- counters: every strategy moved the full vector both ways, gather/scatter only \
+         under buffering {}",
+        if counters_ok { "[OK]" } else { "[FAIL]" }
+    );
+    ok &= counters_ok;
+
+    // The paper's ordering per qubit count: async >> buffered >= sync-ish.
+    // Check it on the modeled clocks the telemetry entries carry.
+    let mut ordering_ok = true;
+    for &q in &qubit_rows {
+        let total = |s: TransferStrategy| -> f64 {
+            telemetry_entries
+                .iter()
+                .find(|(eq, es, _, _, _)| *eq == q && *es == s)
+                .map(|(_, _, h, d, _)| h + d)
+                .unwrap_or(f64::NAN)
+        };
+        ordering_ok &= total(TransferStrategy::AsyncPerElement) > total(TransferStrategy::Sync)
+            && total(TransferStrategy::AsyncPerElement) > total(TransferStrategy::BufferedScatter);
+    }
+    println!(
+        "- ordering: async-per-element slowest at every size, as in Table 1 {}",
+        if ordering_ok { "[OK]" } else { "[FAIL]" }
+    );
+    ok &= ordering_ok;
+
+    let entries = telemetry_entries
+        .iter()
+        .map(|(q, strategy, h2d, d2h, record)| {
+            format!(
+                "    {{\"qubits\": {q}, \"strategy\": \"{}\", \"h2d_model_s\": {h2d}, \
+                 \"d2h_model_s\": {d2h}, \"telemetry\": {}}}",
+                strategy.label(),
+                record.to_json(false)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"table1\",\n  \"checks\": {{\"claims\": {}, \
+         \"counters\": {counters_ok}, \"ordering\": {ordering_ok}}},\n  \
+         \"entries\": [\n{entries}\n  ]\n}}",
+        ok && counters_ok && ordering_ok
+    );
+    match write_results_json("telemetry_table1", &json) {
+        Ok(path) => println!("\nTelemetry written to {}.", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
+    }
+
     println!(
         "\nShape {}",
         if ok {

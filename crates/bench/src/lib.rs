@@ -18,9 +18,11 @@
 //! This library provides markdown table rendering, mid-circuit state
 //! snapshots as compression workloads, and small CLI-argument helpers.
 
+pub mod report;
 pub mod table;
 pub mod workloads;
 
+pub use report::write_results_json;
 pub use table::Table;
 
 /// Parses `--key value` style options from `std::env::args`, with defaults.

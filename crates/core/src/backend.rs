@@ -12,8 +12,9 @@ use crate::store::CompressedStateVector;
 use mq_circuit::Circuit;
 use mq_device::{Device, DeviceSpec};
 use mq_num::Complex64;
+use mq_telemetry::{Role, RunTelemetry, Telemetry};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of running a circuit on any backend.
 #[derive(Debug, Clone)]
@@ -31,6 +32,8 @@ pub struct BackendRun {
     pub modeled_device: Duration,
     /// Backend-specific detail line for reports.
     pub detail: String,
+    /// Per-run span/counter record (every backend produces one).
+    pub telemetry: RunTelemetry,
 }
 
 impl BackendRun {
@@ -67,23 +70,27 @@ impl Backend for DenseCpuBackend {
     }
 
     fn run(&self, circuit: &Circuit) -> Result<BackendRun, EngineError> {
-        let t0 = Instant::now();
-        let state = mq_statevec::run_circuit(
-            circuit,
-            &mq_statevec::CpuConfig {
-                workers: self.workers,
-                fuse: false,
-            },
-        );
-        let wall = t0.elapsed();
+        // The dense baseline is a single CPU-apply role on the timeline.
+        let telemetry = Telemetry::new();
+        let state = telemetry.timed(Role::CpuApply, || {
+            mq_statevec::run_circuit(
+                circuit,
+                &mq_statevec::CpuConfig {
+                    workers: self.workers,
+                    fuse: false,
+                },
+            )
+        });
+        let record = telemetry.finish();
         let bytes = state.dim() * 16;
         Ok(BackendRun {
             amplitudes: state.amplitudes().to_vec(),
-            wall,
+            wall: record.wall,
             peak_state_bytes: bytes,
             peak_working_bytes: 0,
             modeled_device: Duration::ZERO,
             detail: format!("dense, {} amplitudes", state.dim()),
+            telemetry: record,
         })
     }
 }
@@ -142,6 +149,7 @@ impl Backend for CompressedCpuBackend {
                 report.chunk_visits,
                 store.current_ratio()
             ),
+            telemetry: report.telemetry,
         })
     }
 }
@@ -199,12 +207,15 @@ impl Backend for HybridBackend {
                 "{} stages, {} device + {} cpu groups, modeled device {:?}",
                 report.stages, report.groups_device, report.groups_cpu, report.device.modeled
             ),
+            telemetry: report.telemetry,
         })
     }
 }
 
 /// Runs the same circuit on every backend and checks mutual agreement —
-/// the Figure 1 modularity demonstration. Returns the per-backend runs.
+/// the Figure 1 modularity demonstration. Returns the per-backend runs, or
+/// [`EngineError::BackendDivergence`] naming the first backend whose result
+/// differs from the reference (the first backend) by more than `tol`.
 pub fn run_on_all(
     circuit: &Circuit,
     backends: &[&dyn Backend],
@@ -216,12 +227,14 @@ pub fn run_on_all(
     if let Some((first, rest)) = runs.split_first() {
         for (i, r) in rest.iter().enumerate() {
             let err = mq_num::metrics::max_amp_err(&first.amplitudes, &r.amplitudes);
-            assert!(
-                err <= tol,
-                "backend '{}' diverges from '{}' by {err}",
-                backends[i + 1].name(),
-                backends[0].name()
-            );
+            if err > tol {
+                return Err(EngineError::BackendDivergence {
+                    first: backends[0].name(),
+                    other: backends[i + 1].name(),
+                    max_err: err,
+                    tol,
+                });
+            }
         }
     }
     Ok(runs)
@@ -300,5 +313,36 @@ mod tests {
         let r = DenseCpuBackend::default().run(&library::ghz(5)).unwrap();
         assert_eq!(r.peak_total_bytes(), 32 * 16);
         assert_eq!(r.modeled_device, Duration::ZERO);
+        // Every backend carries a balanced telemetry record.
+        assert!(r.telemetry.balanced());
+        assert_eq!(r.wall, r.telemetry.wall);
+        assert!(r.telemetry.busy(Role::CpuApply) > Duration::ZERO);
+    }
+
+    #[test]
+    fn divergence_surfaces_as_typed_error() {
+        // A very lossy compressed backend against the exact dense baseline,
+        // checked at an impossible tolerance: run_on_all must return the
+        // typed divergence error instead of panicking.
+        let dense = DenseCpuBackend::default();
+        let lossy = CompressedCpuBackend::new(MemQSimConfig {
+            codec: CodecSpec::Sz { eb: 1e-2 },
+            ..small_cfg()
+        });
+        let c = library::qft(6);
+        match run_on_all(&c, &[&dense, &lossy], 1e-15) {
+            Err(EngineError::BackendDivergence {
+                first,
+                other,
+                max_err,
+                tol,
+            }) => {
+                assert_eq!(first, "dense-cpu");
+                assert!(other.contains("compressed-cpu"), "{other}");
+                assert!(max_err > tol);
+                assert_eq!(tol, 1e-15);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
     }
 }

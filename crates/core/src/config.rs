@@ -49,6 +49,28 @@ impl Default for MemQSimConfig {
 }
 
 impl MemQSimConfig {
+    /// Starts a fail-fast builder from the default configuration.
+    ///
+    /// [`MemQSimConfigBuilder::build`] validates, so an invalid combination
+    /// surfaces at construction instead of at engine start:
+    ///
+    /// ```
+    /// use memqsim_core::MemQSimConfig;
+    ///
+    /// let cfg = MemQSimConfig::builder()
+    ///     .chunk_bits(12)
+    ///     .workers(4)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(cfg.chunk_bits, 12);
+    /// assert!(MemQSimConfig::builder().workers(0).build().is_err());
+    /// ```
+    pub fn builder() -> MemQSimConfigBuilder {
+        MemQSimConfigBuilder {
+            cfg: MemQSimConfig::default(),
+        }
+    }
+
     /// Effective chunk bits for an `n`-qubit register: chunks never exceed
     /// the state vector itself.
     pub fn effective_chunk_bits(&self, n_qubits: u32) -> u32 {
@@ -73,6 +95,74 @@ impl MemQSimConfig {
             return Err("workers must be >= 1".into());
         }
         Ok(())
+    }
+}
+
+/// Builder for [`MemQSimConfig`]; created by [`MemQSimConfig::builder`].
+///
+/// Starts from [`MemQSimConfig::default`]; every setter overrides one field
+/// and [`build`](Self::build) runs [`MemQSimConfig::validate`] so the result
+/// is valid by construction. The struct-literal path (`MemQSimConfig { .. }`)
+/// remains available for tests and call sites that want raw field access.
+#[derive(Debug, Clone)]
+pub struct MemQSimConfigBuilder {
+    cfg: MemQSimConfig,
+}
+
+impl MemQSimConfigBuilder {
+    /// log2 of amplitudes per compressed chunk.
+    pub fn chunk_bits(mut self, chunk_bits: u32) -> Self {
+        self.cfg.chunk_bits = chunk_bits;
+        self
+    }
+
+    /// Maximum distinct cross-chunk pairing qubits per stage.
+    pub fn max_high_qubits(mut self, max_high_qubits: u32) -> Self {
+        self.cfg.max_high_qubits = max_high_qubits;
+        self
+    }
+
+    /// Which codec compresses resident chunks.
+    pub fn codec(mut self, codec: CodecSpec) -> Self {
+        self.cfg.codec = codec;
+        self
+    }
+
+    /// CPU worker threads for decompress/apply/recompress.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// In-flight staging buffers for the hybrid pipeline.
+    pub fn pipeline_buffers(mut self, pipeline_buffers: usize) -> Self {
+        self.cfg.pipeline_buffers = pipeline_buffers;
+        self
+    }
+
+    /// Fraction of chunk groups updated on the CPU instead of the device.
+    pub fn cpu_share(mut self, cpu_share: f64) -> Self {
+        self.cfg.cpu_share = cpu_share;
+        self
+    }
+
+    /// Run transfers and kernels on separate, event-linked device streams.
+    pub fn dual_stream(mut self, dual_stream: bool) -> Self {
+        self.cfg.dual_stream = dual_stream;
+        self
+    }
+
+    /// Run the commutation-aware reordering pass before partitioning.
+    pub fn reorder(mut self, reorder: bool) -> Self {
+        self.cfg.reorder = reorder;
+        self
+    }
+
+    /// Validates and returns the configuration, or a description of the
+    /// first problem found.
+    pub fn build(self) -> Result<MemQSimConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -122,5 +212,54 @@ mod tests {
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let cfg = MemQSimConfig::builder()
+            .chunk_bits(10)
+            .max_high_qubits(3)
+            .codec(CodecSpec::Fpc)
+            .workers(2)
+            .pipeline_buffers(4)
+            .cpu_share(0.5)
+            .dual_stream(true)
+            .reorder(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg,
+            MemQSimConfig {
+                chunk_bits: 10,
+                max_high_qubits: 3,
+                codec: CodecSpec::Fpc,
+                workers: 2,
+                pipeline_buffers: 4,
+                cpu_share: 0.5,
+                dual_stream: true,
+                reorder: true,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(
+            MemQSimConfig::builder().build().unwrap(),
+            MemQSimConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations_at_build_time() {
+        assert!(MemQSimConfig::builder().workers(0).build().is_err());
+        assert!(MemQSimConfig::builder().cpu_share(-0.1).build().is_err());
+        assert!(MemQSimConfig::builder()
+            .pipeline_buffers(0)
+            .build()
+            .is_err());
+        assert!(MemQSimConfig::builder().max_high_qubits(0).build().is_err());
+        let err = MemQSimConfig::builder().cpu_share(2.0).build().unwrap_err();
+        assert!(err.contains("cpu_share"), "{err}");
     }
 }

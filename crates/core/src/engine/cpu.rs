@@ -7,7 +7,7 @@
 //! over "idle core" workers (paper Fig. 2, step 5).
 
 use crate::config::MemQSimConfig;
-use crate::engine::{EngineError, Granularity};
+use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
 use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::CompressedStateVector;
@@ -15,11 +15,16 @@ use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan
 use mq_circuit::Circuit;
 use mq_num::parallel::par_for;
 use mq_num::Complex64;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use mq_telemetry::{Role, RunTelemetry, Telemetry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Timing and traffic report from a compressed-CPU run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// All duration fields are *derived* from the run's [`RunTelemetry`]
+/// timeline (per-role busy times), so they agree with the span record by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuRunReport {
     /// Wall-clock time of the whole run.
     pub wall: Duration,
@@ -41,6 +46,8 @@ pub struct CpuRunReport {
     pub peak_compressed_bytes: usize,
     /// Peak transient working-buffer bytes (per-worker buffers).
     pub peak_buffer_bytes: usize,
+    /// The full span/counter record the durations above derive from.
+    pub telemetry: RunTelemetry,
 }
 
 /// Builds the plan for `circuit` under `cfg` at the given granularity,
@@ -86,20 +93,20 @@ pub fn run(
         "store chunk size disagrees with config"
     );
 
+    let telemetry = Telemetry::new();
+    store.attach_telemetry(telemetry.clone());
+    let _store_guard = StoreTelemetryGuard(store);
+
     let plan = build_plan(circuit, cfg, granularity);
     let chunk_amps = store.chunk_amps();
 
-    let t0 = Instant::now();
-    let decompress_ns = AtomicU64::new(0);
-    let apply_ns = AtomicU64::new(0);
-    let compress_ns = AtomicU64::new(0);
     let gates_applied = AtomicUsize::new(0);
     let scalars_applied = AtomicUsize::new(0);
     let first_error = parking_lot::Mutex::new(None::<EngineError>);
     let mut chunk_visits = 0usize;
     let mut peak_buffer_bytes = 0usize;
 
-    for stage in &plan.stages {
+    for (si, stage) in plan.stages.iter().enumerate() {
         let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
         chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
         let group_amps = stage.group_size() * chunk_amps;
@@ -113,19 +120,20 @@ pub fn run(
             let mut buffer = vec![Complex64::ZERO; group_amps];
 
             // Decompress members into their buffer slots.
-            let t = Instant::now();
-            for (j, &chunk) in group.iter().enumerate() {
-                if let Err(e) =
-                    store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
-                {
-                    *first_error.lock() = Some(e.into());
-                    return;
+            {
+                let _span = telemetry.stage_span(Role::Decompress, si as u32);
+                for (j, &chunk) in group.iter().enumerate() {
+                    if let Err(e) =
+                        store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
+                    {
+                        *first_error.lock() = Some(e.into());
+                        return;
+                    }
                 }
             }
-            decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
             // Apply all stage gates, specialized to this group.
-            let t = Instant::now();
+            let apply_span = telemetry.stage_span(Role::CpuApply, si as u32);
             let ctx = GroupContext {
                 chunk_bits: plan.chunk_bits,
                 high: &stage.high_qubits,
@@ -146,14 +154,13 @@ pub fn run(
                     }
                 }
             }
-            apply_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            drop(apply_span);
 
             // Recompress.
-            let t = Instant::now();
+            let _span = telemetry.stage_span(Role::Recompress, si as u32);
             for (j, &chunk) in group.iter().enumerate() {
                 store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
             }
-            compress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         });
 
         if let Some(e) = first_error.lock().take() {
@@ -161,17 +168,19 @@ pub fn run(
         }
     }
 
+    let record = telemetry.finish();
     Ok(CpuRunReport {
-        wall: t0.elapsed(),
-        decompress: Duration::from_nanos(decompress_ns.into_inner()),
-        apply: Duration::from_nanos(apply_ns.into_inner()),
-        compress: Duration::from_nanos(compress_ns.into_inner()),
+        wall: record.wall,
+        decompress: record.busy(Role::Decompress),
+        apply: record.busy(Role::CpuApply),
+        compress: record.busy(Role::Recompress),
         stages: plan.stages.len(),
         chunk_visits,
         gates_applied: gates_applied.into_inner(),
         scalars_applied: scalars_applied.into_inner(),
         peak_compressed_bytes: store.peak_compressed_bytes(),
         peak_buffer_bytes,
+        telemetry: record,
     })
 }
 
@@ -313,6 +322,17 @@ mod tests {
         assert!(r.peak_buffer_bytes > 0);
         // GHZ has no outside-diagonal gates, so no scalars.
         assert_eq!(r.scalars_applied, 0);
+        // Durations are derived from the telemetry record, not separate
+        // accumulators, so they agree with it exactly.
+        assert!(r.telemetry.balanced());
+        assert_eq!(r.decompress, r.telemetry.busy(Role::Decompress));
+        assert_eq!(r.apply, r.telemetry.busy(Role::CpuApply));
+        assert_eq!(r.compress, r.telemetry.busy(Role::Recompress));
+        assert_eq!(
+            r.chunk_visits as u64,
+            r.telemetry.counter(mq_telemetry::Counter::ChunkVisits)
+        );
+        assert!(r.telemetry.counter(mq_telemetry::Counter::BytesCompressed) > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::config::MemQSimConfig;
 use crate::engine::EngineError;
 use crate::engine::Granularity;
+use crate::engine::{DeviceTelemetryGuard, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
 use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::CompressedStateVector;
@@ -28,12 +29,17 @@ use mq_circuit::{Circuit, Gate};
 use mq_device::{Device, DeviceBuffer, PinnedBuffer, StreamStats};
 use mq_num::parallel::par_for;
 use mq_num::Complex64;
+use mq_telemetry::{Role, RunTelemetry, Telemetry};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Report from a hybrid run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The `decompress` / `compress` / `cpu_apply` durations are *derived* from
+/// the run's [`RunTelemetry`] timeline (per-role busy times), so they agree
+/// with the span record by construction.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HybridRunReport {
     /// Wall-clock time of the whole run.
     pub wall: Duration,
@@ -62,6 +68,8 @@ pub struct HybridRunReport {
     /// Modeled end-to-end time with perfect phase overlap
     /// (max of CPU-side and device-side busy time).
     pub modeled_overlapped: Duration,
+    /// The full span/counter record the durations above derive from.
+    pub telemetry: RunTelemetry,
 }
 
 /// One unit of pipeline work: a chunk group, staged and specialized.
@@ -69,6 +77,7 @@ struct Work {
     group: Vec<usize>,
     amps: usize,
     slot: usize,
+    stage: u32,
     gates: Vec<Gate>,
     scalar: Complex64,
 }
@@ -98,6 +107,14 @@ pub fn run(
     let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
     assert_eq!(store.chunk_bits(), chunk_bits, "store chunk size mismatch");
 
+    // One telemetry record for the whole run, shared by all three pipeline
+    // roles; the store and the device feed their counters into it.
+    let telemetry = Telemetry::new();
+    store.attach_telemetry(telemetry.clone());
+    let _store_guard = StoreTelemetryGuard(store);
+    device.attach_telemetry(telemetry.clone());
+    let _device_guard = DeviceTelemetryGuard(device);
+
     let plan = super::cpu::build_plan(circuit, cfg, Granularity::Staged);
     let chunk_amps = store.chunk_amps();
     let max_group_amps = chunk_amps << cfg.max_high_qubits;
@@ -111,9 +128,6 @@ pub fn run(
         .map(|_| device.alloc(max_group_amps))
         .collect::<Result<_, _>>()?;
 
-    let decompress_ns = AtomicU64::new(0);
-    let compress_ns = AtomicU64::new(0);
-    let cpu_apply_ns = AtomicU64::new(0);
     let groups_cpu = AtomicUsize::new(0);
     let groups_device = AtomicUsize::new(0);
     let error: Mutex<Option<EngineError>> = Mutex::new(None);
@@ -127,7 +141,6 @@ pub fn run(
     } else {
         None
     };
-    let t0 = Instant::now();
 
     let result: Result<(), EngineError> = crossbeam::thread::scope(|scope| {
         let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
@@ -143,6 +156,7 @@ pub fn run(
         let extra_ref = extra_streams.as_ref();
         let pinned_ref = &pinned;
         let dev_bufs_ref = &dev_bufs;
+        let issuer_telemetry = telemetry.clone();
         scope.spawn(move |_| {
             while let Ok(msg) = to_completer_forwarder(&to_device_rx) {
                 match msg {
@@ -152,6 +166,7 @@ pub fn run(
                         }
                     }
                     ToDevice::Work(work) => {
+                        let span = issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
                         let pb = &pinned_ref[work.slot];
                         let db = dev_bufs_ref[work.slot];
                         let event = match extra_ref {
@@ -184,6 +199,9 @@ pub fn run(
                                 copy_ref.record_event()
                             }
                         };
+                        // Close before the send: a full channel is
+                        // backpressure wait, not device-issue work.
+                        drop(span);
                         if to_completer_tx
                             .send(ToCompleter::Work(work, event))
                             .is_err()
@@ -196,9 +214,9 @@ pub fn run(
         });
 
         // --- completer / recompressor --------------------------------------
-        let compress_ref = &compress_ns;
         let store_ref = store;
         let groups_device_ref = &groups_device;
+        let completer_telemetry = telemetry.clone();
         scope.spawn(move |_| {
             while let Ok(msg) = to_completer_rx.recv() {
                 match msg {
@@ -208,8 +226,10 @@ pub fn run(
                         }
                     }
                     ToCompleter::Work(work, event) => {
+                        // Waiting on the device is idle time, not recompress
+                        // work; the span opens only once results are back.
                         event.wait();
-                        let t = Instant::now();
+                        let _span = completer_telemetry.stage_span(Role::Recompress, work.stage);
                         pinned_ref[work.slot].write(|data| {
                             if work.scalar != Complex64::ONE {
                                 for z in &mut data[..work.amps] {
@@ -223,7 +243,6 @@ pub fn run(
                                 );
                             }
                         });
-                        compress_ref.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         groups_device_ref.fetch_add(1, Ordering::Relaxed);
                         let _ = pool_tx.send(work.slot);
                     }
@@ -232,7 +251,7 @@ pub fn run(
         });
 
         // --- producer (this thread): decompress + specialize ---------------
-        'stages: for stage in &plan.stages {
+        'stages: for (si, stage) in plan.stages.iter().enumerate() {
             let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
             let n_cpu = ((groups.len() as f64) * cfg.cpu_share).round() as usize;
             let (cpu_groups, dev_groups) = groups.split_at(n_cpu.min(groups.len()));
@@ -246,9 +265,8 @@ pub fn run(
                     cpu_groups,
                     plan.chunk_bits,
                     cfg.workers,
-                    &decompress_ns,
-                    &cpu_apply_ns,
-                    &compress_ns,
+                    &telemetry,
+                    si as u32,
                     &error,
                 );
                 groups_cpu.fetch_add(cpu_groups.len(), Ordering::Relaxed);
@@ -275,23 +293,24 @@ pub fn run(
                     }
                 };
                 let amps = group.len() * chunk_amps;
-                let t = Instant::now();
                 let mut failed = None;
-                pinned[slot].write(|data| {
-                    for (j, &chunk) in group.iter().enumerate() {
-                        if let Err(e) =
-                            store.load_chunk(chunk, &mut data[j * chunk_amps..(j + 1) * chunk_amps])
-                        {
-                            failed = Some(e);
-                            return;
+                {
+                    let _span = telemetry.stage_span(Role::Decompress, si as u32);
+                    pinned[slot].write(|data| {
+                        for (j, &chunk) in group.iter().enumerate() {
+                            if let Err(e) = store
+                                .load_chunk(chunk, &mut data[j * chunk_amps..(j + 1) * chunk_amps])
+                            {
+                                failed = Some(e);
+                                return;
+                            }
                         }
-                    }
-                });
+                    });
+                }
                 if let Some(e) = failed {
                     *error.lock() = Some(e.into());
                     break 'stages;
                 }
-                decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
                 let ctx = GroupContext {
                     chunk_bits: plan.chunk_bits,
@@ -311,6 +330,7 @@ pub fn run(
                     group: group.clone(),
                     amps,
                     slot,
+                    stage: si as u32,
                     gates,
                     scalar,
                 };
@@ -359,8 +379,6 @@ pub fn run(
             device_stats.bytes_d2h += s.bytes_d2h;
         }
     }
-    let wall = t0.elapsed();
-
     for db in dev_bufs {
         device.free(db)?;
     }
@@ -368,12 +386,15 @@ pub fn run(
         return Err(e);
     }
 
-    let decompress = Duration::from_nanos(decompress_ns.into_inner());
-    let compress = Duration::from_nanos(compress_ns.into_inner());
-    let cpu_apply = Duration::from_nanos(cpu_apply_ns.into_inner());
+    // Snapshot after the pipeline threads joined and the streams drained,
+    // so every span is closed and every device counter has landed.
+    let record = telemetry.finish();
+    let decompress = record.busy(Role::Decompress);
+    let compress = record.busy(Role::Recompress);
+    let cpu_apply = record.busy(Role::CpuApply);
     let cpu_side = decompress + compress + cpu_apply;
     Ok(HybridRunReport {
-        wall,
+        wall: record.wall,
         decompress,
         compress,
         cpu_apply,
@@ -386,6 +407,7 @@ pub fn run(
         device_buffer_bytes: slots * max_group_amps * 16,
         modeled_serial: cpu_side + device_stats.modeled,
         modeled_overlapped: cpu_side.max(device_stats.modeled),
+        telemetry: record,
     })
 }
 
@@ -404,9 +426,8 @@ fn process_groups_on_cpu(
     groups: &[Vec<usize>],
     chunk_bits: u32,
     workers: usize,
-    decompress_ns: &AtomicU64,
-    apply_ns: &AtomicU64,
-    compress_ns: &AtomicU64,
+    telemetry: &Telemetry,
+    stage_idx: u32,
     error: &Mutex<Option<EngineError>>,
 ) {
     let chunk_amps = 1usize << chunk_bits;
@@ -416,17 +437,18 @@ fn process_groups_on_cpu(
         }
         let group = &groups[gi];
         let mut buffer = vec![Complex64::ZERO; group.len() * chunk_amps];
-        let t = Instant::now();
-        for (j, &chunk) in group.iter().enumerate() {
-            if let Err(e) =
-                store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
-            {
-                *error.lock() = Some(e.into());
-                return;
+        {
+            let _span = telemetry.stage_span(Role::Decompress, stage_idx);
+            for (j, &chunk) in group.iter().enumerate() {
+                if let Err(e) =
+                    store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
+                {
+                    *error.lock() = Some(e.into());
+                    return;
+                }
             }
         }
-        decompress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let t = Instant::now();
+        let apply_span = telemetry.stage_span(Role::CpuApply, stage_idx);
         let ctx = GroupContext {
             chunk_bits,
             high: &stage.high_qubits,
@@ -443,12 +465,11 @@ fn process_groups_on_cpu(
                 Specialized::Apply(g) => mq_statevec::apply::apply_gate(&mut buffer, &g, 1),
             }
         }
-        apply_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let t = Instant::now();
+        drop(apply_span);
+        let _span = telemetry.stage_span(Role::Recompress, stage_idx);
         for (j, &chunk) in group.iter().enumerate() {
             store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
         }
-        compress_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     });
 }
 
@@ -569,6 +590,40 @@ mod tests {
             r.modeled_serial,
             r.decompress + r.compress + r.cpu_apply + r.device.modeled
         );
+    }
+
+    #[test]
+    fn report_durations_derive_from_telemetry() {
+        use mq_telemetry::Counter;
+        let c = library::qft(7);
+        let r = run_and_compare(&c, &cfg(3), true);
+        assert!(r.telemetry.balanced());
+        assert_eq!(r.decompress, r.telemetry.busy(Role::Decompress));
+        assert_eq!(r.compress, r.telemetry.busy(Role::Recompress));
+        assert_eq!(r.cpu_apply, r.telemetry.busy(Role::CpuApply));
+        assert!(r.telemetry.busy(Role::DeviceIssue) > Duration::ZERO);
+        // Device counters agree with the stream's own accounting.
+        assert_eq!(
+            r.device.bytes_h2d as u64,
+            r.telemetry.counter(Counter::BytesH2d)
+        );
+        assert_eq!(
+            r.device.bytes_d2h as u64,
+            r.telemetry.counter(Counter::BytesD2h)
+        );
+        assert!(r.telemetry.counter(Counter::KernelLaunches) > 0);
+        assert!(r.telemetry.counter(Counter::BytesCompressed) > 0);
+    }
+
+    #[test]
+    fn serial_run_records_no_role_overlap() {
+        // The ablation drains the pipeline after every group, so no two
+        // spans of different roles can ever be open at once.
+        let c = library::qft(7);
+        let r = run_and_compare(&c, &cfg(3), false);
+        assert!(r.telemetry.balanced());
+        assert!(!r.telemetry.has_role_overlap());
+        assert_eq!(r.telemetry.overlap(), Duration::ZERO);
     }
 
     #[test]
@@ -712,8 +767,7 @@ mod max_high_one_tests {
             reorder: true,
         };
         for circuit in [library::ghz(8), library::w_state(8)] {
-            let store =
-                CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+            let store = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
             let dev = Device::new(DeviceSpec::tiny_test(1 << 10));
             run(&store, &circuit, &cfg, &dev, true).unwrap();
             let err = max_amp_err(&store.to_dense().unwrap(), &run_dense(&circuit, 0));

@@ -23,6 +23,17 @@ pub enum EngineError {
     Device(DeviceError),
     /// Invalid configuration.
     Config(String),
+    /// Two backends disagreed beyond tolerance on the same circuit.
+    BackendDivergence {
+        /// Name of the reference backend (the first in the comparison).
+        first: String,
+        /// Name of the diverging backend.
+        other: String,
+        /// Largest amplitude error observed between the two.
+        max_err: f64,
+        /// Tolerance the comparison was run with.
+        tol: f64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +42,15 @@ impl fmt::Display for EngineError {
             EngineError::Codec(e) => write!(f, "codec error: {e}"),
             EngineError::Device(e) => write!(f, "device error: {e}"),
             EngineError::Config(m) => write!(f, "configuration error: {m}"),
+            EngineError::BackendDivergence {
+                first,
+                other,
+                max_err,
+                tol,
+            } => write!(
+                f,
+                "backend '{other}' diverges from '{first}': max amplitude error {max_err:.3e} exceeds tolerance {tol:.3e}"
+            ),
         }
     }
 }
@@ -46,6 +66,25 @@ impl From<CodecError> for EngineError {
 impl From<DeviceError> for EngineError {
     fn from(e: DeviceError) -> Self {
         EngineError::Device(e)
+    }
+}
+
+/// Attaches a telemetry handle to a store for the lifetime of the guard,
+/// so engine early returns can't leave a stale handle behind.
+pub(crate) struct StoreTelemetryGuard<'a>(pub(crate) &'a crate::store::CompressedStateVector);
+
+impl Drop for StoreTelemetryGuard<'_> {
+    fn drop(&mut self) {
+        self.0.detach_telemetry();
+    }
+}
+
+/// Device-side counterpart of [`StoreTelemetryGuard`].
+pub(crate) struct DeviceTelemetryGuard<'a>(pub(crate) &'a mq_device::Device);
+
+impl Drop for DeviceTelemetryGuard<'_> {
+    fn drop(&mut self) {
+        self.0.detach_telemetry();
     }
 }
 

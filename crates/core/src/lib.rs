@@ -46,9 +46,12 @@ pub mod planner;
 pub mod specialize;
 pub mod store;
 
-pub use backend::{Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend};
-pub use config::MemQSimConfig;
+pub use backend::{
+    run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
+};
+pub use config::{MemQSimConfig, MemQSimConfigBuilder};
 pub use engine::{EngineError, Granularity};
+pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
 pub use store::CompressedStateVector;
 
 use mq_circuit::Circuit;

@@ -122,22 +122,18 @@ pub fn expect_z_product(store: &CompressedStateVector, qubits: &[u32]) -> Result
 /// # Panics
 /// Panics if more than 8 X/Y factors sit at or above the chunk boundary
 /// (the group working set is `2^k` chunks for `k` such factors).
-pub fn expect_pauli(
-    store: &CompressedStateVector,
-    p: &PauliString,
-) -> Result<f64, CodecError> {
+pub fn expect_pauli(store: &CompressedStateVector, p: &PauliString) -> Result<f64, CodecError> {
     let n = store.n_qubits();
     let c = store.chunk_bits();
     for &(q, _) in &p.0 {
         assert!(q < n, "Pauli qubit {q} out of range");
     }
     // Split the string: X/Y factors >= c define the group set H.
-    let mut high: Vec<u32> = p
-        .0
-        .iter()
-        .filter(|&&(q, op)| q >= c && op != Pauli::Z)
-        .map(|&(q, _)| q)
-        .collect();
+    let mut high: Vec<u32> =
+        p.0.iter()
+            .filter(|&&(q, op)| q >= c && op != Pauli::Z)
+            .map(|&(q, _)| q)
+            .collect();
     high.sort_unstable();
     high.dedup();
     assert!(

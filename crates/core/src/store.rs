@@ -9,6 +9,7 @@
 
 use mq_compress::{compress_complex, decompress_complex, Codec, CodecError, CompressionStats};
 use mq_num::{bits, Complex64};
+use mq_telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,6 +40,9 @@ pub struct CompressedStateVector {
     stats: Mutex<CompressionStats>,
     current_bytes: AtomicUsize,
     peak_bytes: AtomicUsize,
+    /// Optional per-run instrumentation; engines attach it for the duration
+    /// of a run so codec traffic lands in the run's counter record.
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 impl CompressedStateVector {
@@ -57,6 +61,7 @@ impl CompressedStateVector {
             stats: Mutex::new(CompressionStats::default()),
             current_bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
+            telemetry: Mutex::new(None),
         };
         let mut buf = vec![Complex64::ZERO; chunk_amps];
         buf[0] = Complex64::ONE;
@@ -88,6 +93,7 @@ impl CompressedStateVector {
             stats: Mutex::new(CompressionStats::default()),
             current_bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
+            telemetry: Mutex::new(None),
         };
         for (i, piece) in amps.chunks_exact(chunk_amps).enumerate() {
             store.store_chunk(i, piece);
@@ -120,6 +126,19 @@ impl CompressedStateVector {
         &self.codec
     }
 
+    /// Attaches a telemetry handle: until [`detach_telemetry`]
+    /// (Self::detach_telemetry), every chunk load/store contributes to the
+    /// run's `bytes_decompressed` / `bytes_compressed` / `chunk_visits`
+    /// counters. Engines attach at run start and detach before returning.
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// Detaches the telemetry handle, if any.
+    pub fn detach_telemetry(&self) {
+        *self.telemetry.lock() = None;
+    }
+
     /// Decompresses chunk `i` into `out` (`out.len()` must equal
     /// [`CompressedStateVector::chunk_amps`]). Verifies the chunk's
     /// integrity checksum first, so silent memory corruption surfaces as a
@@ -131,6 +150,10 @@ impl CompressedStateVector {
             return Err(CodecError::Corrupt(format!(
                 "chunk {i} failed its integrity checksum"
             )));
+        }
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.add(Counter::BytesDecompressed, guard.bytes.len() as u64);
+            t.add(Counter::ChunkVisits, 1);
         }
         decompress_complex(self.codec.as_ref(), &guard.bytes, out)
     }
@@ -146,6 +169,9 @@ impl CompressedStateVector {
         *guard = ChunkSlot { bytes, checksum };
         drop(guard);
         self.stats.lock().record(amps.len() * 16, new_len);
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.add(Counter::BytesCompressed, new_len as u64);
+        }
         // Update resident total and the peak high-water mark.
         let prev = self.current_bytes.fetch_add(new_len, Ordering::Relaxed) + new_len;
         self.current_bytes.fetch_sub(old_len, Ordering::Relaxed);
@@ -390,11 +416,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_attach_detach_counts_codec_traffic() {
+        let store = CompressedStateVector::zero_state(8, 4, sz(1e-12));
+        let t = Telemetry::new();
+        store.attach_telemetry(t.clone());
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(0, &mut buf).unwrap();
+        store.store_chunk(1, &buf);
+        assert_eq!(t.counter(Counter::ChunkVisits), 1);
+        assert!(t.counter(Counter::BytesDecompressed) > 0);
+        assert!(t.counter(Counter::BytesCompressed) > 0);
+        // After detaching, traffic no longer lands in the record.
+        store.detach_telemetry();
+        let before = t.counter(Counter::ChunkVisits);
+        store.load_chunk(2, &mut buf).unwrap();
+        assert_eq!(t.counter(Counter::ChunkVisits), before);
+    }
+
+    #[test]
     fn renormalize_repairs_drift() {
         let amps: Vec<Complex64> = (0..64).map(|i| c64(0.2 * ((i % 5) as f64), 0.1)).collect();
         let store = CompressedStateVector::from_amplitudes(&amps, 3, sz(1e-12));
         let before = store.norm().unwrap();
-        assert!((before - 1.0).abs() > 0.1, "test state must be denormalized");
+        assert!(
+            (before - 1.0).abs() > 0.1,
+            "test state must be denormalized"
+        );
         let reported = store.renormalize(1e-12).unwrap();
         assert!((reported - before).abs() < 1e-9);
         let after = store.norm().unwrap();

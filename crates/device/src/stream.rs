@@ -17,6 +17,7 @@ use crate::model::DeviceSpec;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mq_circuit::Gate;
 use mq_num::Complex64;
+use mq_telemetry::{Counter, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,6 +27,9 @@ use std::time::{Duration, Instant};
 pub(crate) struct DeviceInner {
     pub(crate) spec: DeviceSpec,
     pub(crate) arena: Mutex<Arena>,
+    /// Optional per-run instrumentation; stream workers count H2D/D2H
+    /// traffic, kernel launches and scatter ops against it while attached.
+    pub(crate) telemetry: Mutex<Option<Telemetry>>,
 }
 
 /// A simulated GPU.
@@ -42,6 +46,7 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 spec,
                 arena: Mutex::new(arena),
+                telemetry: Mutex::new(None),
             }),
         }
     }
@@ -49,6 +54,19 @@ impl Device {
     /// The device spec.
     pub fn spec(&self) -> &DeviceSpec {
         &self.inner.spec
+    }
+
+    /// Attaches a telemetry handle: until [`detach_telemetry`]
+    /// (Self::detach_telemetry), every command executed on any of this
+    /// device's streams contributes to the run's `bytes_h2d` / `bytes_d2h` /
+    /// `kernel_launches` / `scatter_ops` counters.
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        *self.inner.telemetry.lock() = Some(telemetry);
+    }
+
+    /// Detaches the telemetry handle, if any.
+    pub fn detach_telemetry(&self) {
+        *self.inner.telemetry.lock() = None;
     }
 
     /// Allocates `amps` amplitudes of device memory.
@@ -504,6 +522,9 @@ fn execute(
             stats.modeled += t;
             stats.modeled_h2d += t;
             stats.bytes_h2d += len * 16;
+            if let Some(tele) = device.telemetry.lock().as_ref() {
+                tele.add(Counter::BytesH2d, (len * 16) as u64);
+            }
             Ok(())
         }
         Command::CopyD2h {
@@ -533,6 +554,9 @@ fn execute(
             stats.modeled += t;
             stats.modeled_d2h += t;
             stats.bytes_d2h += len * 16;
+            if let Some(tele) = device.telemetry.lock().as_ref() {
+                tele.add(Counter::BytesD2h, (len * 16) as u64);
+            }
             Ok(())
         }
         Command::Scatter {
@@ -568,6 +592,9 @@ fn execute(
             let t = spec.scatter_time(len);
             stats.modeled += t;
             stats.modeled_scatter += t;
+            if let Some(tele) = device.telemetry.lock().as_ref() {
+                tele.add(Counter::ScatterOps, 1);
+            }
             Ok(())
         }
         Command::Gather {
@@ -599,6 +626,9 @@ fn execute(
             let t = spec.scatter_time(len);
             stats.modeled += t;
             stats.modeled_scatter += t;
+            if let Some(tele) = device.telemetry.lock().as_ref() {
+                tele.add(Counter::ScatterOps, 1);
+            }
             Ok(())
         }
         Command::RunGate { buf, amps, gate } => {
@@ -609,6 +639,9 @@ fn execute(
             let t = spec.kernel_time(amps);
             stats.modeled += t;
             stats.modeled_kernel += t;
+            if let Some(tele) = device.telemetry.lock().as_ref() {
+                tele.add(Counter::KernelLaunches, 1);
+            }
             Ok(())
         }
         Command::Sync(_) | Command::RecordEvent(_) | Command::WaitEvent(_) | Command::Shutdown => {

@@ -118,6 +118,14 @@ pub fn run_transfer_experiment(
     let back = PinnedBuffer::new(piece_amps);
 
     let t0 = std::time::Instant::now();
+    // While attached, the sweep shows up as one device-issue span on the
+    // run's timeline (counters accumulate inside the stream worker).
+    let span = device
+        .inner
+        .telemetry
+        .lock()
+        .as_ref()
+        .map(|t| t.span(mq_telemetry::Role::DeviceIssue));
     let pieces = total / piece_amps;
     for _ in 0..pieces {
         match strategy {
@@ -155,6 +163,7 @@ pub fn run_transfer_experiment(
         }
     }
     let stats = stream.synchronize()?;
+    drop(span);
     let real_total = t0.elapsed();
 
     // Correctness: the data must actually have made the round trip.
@@ -246,6 +255,27 @@ mod tests {
             let r = run_transfer_experiment(&dev, 12, 1 << 10, strat).unwrap();
             assert_eq!(r.amps, 1 << 12, "{strat:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_counts_transfer_traffic() {
+        use mq_telemetry::{Counter, Role, Telemetry};
+        let dev = device();
+        let t = Telemetry::new();
+        dev.attach_telemetry(t.clone());
+        let amps = 1usize << 12;
+        run_transfer_experiment(&dev, 12, 1 << 10, TransferStrategy::Sync).unwrap();
+        assert_eq!(t.counter(Counter::BytesH2d), (amps * 16) as u64);
+        assert_eq!(t.counter(Counter::BytesD2h), (amps * 16) as u64);
+        assert_eq!(t.counter(Counter::ScatterOps), 0);
+        run_transfer_experiment(&dev, 12, 1 << 10, TransferStrategy::BufferedScatter).unwrap();
+        // One scatter + one gather per piece.
+        assert_eq!(t.counter(Counter::ScatterOps), 2 * 4);
+        dev.detach_telemetry();
+        let run = t.finish();
+        assert!(run.balanced());
+        assert!(run.busy(Role::DeviceIssue) > Duration::ZERO);
+        assert_eq!(run.spans().len(), 2);
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //!
 //! Run with: `cargo run --example backend_swap --release`
 
-use memqsim_core::{Backend, CompressedCpuBackend, DenseCpuBackend, HybridBackend, MemQSimConfig};
-use mq_circuit::library;
-use mq_compress::CodecSpec;
-use mq_device::DeviceSpec;
-use mq_statevec::expval::expected_cut;
-use mq_statevec::State;
+use memqsim_suite::circuit::library;
+use memqsim_suite::statevec::expval::expected_cut;
+use memqsim_suite::statevec::State;
+use memqsim_suite::{
+    Backend, CodecSpec, CompressedCpuBackend, DenseCpuBackend, DeviceSpec, HybridBackend,
+    MemQSimConfig,
+};
 
 fn main() {
     let n = 12u32;
@@ -24,13 +25,13 @@ fn main() {
         edges.len()
     );
 
-    let cfg = MemQSimConfig {
-        chunk_bits: 7,
-        codec: CodecSpec::Sz { eb: 1e-10 },
-        pipeline_buffers: 2,
-        cpu_share: 0.25,
-        ..Default::default()
-    };
+    let cfg = MemQSimConfig::builder()
+        .chunk_bits(7)
+        .codec(CodecSpec::Sz { eb: 1e-10 })
+        .pipeline_buffers(2)
+        .cpu_share(0.25)
+        .build()
+        .expect("valid config");
     let dense = DenseCpuBackend::default();
     let compressed = CompressedCpuBackend::new(cfg);
     let hybrid = HybridBackend::new(cfg, DeviceSpec::pcie_gen3());

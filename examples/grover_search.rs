@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --example grover_search --release`
 
-use memqsim_core::{measure, MemQSim, MemQSimConfig};
-use mq_circuit::library;
-use mq_compress::CodecSpec;
+use memqsim_suite::circuit::library;
+use memqsim_suite::core::measure;
+use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,11 +22,13 @@ fn main() {
     let circuit = library::grover(n, marked, iterations);
     println!("Circuit: {} gates", circuit.len());
 
-    let sim = MemQSim::new(MemQSimConfig {
-        chunk_bits: 8,
-        codec: CodecSpec::Sz { eb: 1e-9 },
-        ..Default::default()
-    });
+    let sim = MemQSim::new(
+        MemQSimConfig::builder()
+            .chunk_bits(8)
+            .codec(CodecSpec::Sz { eb: 1e-9 })
+            .build()
+            .expect("valid config"),
+    );
     let t0 = std::time::Instant::now();
     let outcome = sim.simulate(&circuit).expect("simulation failed");
     println!(

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --example memory_budget --release`
 
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
-use mq_circuit::library;
-use mq_compress::CodecSpec;
-use mq_num::stats::format_bytes;
+use memqsim_suite::circuit::library;
+use memqsim_suite::core::{CompressedStateVector, Granularity};
+use memqsim_suite::num::stats::format_bytes;
+use memqsim_suite::{CodecSpec, MemQSimConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -24,15 +24,15 @@ fn main() {
 
     // Chunk size picks the working-set/footprint trade-off: 2^12-amp chunks
     // keep the transient group buffer at 256 KiB, well inside the budget.
-    let cfg = MemQSimConfig {
-        chunk_bits: 12,
-        codec: CodecSpec::Sz { eb: 1e-10 },
-        ..Default::default()
-    };
+    let cfg = MemQSimConfig::builder()
+        .chunk_bits(12)
+        .codec(CodecSpec::Sz { eb: 1e-10 })
+        .build()
+        .expect("valid config");
     let circuit = library::ghz(n);
     let store = CompressedStateVector::zero_state(n, 12, Arc::from(cfg.codec.build()));
     let t0 = std::time::Instant::now();
-    let report = memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged)
+    let report = memqsim_suite::core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged)
         .expect("simulation failed");
     let peak = report.peak_compressed_bytes + report.peak_buffer_bytes;
 

@@ -6,9 +6,8 @@
 //!
 //! Run with: `cargo run --example qft_precision --release`
 
-use memqsim_core::{MemQSim, MemQSimConfig};
-use mq_circuit::library;
-use mq_compress::CodecSpec;
+use memqsim_suite::circuit::library;
+use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
 
 fn main() {
     let n = 12u32;
@@ -26,11 +25,13 @@ fn main() {
         "error bound", "P(|0...0>)", "resident bytes"
     );
     for eb in [1e-4, 1e-6, 1e-8, 1e-10, 1e-12] {
-        let sim = MemQSim::new(MemQSimConfig {
-            chunk_bits: 8,
-            codec: CodecSpec::Sz { eb },
-            ..Default::default()
-        });
+        let sim = MemQSim::new(
+            MemQSimConfig::builder()
+                .chunk_bits(8)
+                .codec(CodecSpec::Sz { eb })
+                .build()
+                .expect("valid config"),
+        );
         let outcome = sim.simulate(&circuit).expect("simulation failed");
         let p0 = outcome.probability(0);
         println!(

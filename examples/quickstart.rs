@@ -2,9 +2,8 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use memqsim_core::{MemQSim, MemQSimConfig};
-use mq_circuit::Circuit;
-use mq_compress::CodecSpec;
+use memqsim_suite::circuit::Circuit;
+use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
 
 fn main() {
     // 1. Build a circuit with the chainable builder: a 12-qubit GHZ state.
@@ -23,11 +22,13 @@ fn main() {
 
     // 2. Configure MEMQSIM: 2^8-amplitude chunks, SZ-style lossy compression
     //    with a 1e-10 absolute error bound.
-    let sim = MemQSim::new(MemQSimConfig {
-        chunk_bits: 8,
-        codec: CodecSpec::Sz { eb: 1e-10 },
-        ..Default::default()
-    });
+    let sim = MemQSim::new(
+        MemQSimConfig::builder()
+            .chunk_bits(8)
+            .codec(CodecSpec::Sz { eb: 1e-10 })
+            .build()
+            .expect("valid config"),
+    );
 
     // 3. Simulate. The state stays compressed in memory throughout.
     let outcome = sim.simulate(&circuit).expect("simulation failed");
@@ -48,6 +49,15 @@ fn main() {
     println!(
         "Executed {} stages with {} chunk visits.",
         outcome.report.stages, outcome.report.chunk_visits
+    );
+
+    // 6. Per-run telemetry: every engine records a span/counter timeline.
+    let t = &outcome.report.telemetry;
+    println!(
+        "Telemetry: {} spans, {} bytes decompressed, {} bytes recompressed.",
+        outcome.report.telemetry.spans().len(),
+        t.counter(memqsim_suite::telemetry::Counter::BytesDecompressed),
+        t.counter(memqsim_suite::telemetry::Counter::BytesCompressed),
     );
 
     assert!((p_zero - 0.5).abs() < 1e-6);

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --example run_qasm --release -- <file.qasm> [shots]`
 //! With no argument, a built-in demo program is used.
 
-use memqsim_core::{measure, MemQSim, MemQSimConfig};
-use mq_circuit::qasm;
-use mq_compress::CodecSpec;
+use memqsim_suite::circuit::qasm;
+use memqsim_suite::core::measure;
+use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,11 +54,13 @@ fn main() {
         program.measurements.len()
     );
 
-    let sim = MemQSim::new(MemQSimConfig {
-        chunk_bits: (n / 2).max(4),
-        codec: CodecSpec::Sz { eb: 1e-10 },
-        ..Default::default()
-    });
+    let sim = MemQSim::new(
+        MemQSimConfig::builder()
+            .chunk_bits((n / 2).max(4))
+            .codec(CodecSpec::Sz { eb: 1e-10 })
+            .build()
+            .expect("valid config"),
+    );
     let t0 = std::time::Instant::now();
     let outcome = sim.simulate(&program.circuit).expect("simulation failed");
     println!(

@@ -1,0 +1,524 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically (no registry access), so this shim
+//! re-implements the property-testing surface the test suite uses:
+//! `proptest!` test blocks with optional `#![proptest_config(..)]`,
+//! numeric-range / tuple / `Just` strategies, `prop_map`,
+//! `prop_filter_map`, `prop_oneof!` (weighted and unweighted),
+//! `any::<T>()`, `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! fixed per-test seed (fully deterministic, no persistence files) and
+//! failing inputs are reported but not shrunk.
+
+pub mod test_runner {
+    /// Per-block configuration; only `cases` is honored.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values. `sample` draws one value; combinators are
+    /// provided as defaulted methods so the trait stays object-safe.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps and filters in one step; resamples until the closure
+        /// accepts (bounded, to surface overly strict filters).
+        fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!` arms.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S, F, U> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map '{}' rejected 10000 samples in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Weighted choice between type-erased arms (`prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "all prop_oneof! weights are zero"
+            );
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut draw = rng.next_u64() % total;
+            for (w, strat) in &self.arms {
+                if draw < *w as u64 {
+                    return strat.sample(rng);
+                }
+                draw -= *w as u64;
+            }
+            unreachable!("weighted draw out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of T"; implemented per primitive type.
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// `any::<T>()` — the full value domain of a primitive type.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_uint!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // Arbitrary bit patterns, like real proptest's full-range f64:
+            // includes NaNs, infinities and subnormals.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size argument of `collection::vec`.
+    pub trait SizeBounds {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeBounds for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeBounds for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeBounds for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        elem: S,
+        size: Z,
+    }
+
+    /// `prop::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy, Z: SizeBounds>(elem: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, Z: SizeBounds> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod runner {
+    use super::test_runner::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Drives one `proptest!` test item: `cfg.cases` deterministic cases.
+    /// `case` returns a debug rendering of the sampled inputs plus the
+    /// body's verdict; the first failure panics with both.
+    pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> (String, Result<(), String>),
+    {
+        for i in 0..cfg.cases {
+            let seed = fnv1a(name) ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (inputs, verdict) = case(&mut rng);
+            if let Err(msg) = verdict {
+                panic!(
+                    "proptest '{}' failed at case {}/{}:\n  {}\n  inputs: {}",
+                    name,
+                    i + 1,
+                    cfg.cases,
+                    msg,
+                    inputs
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests. Each `fn name(arg in strategy, ..)`
+/// item becomes a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run_cases($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    s
+                };
+                let __verdict: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__inputs, __verdict)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assertion inside `proptest!` bodies; fails the case (not the process)
+/// so the runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err(
+                    format!("assertion failed: {}", stringify!($cond)),
+                );
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err(
+                    format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+                );
+            }
+        }
+    };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`: {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            8 => -1.0f64..1.0,
+            1 => Just(0.0f64),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0usize..100, y in 1u32..=6, z in -3.0f64..3.0) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=6).contains(&y));
+            prop_assert!((-3.0..3.0).contains(&z), "z = {}", z);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(v.len() < 16);
+        }
+
+        #[test]
+        fn oneof_and_maps(x in small(), pair in (0u32..5, 0u32..5)) {
+            prop_assert!(x.abs() < 1e12);
+            prop_assert_eq!(pair.0 < 5, true);
+        }
+
+        #[test]
+        fn filter_map_filters(d in (0u32..8, 0u32..8)
+            .prop_filter_map("distinct", |(a, b)| (a != b).then_some((a, b))))
+        {
+            prop_assert!(d.0 != d.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -29,3 +29,14 @@ pub use mq_compress as compress;
 pub use mq_device as device;
 pub use mq_num as num;
 pub use mq_statevec as statevec;
+pub use mq_telemetry as telemetry;
+
+// The flat quick-start surface: the types nearly every caller touches,
+// re-exported at the crate root so `use memqsim_suite::{Backend, ...}`
+// works without knowing which member crate owns what.
+pub use memqsim_core::{
+    Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, EngineError, HybridBackend,
+    MemQSim, MemQSimConfig, MemQSimConfigBuilder, RunTelemetry,
+};
+pub use mq_compress::CodecSpec;
+pub use mq_device::DeviceSpec;

@@ -2,7 +2,7 @@
 //! independent dense oracle — the full stack exercised end to end.
 
 use memqsim_core::{
-    backend::run_on_all, Backend, CompressedCpuBackend, DenseCpuBackend, Granularity,
+    run_on_all, Backend, CompressedCpuBackend, DenseCpuBackend, EngineError, Granularity,
     HybridBackend, MemQSimConfig,
 };
 use mq_circuit::unitary::run_dense;
@@ -12,16 +12,15 @@ use mq_device::DeviceSpec;
 use mq_num::metrics::{fidelity, max_amp_err};
 
 fn cfg(chunk_bits: u32, codec: CodecSpec) -> MemQSimConfig {
-    MemQSimConfig {
-        chunk_bits,
-        max_high_qubits: 2,
-        codec,
-        workers: 2,
-        pipeline_buffers: 2,
-        cpu_share: 0.3,
-        dual_stream: false,
-        reorder: false,
-    }
+    MemQSimConfig::builder()
+        .chunk_bits(chunk_bits)
+        .max_high_qubits(2)
+        .codec(codec)
+        .workers(2)
+        .pipeline_buffers(2)
+        .cpu_share(0.3)
+        .build()
+        .expect("valid test config")
 }
 
 fn all_circuits(n: u32) -> Vec<Circuit> {
@@ -77,6 +76,33 @@ fn backends_agree_across_chunk_geometries() {
         let dense = DenseCpuBackend::default();
         run_on_all(&circuit, &[&dense, &compressed], 1e-9)
             .unwrap_or_else(|e| panic!("chunk_bits={chunk_bits}: {e}"));
+    }
+}
+
+#[test]
+fn divergence_is_a_typed_error_not_a_panic() {
+    // A deliberately lossy backend checked at an impossible tolerance: the
+    // modularity harness must hand back a structured error naming both
+    // backends, never panic.
+    let circuit = library::qft(6);
+    let dense = DenseCpuBackend::default();
+    let lossy = CompressedCpuBackend::new(cfg(3, CodecSpec::Sz { eb: 1e-2 }));
+    match run_on_all(&circuit, &[&dense, &lossy], 1e-15) {
+        Err(EngineError::BackendDivergence {
+            first,
+            other,
+            max_err,
+            tol,
+        }) => {
+            assert_eq!(first, "dense-cpu");
+            assert!(other.contains("compressed-cpu"), "{other}");
+            assert!(max_err > tol);
+            let msg = run_on_all(&circuit, &[&dense, &lossy], 1e-15)
+                .unwrap_err()
+                .to_string();
+            assert!(msg.contains("diverges"), "{msg}");
+        }
+        other => panic!("expected BackendDivergence, got {other:?}"),
     }
 }
 

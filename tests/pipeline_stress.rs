@@ -2,7 +2,10 @@
 //! tiny staging pools, many chunks, worker threads, device OOM, and
 //! sampling equivalence between dense and compressed paths.
 
-use memqsim_core::{engine::hybrid, measure, CompressedStateVector, EngineError, MemQSimConfig};
+use memqsim_core::{
+    engine::hybrid, measure, CompressedStateVector, Counter, EngineError, MemQSimConfig, Role,
+    Telemetry,
+};
 use mq_circuit::library;
 use mq_circuit::unitary::run_dense;
 use mq_compress::CodecSpec;
@@ -147,6 +150,99 @@ fn repeated_runs_on_one_device_reuse_memory_cleanly() {
             .unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
     assert_eq!(device.used_amps(), 0, "device memory leaked");
+}
+
+#[test]
+fn telemetry_record_balances_and_matches_report_durations() {
+    // The report's duration fields are *derived* from the telemetry record,
+    // so they must agree exactly — and the record itself must be coherent.
+    let circuit = library::supremacy_like(9, 5, 4);
+    let config = cfg(3);
+    let store = CompressedStateVector::zero_state(9, 3, Arc::from(config.codec.build()));
+    let device = Device::new(DeviceSpec::tiny_test(1 << 12));
+    let r = hybrid::run(&store, &circuit, &config, &device, true).expect("run failed");
+    let t = &r.telemetry;
+
+    // Every span opened was closed.
+    assert!(
+        t.balanced(),
+        "{} opened, {} closed",
+        t.spans_opened,
+        t.spans_closed
+    );
+    // Role busy sums ARE the report durations.
+    assert_eq!(r.wall, t.wall);
+    assert_eq!(r.decompress, t.busy(Role::Decompress));
+    assert_eq!(r.compress, t.busy(Role::Recompress));
+    assert_eq!(r.cpu_apply, t.busy(Role::CpuApply));
+    // Transfer counters mirror the device's own accounting.
+    assert_eq!(t.counter(Counter::BytesH2d), r.device.bytes_h2d as u64);
+    assert_eq!(t.counter(Counter::BytesD2h), r.device.bytes_d2h as u64);
+    assert!(t.counter(Counter::KernelLaunches) > 0);
+    assert!(t.counter(Counter::BytesDecompressed) > 0);
+    assert!(t.counter(Counter::BytesCompressed) > 0);
+    // Interval algebra: the union of busy intervals never exceeds the sum.
+    assert!(t.union_busy() <= t.serial_sum());
+    assert_eq!(t.serial_sum() - t.union_busy(), t.overlap());
+}
+
+#[test]
+fn telemetry_counters_are_monotonic() {
+    // Counters only ever accumulate while a handle is attached.
+    let telemetry = Telemetry::new();
+    let store = CompressedStateVector::zero_state(6, 2, Arc::from(CodecSpec::Fpc.build()));
+    store.attach_telemetry(telemetry.clone());
+    let mut last_bytes = 0;
+    let mut last_visits = 0;
+    for basis in [0usize, 5, 9, 33, 63] {
+        let _ = store.probability(basis).expect("store readable");
+        let bytes = telemetry.counter(Counter::BytesDecompressed);
+        let visits = telemetry.counter(Counter::ChunkVisits);
+        assert!(bytes >= last_bytes, "{bytes} < {last_bytes}");
+        assert!(visits > last_visits, "visit counter did not advance");
+        last_bytes = bytes;
+        last_visits = visits;
+    }
+    store.detach_telemetry();
+    // Detached: further traffic leaves the counters untouched.
+    let _ = store.probability(0).expect("store readable");
+    assert_eq!(telemetry.counter(Counter::ChunkVisits), last_visits);
+}
+
+#[test]
+fn pipelined_run_overlaps_roles_where_serial_does_not() {
+    // 2^9 chunks in groups of 4 give the pipeline hundreds of work items per
+    // stage: the producer's decompression of group k+1 must overlap the
+    // completer's recompression of group k. The serial engine's stage
+    // barrier makes overlap structurally impossible.
+    let circuit = library::qft(11);
+    let config = MemQSimConfig {
+        workers: 2,
+        ..cfg(2)
+    };
+    let mk = || CompressedStateVector::zero_state(11, 2, Arc::from(config.codec.build()));
+    let device = Device::new(DeviceSpec::tiny_test(1 << 12));
+
+    let serial_store = mk();
+    let serial = hybrid::run(&serial_store, &circuit, &config, &device, false).expect("serial");
+    assert!(serial.telemetry.balanced());
+    assert!(
+        !serial.telemetry.has_role_overlap(),
+        "serial run overlapped"
+    );
+    assert_eq!(serial.telemetry.overlap(), std::time::Duration::ZERO);
+    assert_eq!(serial.telemetry.union_busy(), serial.telemetry.serial_sum());
+
+    let piped_store = mk();
+    let piped = hybrid::run(&piped_store, &circuit, &config, &device, true).expect("pipelined");
+    assert!(piped.telemetry.balanced());
+    assert!(
+        piped.telemetry.union_busy() < piped.telemetry.serial_sum(),
+        "pipelined run shows no measured overlap: union {:?} vs sum {:?}",
+        piped.telemetry.union_busy(),
+        piped.telemetry.serial_sum()
+    );
+    assert!(piped.telemetry.has_role_overlap());
 }
 
 #[test]
