@@ -13,10 +13,7 @@ fn cfg() -> MemQSimConfig {
         max_high_qubits: 2,
         codec: CodecSpec::Sz { eb: 1e-10 },
         workers: 1,
-        pipeline_buffers: 2,
-        cpu_share: 0.0,
-        dual_stream: false,
-        reorder: false,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,91 @@
+//! Criterion bench for the store's hot-chunk residency cache: hit, miss and
+//! eviction service times against the raw codec round-trip each one replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memqsim_core::{CachePolicy, CompressedStateVector};
+use mq_circuit::library;
+use mq_compress::CodecSpec;
+use mq_num::Complex64;
+use mq_statevec::{run_circuit, CpuConfig};
+use std::sync::Arc;
+
+const CHUNK_BITS: u32 = 10;
+
+/// A realistic mid-circuit state as the store's contents.
+fn qft_store() -> (CompressedStateVector, usize) {
+    let state = run_circuit(&library::qft(14), &CpuConfig::default());
+    let store = CompressedStateVector::from_amplitudes(
+        state.amplitudes(),
+        CHUNK_BITS,
+        Arc::from(CodecSpec::Sz { eb: 1e-10 }.build()),
+    );
+    let entry_bytes = store.chunk_amps() * 16;
+    (store, entry_bytes)
+}
+
+fn bench_store_cache(c: &mut Criterion) {
+    let (store, entry_bytes) = qft_store();
+    let chunk_amps = store.chunk_amps();
+    let mut buf = vec![Complex64::ZERO; chunk_amps];
+
+    let mut group = c.benchmark_group("store_cache");
+    group.throughput(Throughput::Bytes(entry_bytes as u64));
+    group.sample_size(20);
+
+    // Baseline: every load decodes, every store encodes.
+    store.set_cache(0, CachePolicy::WriteBack);
+    group.bench_with_input(BenchmarkId::from_parameter("uncached_load"), &(), |b, _| {
+        b.iter(|| store.load_chunk(0, &mut buf).expect("load"))
+    });
+    store.load_chunk(1, &mut buf).expect("load");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("uncached_store"),
+        &(),
+        |b, _| b.iter(|| store.store_chunk(1, &buf)),
+    );
+
+    // Hit: the resident copy is handed back with zero codec work.
+    store.set_cache(4 * entry_bytes, CachePolicy::WriteBack);
+    store.load_chunk(0, &mut buf).expect("admit");
+    group.bench_with_input(BenchmarkId::from_parameter("cached_hit"), &(), |b, _| {
+        b.iter(|| store.load_chunk(0, &mut buf).expect("hit"))
+    });
+
+    // Dirty store into a resident entry: defers all recompression.
+    group.bench_with_input(BenchmarkId::from_parameter("cached_store"), &(), |b, _| {
+        b.iter(|| store.store_chunk(0, &buf))
+    });
+
+    // Miss + clean eviction churn: a 1-entry cache and two alternating
+    // chunks, so every load decodes, admits, and drops the previous entry.
+    store.set_cache(entry_bytes, CachePolicy::WriteBack);
+    let mut i = 0usize;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("miss_with_clean_eviction"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                i ^= 1;
+                store.load_chunk(i, &mut buf).expect("miss")
+            })
+        },
+    );
+
+    // Dirty-eviction churn: alternating stores through the 1-entry cache;
+    // every store writes back the previously dirtied chunk.
+    let mut j = 0usize;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("store_with_dirty_eviction"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                j ^= 1;
+                store.store_chunk(j, &buf)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_cache);
+criterion_main!(benches);

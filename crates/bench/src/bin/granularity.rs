@@ -14,8 +14,8 @@
 //!
 //! Usage: `cargo run -p mq-bench --release --bin granularity [--qubits 16]`
 
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
-use mq_bench::{Args, Table};
+use memqsim_core::{CompressedStateVector, Counter, Granularity, MemQSimConfig};
+use mq_bench::{write_results_json, Args, Table};
 use mq_circuit::library;
 use mq_compress::CodecSpec;
 use mq_num::stats::format_bytes;
@@ -26,7 +26,13 @@ fn run_once(
     chunk_bits: u32,
     granularity: Granularity,
 ) -> (memqsim_core::engine::cpu::CpuRunReport, f64) {
-    run_once_with(n, chunk_bits, granularity, false)
+    run_once_with(n, chunk_bits, granularity, false, 0)
+}
+
+/// Half the working set (dense state + one group staging buffer) — the
+/// residency-cache budget used by the cache sweep.
+fn half_working_set(n: u32, chunk_bits: u32) -> usize {
+    ((1usize << n) * 16 + (1usize << (chunk_bits + 2)) * 16) / 2
 }
 
 fn run_once_with(
@@ -34,6 +40,7 @@ fn run_once_with(
     chunk_bits: u32,
     granularity: Granularity,
     reorder: bool,
+    cache_bytes: usize,
 ) -> (memqsim_core::engine::cpu::CpuRunReport, f64) {
     let cfg = MemQSimConfig {
         chunk_bits,
@@ -41,6 +48,7 @@ fn run_once_with(
         codec: CodecSpec::Sz { eb: 1e-10 },
         workers: 1,
         reorder,
+        cache_bytes,
         ..Default::default()
     };
     let circuit = library::qft(n);
@@ -113,7 +121,58 @@ fn main() {
     }
     println!("{t}");
 
-    // Sweep 3: commutation-aware reordering (vqe's interleaved rotation +
+    // Sweep 3: the hot-chunk residency cache across the same chunk sizes —
+    // codec traffic with the cache off vs sized for half the working set.
+    println!("\n## Residency cache (per-stage scheduling, budget = half working set)\n");
+    let mut t = Table::new(&[
+        "chunk amps",
+        "cache",
+        "wall",
+        "decompressed",
+        "compressed",
+        "hits",
+        "misses",
+        "skipped",
+    ]);
+    let mut json_rows = Vec::new();
+    for cb in [6u32, 8, 10, 12] {
+        for cached in [false, true] {
+            let cache_bytes = if cached { half_working_set(n, cb) } else { 0 };
+            let (r, _) = run_once_with(n, cb, Granularity::Staged, false, cache_bytes);
+            t.row(&[
+                format!("2^{cb}"),
+                if cached {
+                    format_bytes(cache_bytes)
+                } else {
+                    "off".to_string()
+                },
+                format!("{:.1} ms", r.wall.as_secs_f64() * 1e3),
+                format_bytes(r.telemetry.counter(Counter::BytesDecompressed) as usize),
+                format_bytes(r.telemetry.counter(Counter::BytesCompressed) as usize),
+                r.telemetry.counter(Counter::CacheHits).to_string(),
+                r.telemetry.counter(Counter::CacheMisses).to_string(),
+                r.telemetry.counter(Counter::RecompressSkipped).to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"chunk_bits\": {cb}, \"cache_bytes\": {cache_bytes}, \
+                 \"seconds\": {:.6}, \"telemetry\": {}}}",
+                r.wall.as_secs_f64(),
+                r.telemetry.to_json(false)
+            ));
+        }
+    }
+    println!("{t}");
+    let json = format!(
+        "{{\n  \"experiment\": \"granularity\",\n  \"circuit\": \"qft{n}\",\n  \
+         \"sweep\": [\n{}\n  ]\n}}",
+        json_rows.join(",\n")
+    );
+    match write_results_json("BENCH_granularity", &json) {
+        Ok(path) => println!("\nCache sweep written to {}.", path.display()),
+        Err(e) => eprintln!("\ncould not write results JSON: {e}"),
+    }
+
+    // Sweep 4: commutation-aware reordering (vqe's interleaved rotation +
     // ladder layers benefit; see mq_circuit::reorder).
     println!("\n## Commutation-aware reordering (vqe ansatz, per-stage)\n");
     let mut t = Table::new(&["reorder", "stages", "chunk visits", "wall"]);

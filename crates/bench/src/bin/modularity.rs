@@ -28,10 +28,8 @@ fn main() {
         max_high_qubits: 2,
         codec: CodecSpec::Sz { eb: 1e-11 },
         workers: 1,
-        pipeline_buffers: 2,
         cpu_share: 0.25,
-        dual_stream: false,
-        reorder: false,
+        ..Default::default()
     };
 
     let dense = DenseCpuBackend::default();

@@ -31,22 +31,33 @@ fn main() {
         max_high_qubits: 2,
         codec: CodecSpec::Sz { eb: 1e-10 },
         workers: 1,
-        pipeline_buffers: 2,
-        cpu_share: 0.0,
-        dual_stream: false,
-        reorder: false,
+        ..Default::default()
     };
 
     println!("# F2 — pipeline breakdown (qft{n}, chunks of 2^{chunk_bits} amps)\n");
 
     let circuit = library::qft(n);
+    // Residency-cache budget for the cached mode: half the working set
+    // (dense state + one group staging buffer).
+    let cache_bytes = ((1usize << n) * 16 + (1usize << (chunk_bits + 2)) * 16) / 2;
     let mut rows = Vec::new();
-    for (key, label, pipelined, dual_stream) in [
-        ("serial", "serial (no overlap)", false, false),
-        ("pipelined", "pipelined (Fig. 2)", true, false),
-        ("dual_stream", "pipelined + dual-stream", true, true),
+    for (key, label, pipelined, dual_stream, cache) in [
+        ("serial", "serial (no overlap)", false, false, 0),
+        ("pipelined", "pipelined (Fig. 2)", true, false, 0),
+        ("dual_stream", "pipelined + dual-stream", true, true, 0),
+        (
+            "cached",
+            "pipelined + residency cache",
+            true,
+            false,
+            cache_bytes,
+        ),
     ] {
-        let cfg = MemQSimConfig { dual_stream, ..cfg };
+        let cfg = MemQSimConfig {
+            dual_stream,
+            cache_bytes: cache,
+            ..cfg
+        };
         let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
         let device = Device::new(DeviceSpec::pcie_gen3());
         let r = hybrid::run(&store, &circuit, &cfg, &device, pipelined).expect("hybrid run failed");
@@ -90,6 +101,8 @@ fn main() {
         "H2D bytes",
         "D2H bytes",
         "kernel launches",
+        "decompressed",
+        "cache hits",
     ]);
     for (_, label, r) in &rows {
         let t = &r.telemetry;
@@ -102,9 +115,21 @@ fn main() {
             t.counter(Counter::BytesH2d).to_string(),
             t.counter(Counter::BytesD2h).to_string(),
             t.counter(Counter::KernelLaunches).to_string(),
+            t.counter(Counter::BytesDecompressed).to_string(),
+            t.counter(Counter::CacheHits).to_string(),
         ]);
     }
     println!("Measured role timeline (mq-telemetry):\n\n{measured}");
+    let cached = &rows[3].2.telemetry;
+    let uncached = &rows[1].2.telemetry;
+    println!(
+        "Residency cache: {} of {} chunk visits served without the codec; \
+         decompression {} -> {} bytes.",
+        cached.counter(Counter::CacheHits),
+        cached.counter(Counter::ChunkVisits),
+        uncached.counter(Counter::BytesDecompressed),
+        cached.counter(Counter::BytesDecompressed),
+    );
 
     let dual = &rows[2].2;
     let single = &rows[1].2;
@@ -142,10 +167,14 @@ fn main() {
     let model_ok = r.modeled_overlapped <= r.modeled_serial;
     let serial_ok = !serial.telemetry.has_role_overlap();
     let pipelinable = r.groups_device + r.groups_cpu > r.stages;
+    // The cached mode is excluded: cache hits remove most of the decompress
+    // work, so there may legitimately be nothing left to overlap.
     let piped_ok = !pipelinable
-        || rows[1..]
+        || rows[1..3]
             .iter()
             .all(|(_, _, r)| r.telemetry.union_busy() < r.telemetry.serial_sum());
+    let cache_ok =
+        cached.counter(Counter::BytesDecompressed) < uncached.counter(Counter::BytesDecompressed);
     println!(
         "\nShape {} — overlapped <= serial (model).",
         if model_ok { "[OK]" } else { "[FAIL]" }
@@ -164,6 +193,10 @@ fn main() {
             "[FAIL]"
         }
     );
+    println!(
+        "Shape {} — residency cache cut decompression traffic.",
+        if cache_ok { "[OK]" } else { "[FAIL]" }
+    );
 
     let modes = rows
         .iter()
@@ -172,8 +205,10 @@ fn main() {
         .join(",\n");
     let json = format!(
         "{{\n  \"experiment\": \"pipeline_breakdown\",\n  \"circuit\": \"qft{n}\",\n  \
-         \"chunk_bits\": {chunk_bits},\n  \"checks\": {{\"model_overlap\": {model_ok}, \
-         \"serial_no_overlap\": {serial_ok}, \"pipelined_overlap\": {piped_ok}}},\n  \
+         \"chunk_bits\": {chunk_bits},\n  \"cache_bytes\": {cache_bytes},\n  \
+         \"checks\": {{\"model_overlap\": {model_ok}, \
+         \"serial_no_overlap\": {serial_ok}, \"pipelined_overlap\": {piped_ok}, \
+         \"cache_traffic_cut\": {cache_ok}}},\n  \
          \"modes\": {{\n{modes}\n  }}\n}}"
     );
     match write_results_json("telemetry_pipeline_breakdown", &json) {
@@ -181,7 +216,7 @@ fn main() {
         Err(e) => eprintln!("\ncould not write results JSON: {e}"),
     }
 
-    if !(model_ok && serial_ok && piped_ok) {
+    if !(model_ok && serial_ok && piped_ok && cache_ok) {
         std::process::exit(1);
     }
 }

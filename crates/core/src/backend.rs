@@ -140,7 +140,9 @@ impl Backend for CompressedCpuBackend {
         Ok(BackendRun {
             amplitudes,
             wall: report.wall,
-            peak_state_bytes: report.peak_compressed_bytes,
+            // Residency-cache bytes are part of the state footprint: with
+            // `cache_bytes = 0` this equals the compressed peak.
+            peak_state_bytes: report.peak_resident_bytes,
             peak_working_bytes: report.peak_buffer_bytes,
             modeled_device: Duration::ZERO,
             detail: format!(
@@ -200,7 +202,7 @@ impl Backend for HybridBackend {
         Ok(BackendRun {
             amplitudes,
             wall: report.wall,
-            peak_state_bytes: report.peak_compressed_bytes,
+            peak_state_bytes: report.peak_resident_bytes,
             peak_working_bytes: report.pinned_bytes,
             modeled_device: report.device.modeled,
             detail: format!(
@@ -252,10 +254,8 @@ mod tests {
             max_high_qubits: 2,
             codec: CodecSpec::Fpc,
             workers: 1,
-            pipeline_buffers: 2,
             cpu_share: 0.25,
-            dual_stream: false,
-            reorder: false,
+            ..Default::default()
         }
     }
 

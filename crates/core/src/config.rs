@@ -1,5 +1,6 @@
 //! MEMQSIM configuration.
 
+use crate::store::CachePolicy;
 use mq_compress::CodecSpec;
 
 /// Configuration shared by the MEMQSIM engines.
@@ -31,6 +32,14 @@ pub struct MemQSimConfig {
     /// (`mq_circuit::reorder::reorder_for_locality`) before partitioning,
     /// clustering same-signature gates to cut stage count further.
     pub reorder: bool,
+    /// Byte budget for the store's residency cache of decompressed hot
+    /// chunks (0 = disabled). Cache bytes count toward peak resident
+    /// memory, so the budget trades codec traffic against footprint.
+    pub cache_bytes: usize,
+    /// When cached stores reach the compressed representation (write-back
+    /// defers recompression to eviction/flush; write-through keeps slots
+    /// always current).
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for MemQSimConfig {
@@ -44,6 +53,8 @@ impl Default for MemQSimConfig {
             cpu_share: 0.0,
             dual_stream: false,
             reorder: false,
+            cache_bytes: 0,
+            cache_policy: CachePolicy::WriteBack,
         }
     }
 }
@@ -158,6 +169,19 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// Byte budget for the residency cache of decompressed hot chunks
+    /// (0 disables it).
+    pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cfg.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// When cached stores reach the compressed representation.
+    pub fn cache_policy(mut self, cache_policy: CachePolicy) -> Self {
+        self.cfg.cache_policy = cache_policy;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -225,6 +249,8 @@ mod tests {
             .cpu_share(0.5)
             .dual_stream(true)
             .reorder(true)
+            .cache_bytes(1 << 20)
+            .cache_policy(CachePolicy::WriteThrough)
             .build()
             .unwrap();
         assert_eq!(
@@ -238,6 +264,8 @@ mod tests {
                 cpu_share: 0.5,
                 dual_stream: true,
                 reorder: true,
+                cache_bytes: 1 << 20,
+                cache_policy: CachePolicy::WriteThrough,
             }
         );
     }

@@ -44,6 +44,10 @@ pub struct CpuRunReport {
     pub scalars_applied: usize,
     /// Peak resident compressed bytes during the run.
     pub peak_compressed_bytes: usize,
+    /// Peak resident bytes including the residency cache (compressed +
+    /// decompressed cache copies) — the footprint to hold against a memory
+    /// budget when `cache_bytes > 0`.
+    pub peak_resident_bytes: usize,
     /// Peak transient working-buffer bytes (per-worker buffers).
     pub peak_buffer_bytes: usize,
     /// The full span/counter record the durations above derive from.
@@ -96,6 +100,10 @@ pub fn run(
     let telemetry = Telemetry::new();
     store.attach_telemetry(telemetry.clone());
     let _store_guard = StoreTelemetryGuard(store);
+    // Hot-chunk residency cache: loads of resident chunks skip the codec
+    // entirely; stores defer recompression to eviction or the final flush.
+    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
+    let cache_enabled = cfg.cache_bytes > 0;
 
     let plan = build_plan(circuit, cfg, granularity);
     let chunk_amps = store.chunk_amps();
@@ -107,7 +115,16 @@ pub fn run(
     let mut peak_buffer_bytes = 0usize;
 
     for (si, stage) in plan.stages.iter().enumerate() {
-        let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+        let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+        if cache_enabled {
+            // Visit groups with the most cache-resident members first so a
+            // stage harvests its hits before misses evict them.
+            let resident: std::collections::HashSet<usize> =
+                store.resident_chunks().into_iter().collect();
+            groups.sort_by_cached_key(|g| {
+                std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
+            });
+        }
         chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
         let group_amps = stage.group_size() * chunk_amps;
         peak_buffer_bytes = peak_buffer_bytes.max(cfg.workers.min(groups.len()) * group_amps * 16);
@@ -168,6 +185,11 @@ pub fn run(
         }
     }
 
+    // Write back dirty resident chunks so the compressed representation is
+    // coherent for callers (compression ratio, direct slot readers); the
+    // entries stay resident and clean, so a following `to_dense` still hits.
+    store.flush();
+
     let record = telemetry.finish();
     Ok(CpuRunReport {
         wall: record.wall,
@@ -179,6 +201,7 @@ pub fn run(
         gates_applied: gates_applied.into_inner(),
         scalars_applied: scalars_applied.into_inner(),
         peak_compressed_bytes: store.peak_compressed_bytes(),
+        peak_resident_bytes: store.peak_resident_bytes(),
         peak_buffer_bytes,
         telemetry: record,
     })

@@ -59,6 +59,9 @@ pub struct HybridRunReport {
     pub stages: usize,
     /// Peak resident compressed bytes.
     pub peak_compressed_bytes: usize,
+    /// Peak resident bytes including the residency cache (compressed +
+    /// decompressed cache copies).
+    pub peak_resident_bytes: usize,
     /// Host pinned staging bytes held by the pipeline.
     pub pinned_bytes: usize,
     /// Device working-buffer bytes held by the pipeline.
@@ -114,6 +117,10 @@ pub fn run(
     let _store_guard = StoreTelemetryGuard(store);
     device.attach_telemetry(telemetry.clone());
     let _device_guard = DeviceTelemetryGuard(device);
+    // Hot-chunk residency cache (shared with the CPU engine): resident
+    // loads skip the codec; dirty stores recompress on eviction/flush.
+    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
+    let cache_enabled = cfg.cache_bytes > 0;
 
     let plan = super::cpu::build_plan(circuit, cfg, Granularity::Staged);
     let chunk_amps = store.chunk_amps();
@@ -252,7 +259,16 @@ pub fn run(
 
         // --- producer (this thread): decompress + specialize ---------------
         'stages: for (si, stage) in plan.stages.iter().enumerate() {
-            let groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+            let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+            if cache_enabled {
+                // Visit groups with the most cache-resident members first
+                // so a stage harvests its hits before misses evict them.
+                let resident: std::collections::HashSet<usize> =
+                    store.resident_chunks().into_iter().collect();
+                groups.sort_by_cached_key(|g| {
+                    std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
+                });
+            }
             let n_cpu = ((groups.len() as f64) * cfg.cpu_share).round() as usize;
             let (cpu_groups, dev_groups) = groups.split_at(n_cpu.min(groups.len()));
 
@@ -386,6 +402,10 @@ pub fn run(
         return Err(e);
     }
 
+    // Write back dirty resident chunks so the compressed representation is
+    // coherent for callers; entries stay resident for follow-up reads.
+    store.flush();
+
     // Snapshot after the pipeline threads joined and the streams drained,
     // so every span is closed and every device counter has landed.
     let record = telemetry.finish();
@@ -403,6 +423,7 @@ pub fn run(
         groups_cpu: groups_cpu.into_inner(),
         stages: plan.stages.len(),
         peak_compressed_bytes: store.peak_compressed_bytes(),
+        peak_resident_bytes: store.peak_resident_bytes(),
         pinned_bytes: slots * max_group_amps * 16,
         device_buffer_bytes: slots * max_group_amps * 16,
         modeled_serial: cpu_side + device_stats.modeled,
@@ -489,10 +510,7 @@ mod tests {
             max_high_qubits: 2,
             codec: CodecSpec::Fpc,
             workers: 1,
-            pipeline_buffers: 2,
-            cpu_share: 0.0,
-            dual_stream: false,
-            reorder: false,
+            ..Default::default()
         }
     }
 
@@ -650,6 +668,34 @@ mod tests {
         assert_eq!(r.pinned_bytes, 2 * (1 << 5) * 16);
         assert_eq!(r.device_buffer_bytes, r.pinned_bytes);
         assert!(r.peak_compressed_bytes > 0);
+        assert!(r.peak_resident_bytes >= r.peak_compressed_bytes);
+    }
+
+    #[test]
+    fn cached_pipeline_matches_and_cuts_codec_traffic() {
+        use mq_telemetry::Counter;
+        let c = library::qft(7);
+        let base = cfg(3);
+        let cached = MemQSimConfig {
+            // Room for half the chunks (16 chunks of 2^3 amps).
+            cache_bytes: 8 * (1 << 3) * 16,
+            ..base
+        };
+        let uncached_r = run_and_compare(&c, &base, true);
+        let cached_r = run_and_compare(&c, &cached, true);
+        let visits = cached_r.telemetry.counter(Counter::ChunkVisits);
+        assert_eq!(
+            cached_r.telemetry.counter(Counter::CacheHits)
+                + cached_r.telemetry.counter(Counter::CacheMisses),
+            visits
+        );
+        assert!(cached_r.telemetry.counter(Counter::CacheHits) > 0);
+        assert!(
+            cached_r.telemetry.counter(Counter::BytesDecompressed)
+                < uncached_r.telemetry.counter(Counter::BytesDecompressed)
+        );
+        // Cache bytes are accounted against the resident footprint.
+        assert!(cached_r.peak_resident_bytes >= cached_r.peak_compressed_bytes);
     }
 }
 
@@ -669,10 +715,8 @@ mod dual_stream_tests {
             max_high_qubits: 2,
             codec: CodecSpec::Fpc,
             workers: 1,
-            pipeline_buffers: 2,
-            cpu_share: 0.0,
             dual_stream,
-            reorder: false,
+            ..Default::default()
         }
     }
 
@@ -761,10 +805,9 @@ mod max_high_one_tests {
             max_high_qubits: 1,
             codec: CodecSpec::Fpc,
             workers: 1,
-            pipeline_buffers: 2,
-            cpu_share: 0.0,
             dual_stream: true,
             reorder: true,
+            ..Default::default()
         };
         for circuit in [library::ghz(8), library::w_state(8)] {
             let store = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));

@@ -52,7 +52,7 @@ pub use backend::{
 pub use config::{MemQSimConfig, MemQSimConfigBuilder};
 pub use engine::{EngineError, Granularity};
 pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
-pub use store::CompressedStateVector;
+pub use store::{CachePolicy, CompressedStateVector};
 
 use mq_circuit::Circuit;
 use mq_num::Complex64;

@@ -18,7 +18,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use mq_circuit::Gate;
 use mq_num::Complex64;
 use mq_telemetry::{Counter, Telemetry};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,7 +29,9 @@ pub(crate) struct DeviceInner {
     pub(crate) arena: Mutex<Arena>,
     /// Optional per-run instrumentation; stream workers count H2D/D2H
     /// traffic, kernel launches and scatter ops against it while attached.
-    pub(crate) telemetry: Mutex<Option<Telemetry>>,
+    /// Read-locked on the per-command hot path; write-locked only on
+    /// attach/detach.
+    pub(crate) telemetry: RwLock<Option<Telemetry>>,
 }
 
 /// A simulated GPU.
@@ -46,7 +48,7 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 spec,
                 arena: Mutex::new(arena),
-                telemetry: Mutex::new(None),
+                telemetry: RwLock::new(None),
             }),
         }
     }
@@ -61,12 +63,12 @@ impl Device {
     /// device's streams contributes to the run's `bytes_h2d` / `bytes_d2h` /
     /// `kernel_launches` / `scatter_ops` counters.
     pub fn attach_telemetry(&self, telemetry: Telemetry) {
-        *self.inner.telemetry.lock() = Some(telemetry);
+        *self.inner.telemetry.write() = Some(telemetry);
     }
 
     /// Detaches the telemetry handle, if any.
     pub fn detach_telemetry(&self) {
-        *self.inner.telemetry.lock() = None;
+        *self.inner.telemetry.write() = None;
     }
 
     /// Allocates `amps` amplitudes of device memory.
@@ -522,7 +524,7 @@ fn execute(
             stats.modeled += t;
             stats.modeled_h2d += t;
             stats.bytes_h2d += len * 16;
-            if let Some(tele) = device.telemetry.lock().as_ref() {
+            if let Some(tele) = device.telemetry.read().as_ref() {
                 tele.add(Counter::BytesH2d, (len * 16) as u64);
             }
             Ok(())
@@ -554,7 +556,7 @@ fn execute(
             stats.modeled += t;
             stats.modeled_d2h += t;
             stats.bytes_d2h += len * 16;
-            if let Some(tele) = device.telemetry.lock().as_ref() {
+            if let Some(tele) = device.telemetry.read().as_ref() {
                 tele.add(Counter::BytesD2h, (len * 16) as u64);
             }
             Ok(())
@@ -592,7 +594,7 @@ fn execute(
             let t = spec.scatter_time(len);
             stats.modeled += t;
             stats.modeled_scatter += t;
-            if let Some(tele) = device.telemetry.lock().as_ref() {
+            if let Some(tele) = device.telemetry.read().as_ref() {
                 tele.add(Counter::ScatterOps, 1);
             }
             Ok(())
@@ -626,7 +628,7 @@ fn execute(
             let t = spec.scatter_time(len);
             stats.modeled += t;
             stats.modeled_scatter += t;
-            if let Some(tele) = device.telemetry.lock().as_ref() {
+            if let Some(tele) = device.telemetry.read().as_ref() {
                 tele.add(Counter::ScatterOps, 1);
             }
             Ok(())
@@ -639,7 +641,7 @@ fn execute(
             let t = spec.kernel_time(amps);
             stats.modeled += t;
             stats.modeled_kernel += t;
-            if let Some(tele) = device.telemetry.lock().as_ref() {
+            if let Some(tele) = device.telemetry.read().as_ref() {
                 tele.add(Counter::KernelLaunches, 1);
             }
             Ok(())

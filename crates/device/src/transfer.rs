@@ -123,7 +123,7 @@ pub fn run_transfer_experiment(
     let span = device
         .inner
         .telemetry
-        .lock()
+        .read()
         .as_ref()
         .map(|t| t.span(mq_telemetry::Role::DeviceIssue));
     let pieces = total / piece_amps;

@@ -88,11 +88,24 @@ pub enum Counter {
     KernelLaunches,
     /// Scatter/gather commands issued to the device.
     ScatterOps,
+    /// Chunk loads served from the store's residency cache (no checksum,
+    /// no decode).
+    CacheHits,
+    /// Chunk loads that went through the codec because the chunk was not
+    /// resident in the cache. Only counted while a cache is configured, so
+    /// `CacheHits + CacheMisses == ChunkVisits` holds for cached runs.
+    CacheMisses,
+    /// Chunk stores whose content fingerprint matched the resident copy —
+    /// the recompression was skipped entirely.
+    RecompressSkipped,
+    /// Cache entries evicted (dirty evictions recompress; clean evictions
+    /// drop the buffer with zero codec work).
+    Evictions,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 11] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -100,6 +113,10 @@ impl Counter {
         Counter::ChunkVisits,
         Counter::KernelLaunches,
         Counter::ScatterOps,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::RecompressSkipped,
+        Counter::Evictions,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -112,6 +129,10 @@ impl Counter {
             Counter::ChunkVisits => "chunk_visits",
             Counter::KernelLaunches => "kernel_launches",
             Counter::ScatterOps => "scatter_ops",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::RecompressSkipped => "recompress_skipped",
+            Counter::Evictions => "evictions",
         }
     }
 
@@ -124,6 +145,10 @@ impl Counter {
             Counter::ChunkVisits => 4,
             Counter::KernelLaunches => 5,
             Counter::ScatterOps => 6,
+            Counter::CacheHits => 7,
+            Counter::CacheMisses => 8,
+            Counter::RecompressSkipped => 9,
+            Counter::Evictions => 10,
         }
     }
 }
@@ -527,6 +552,10 @@ mod tests {
             "\"wall_ns\"",
             "\"counters\"",
             "\"chunk_visits\": 3",
+            "\"cache_hits\": 0",
+            "\"cache_misses\": 0",
+            "\"recompress_skipped\": 0",
+            "\"evictions\": 0",
             "\"roles\"",
             "\"cpu_apply\"",
             "\"serial_sum_ns\"",

@@ -21,10 +21,7 @@ fn cfg(chunk_bits: u32) -> MemQSimConfig {
         max_high_qubits: 2,
         codec: CodecSpec::Sz { eb: 1e-12 },
         workers: 2,
-        pipeline_buffers: 2,
-        cpu_share: 0.0,
-        dual_stream: false,
-        reorder: false,
+        ..Default::default()
     }
 }
 
