@@ -25,7 +25,7 @@ fn run_once(
     n: u32,
     chunk_bits: u32,
     granularity: Granularity,
-) -> (memqsim_core::engine::cpu::CpuRunReport, f64) {
+) -> (memqsim_core::engine::RunReport, f64) {
     run_once_with(n, chunk_bits, granularity, false, 0)
 }
 
@@ -41,7 +41,7 @@ fn run_once_with(
     granularity: Granularity,
     reorder: bool,
     cache_bytes: usize,
-) -> (memqsim_core::engine::cpu::CpuRunReport, f64) {
+) -> (memqsim_core::engine::RunReport, f64) {
     let cfg = MemQSimConfig {
         chunk_bits,
         max_high_qubits: 2,

@@ -203,7 +203,8 @@ impl Backend for HybridBackend {
             amplitudes,
             wall: report.wall,
             peak_state_bytes: report.peak_resident_bytes,
-            peak_working_bytes: report.pinned_bytes,
+            // Pinned staging plus the CPU share's group buffers.
+            peak_working_bytes: report.peak_working_bytes(),
             modeled_device: report.device.modeled,
             detail: format!(
                 "{} stages, {} device + {} cpu groups, modeled device {:?}",
@@ -250,12 +251,8 @@ mod tests {
 
     fn small_cfg() -> MemQSimConfig {
         MemQSimConfig {
-            chunk_bits: 3,
-            max_high_qubits: 2,
-            codec: CodecSpec::Fpc,
-            workers: 1,
             cpu_share: 0.25,
-            ..Default::default()
+            ..crate::testkit::cfg(3, CodecSpec::Fpc)
         }
     }
 

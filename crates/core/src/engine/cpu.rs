@@ -5,250 +5,96 @@
 //! into a working buffer, all of the stage's gates are applied (specialized
 //! to the group), and the chunks are recompressed — with groups distributed
 //! over "idle core" workers (paper Fig. 2, step 5).
+//!
+//! The streaming skeleton (validation, plan, cache, ordering, accounting,
+//! flush, report) lives in [`exec::run_with_executor`](super::exec); this
+//! module contributes only the [`CpuWorkerExecutor`] compute path.
 
 use crate::config::MemQSimConfig;
-use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
-use crate::planner::chunk_groups;
-use crate::specialize::{specialize, GroupContext, Specialized};
+use crate::engine::exec::{
+    process_groups_on_cpu, run_with_executor, ApplyCounters, ChunkExecutor, ExecContext,
+    ExecutorStats, StageWork,
+};
+use crate::engine::{EngineError, Granularity, RunReport};
 use crate::store::CompressedStateVector;
-use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan};
 use mq_circuit::Circuit;
-use mq_num::parallel::par_for;
-use mq_num::Complex64;
-use mq_telemetry::{Role, RunTelemetry, Telemetry};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
 
-/// Timing and traffic report from a compressed-CPU run.
-///
-/// All duration fields are *derived* from the run's [`RunTelemetry`]
-/// timeline (per-role busy times), so they agree with the span record by
-/// construction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CpuRunReport {
-    /// Wall-clock time of the whole run.
-    pub wall: Duration,
-    /// Cumulative time in chunk decompression (summed across workers).
-    pub decompress: Duration,
-    /// Cumulative time applying gates.
-    pub apply: Duration,
-    /// Cumulative time in chunk recompression.
-    pub compress: Duration,
-    /// Number of stages executed.
-    pub stages: usize,
-    /// Total chunk visits (decompress+recompress rounds).
-    pub chunk_visits: usize,
-    /// Gates applied (after specialization; skipped gates not counted).
-    pub gates_applied: usize,
-    /// Whole-buffer scalar multiplications applied.
-    pub scalars_applied: usize,
-    /// Peak resident compressed bytes during the run.
-    pub peak_compressed_bytes: usize,
-    /// Peak resident bytes including the residency cache (compressed +
-    /// decompressed cache copies) — the footprint to hold against a memory
-    /// budget when `cache_bytes > 0`.
-    pub peak_resident_bytes: usize,
-    /// Peak transient working-buffer bytes (per-worker buffers).
-    pub peak_buffer_bytes: usize,
-    /// The full span/counter record the durations above derive from.
-    pub telemetry: RunTelemetry,
+pub use crate::engine::exec::build_plan;
+
+/// [`ChunkExecutor`] that processes every chunk group on CPU workers
+/// (`cfg.workers` "idle cores"): decompress → apply → recompress per group.
+#[derive(Debug, Default)]
+pub struct CpuWorkerExecutor {
+    counters: ApplyCounters,
+    groups: usize,
+    peak_buffer_bytes: usize,
 }
 
-/// Builds the plan for `circuit` under `cfg` at the given granularity,
-/// optionally running the commutation-aware reorder pass first.
-pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granularity) -> Plan {
-    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
-    let reordered;
-    let circuit = if cfg.reorder {
-        reordered = mq_circuit::reorder::reorder_for_locality(circuit, chunk_bits);
-        &reordered
-    } else {
-        circuit
-    };
-    match granularity {
-        Granularity::Staged => partition(
-            circuit,
-            &PartitionConfig {
-                chunk_bits,
-                max_high_qubits: cfg.max_high_qubits,
-            },
-        ),
-        Granularity::PerGate => partition_per_gate(circuit, chunk_bits),
+impl CpuWorkerExecutor {
+    /// Creates a fresh executor (one per run).
+    pub fn new() -> CpuWorkerExecutor {
+        CpuWorkerExecutor::default()
     }
 }
 
-/// Runs `circuit` against `store` on the CPU.
+impl ChunkExecutor for CpuWorkerExecutor {
+    fn name(&self) -> String {
+        "cpu-workers".to_string()
+    }
+
+    fn execute_stage(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        work: &StageWork<'_>,
+    ) -> Result<(), EngineError> {
+        let group_amps = work.stage.group_size() * ctx.chunk_amps();
+        self.peak_buffer_bytes = self
+            .peak_buffer_bytes
+            .max(ctx.cfg.workers.min(work.groups.len()) * group_amps * 16);
+        self.groups += work.groups.len();
+        process_groups_on_cpu(ctx, work, &work.groups, &self.counters)
+    }
+
+    fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+        Ok(ExecutorStats {
+            gates_applied: *self.counters.gates.get_mut(),
+            scalars_applied: *self.counters.scalars.get_mut(),
+            groups_cpu: self.groups,
+            peak_buffer_bytes: self.peak_buffer_bytes,
+            ..ExecutorStats::default()
+        })
+    }
+}
+
+/// Runs `circuit` against `store` on CPU workers.
 ///
-/// # Panics
-/// Panics if the store geometry does not match `cfg`/`circuit` (construct
-/// the store with the same config), or if a gate exceeds
-/// `cfg.max_high_qubits` (plan-time invariant).
+/// Geometry mismatches between the store and `cfg`/`circuit` surface as
+/// [`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`].
 pub fn run(
     store: &CompressedStateVector,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     granularity: Granularity,
-) -> Result<CpuRunReport, EngineError> {
-    cfg.validate().map_err(EngineError::Config)?;
-    assert_eq!(store.n_qubits(), circuit.n_qubits(), "width mismatch");
-    assert_eq!(
-        store.chunk_bits(),
-        cfg.effective_chunk_bits(circuit.n_qubits()),
-        "store chunk size disagrees with config"
-    );
-
-    let telemetry = Telemetry::new();
-    store.attach_telemetry(telemetry.clone());
-    let _store_guard = StoreTelemetryGuard(store);
-    // Hot-chunk residency cache: loads of resident chunks skip the codec
-    // entirely; stores defer recompression to eviction or the final flush.
-    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
-    let cache_enabled = cfg.cache_bytes > 0;
-
-    let plan = build_plan(circuit, cfg, granularity);
-    let chunk_amps = store.chunk_amps();
-
-    let gates_applied = AtomicUsize::new(0);
-    let scalars_applied = AtomicUsize::new(0);
-    let first_error = parking_lot::Mutex::new(None::<EngineError>);
-    let mut chunk_visits = 0usize;
-    let mut peak_buffer_bytes = 0usize;
-
-    for (si, stage) in plan.stages.iter().enumerate() {
-        let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
-        if cache_enabled {
-            // Visit groups with the most cache-resident members first so a
-            // stage harvests its hits before misses evict them.
-            let resident: std::collections::HashSet<usize> =
-                store.resident_chunks().into_iter().collect();
-            groups.sort_by_cached_key(|g| {
-                std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
-            });
-        }
-        chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
-        let group_amps = stage.group_size() * chunk_amps;
-        peak_buffer_bytes = peak_buffer_bytes.max(cfg.workers.min(groups.len()) * group_amps * 16);
-
-        par_for(groups.len(), cfg.workers, |gi| {
-            if first_error.lock().is_some() {
-                return;
-            }
-            let group = &groups[gi];
-            let mut buffer = vec![Complex64::ZERO; group_amps];
-
-            // Decompress members into their buffer slots.
-            {
-                let _span = telemetry.stage_span(Role::Decompress, si as u32);
-                for (j, &chunk) in group.iter().enumerate() {
-                    if let Err(e) =
-                        store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
-                    {
-                        *first_error.lock() = Some(e.into());
-                        return;
-                    }
-                }
-            }
-
-            // Apply all stage gates, specialized to this group.
-            let apply_span = telemetry.stage_span(Role::CpuApply, si as u32);
-            let ctx = GroupContext {
-                chunk_bits: plan.chunk_bits,
-                high: &stage.high_qubits,
-                base_chunk: group[0],
-            };
-            for gate in &stage.gates {
-                match specialize(gate, &ctx) {
-                    Specialized::Skip => {}
-                    Specialized::Scalar(s) => {
-                        for z in buffer.iter_mut() {
-                            *z *= s;
-                        }
-                        scalars_applied.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Specialized::Apply(g) => {
-                        mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
-                        gates_applied.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            drop(apply_span);
-
-            // Recompress.
-            let _span = telemetry.stage_span(Role::Recompress, si as u32);
-            for (j, &chunk) in group.iter().enumerate() {
-                store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
-            }
-        });
-
-        if let Some(e) = first_error.lock().take() {
-            return Err(e);
-        }
-    }
-
-    // Write back dirty resident chunks so the compressed representation is
-    // coherent for callers (compression ratio, direct slot readers); the
-    // entries stay resident and clean, so a following `to_dense` still hits.
-    store.flush();
-
-    let record = telemetry.finish();
-    Ok(CpuRunReport {
-        wall: record.wall,
-        decompress: record.busy(Role::Decompress),
-        apply: record.busy(Role::CpuApply),
-        compress: record.busy(Role::Recompress),
-        stages: plan.stages.len(),
-        chunk_visits,
-        gates_applied: gates_applied.into_inner(),
-        scalars_applied: scalars_applied.into_inner(),
-        peak_compressed_bytes: store.peak_compressed_bytes(),
-        peak_resident_bytes: store.peak_resident_bytes(),
-        peak_buffer_bytes,
-        telemetry: record,
-    })
+) -> Result<RunReport, EngineError> {
+    let mut executor = CpuWorkerExecutor::new();
+    run_with_executor(store, circuit, cfg, granularity, &mut executor)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::{self, run_cpu_and_compare};
     use mq_circuit::library;
     use mq_circuit::unitary::run_dense;
     use mq_compress::CodecSpec;
     use mq_num::metrics::{fidelity, max_amp_err};
-    use std::sync::Arc;
-
-    fn cfg(chunk_bits: u32, codec: CodecSpec) -> MemQSimConfig {
-        MemQSimConfig {
-            chunk_bits,
-            max_high_qubits: 2,
-            codec,
-            workers: 1,
-            ..Default::default()
-        }
-    }
-
-    fn run_and_compare(
-        circuit: &mq_circuit::Circuit,
-        cfg: &MemQSimConfig,
-        tol: f64,
-    ) -> CpuRunReport {
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            cfg.effective_chunk_bits(circuit.n_qubits()),
-            Arc::from(cfg.codec.build()),
-        );
-        let report = run(&store, circuit, cfg, Granularity::Staged).unwrap();
-        let got = store.to_dense().unwrap();
-        let want = run_dense(circuit, 0);
-        let err = max_amp_err(&got, &want);
-        assert!(err <= tol, "{}: max amp err {err} > {tol}", circuit.name());
-        report
-    }
+    use mq_telemetry::Role;
 
     #[test]
     fn suite_matches_dense_reference_lossless() {
         for c in library::standard_suite(7) {
             for chunk_bits in [3u32, 5, 7] {
-                run_and_compare(&c, &cfg(chunk_bits, CodecSpec::Fpc), 1e-10);
+                run_cpu_and_compare(&c, &testkit::cfg(chunk_bits, CodecSpec::Fpc), 1e-10);
             }
         }
     }
@@ -256,7 +102,8 @@ mod tests {
     #[test]
     fn suite_matches_dense_reference_lossy() {
         for c in library::standard_suite(6) {
-            let report = run_and_compare(&c, &cfg(3, CodecSpec::Sz { eb: 1e-12 }), 1e-6);
+            let report =
+                run_cpu_and_compare(&c, &testkit::cfg(3, CodecSpec::Sz { eb: 1e-12 }), 1e-6);
             assert!(report.gates_applied > 0);
         }
     }
@@ -264,8 +111,8 @@ mod tests {
     #[test]
     fn lossy_fidelity_stays_high() {
         let c = library::qft(8);
-        let config = cfg(4, CodecSpec::Sz { eb: 1e-10 });
-        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        let config = testkit::cfg(4, CodecSpec::Sz { eb: 1e-10 });
+        let store = testkit::zero_store(8, 4, &config);
         run(&store, &c, &config, Granularity::Staged).unwrap();
         let got = store.to_dense().unwrap();
         let want = run_dense(&c, 0);
@@ -278,11 +125,11 @@ mod tests {
         let c = library::random_circuit(8, 8, 5);
         let mk = |workers| MemQSimConfig {
             workers,
-            ..cfg(3, CodecSpec::Fpc)
+            ..testkit::cfg(3, CodecSpec::Fpc)
         };
-        let s1 = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+        let s1 = testkit::zero_store(8, 3, &mk(1));
         run(&s1, &c, &mk(1), Granularity::Staged).unwrap();
-        let s4 = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+        let s4 = testkit::zero_store(8, 3, &mk(4));
         run(&s4, &c, &mk(4), Granularity::Staged).unwrap();
         let err = max_amp_err(&s1.to_dense().unwrap(), &s4.to_dense().unwrap());
         assert!(err < 1e-12, "thread count changed the result: {err}");
@@ -291,11 +138,10 @@ mod tests {
     #[test]
     fn per_gate_granularity_same_result_more_visits() {
         let c = library::qft(7);
-        let config = cfg(3, CodecSpec::Fpc);
-        let staged_store =
-            CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+        let config = testkit::cfg(3, CodecSpec::Fpc);
+        let staged_store = testkit::zero_store(7, 3, &config);
         let staged = run(&staged_store, &c, &config, Granularity::Staged).unwrap();
-        let pg_store = CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+        let pg_store = testkit::zero_store(7, 3, &config);
         let per_gate = run(&pg_store, &c, &config, Granularity::PerGate).unwrap();
         let err = max_amp_err(
             &staged_store.to_dense().unwrap(),
@@ -316,8 +162,8 @@ mod tests {
         let n = 7;
         let marked = 0b1011010u64;
         let c = library::grover(n, marked, library::optimal_grover_iterations(n));
-        let config = cfg(3, CodecSpec::Sz { eb: 1e-11 });
-        let store = CompressedStateVector::zero_state(n, 3, Arc::from(config.codec.build()));
+        let config = testkit::cfg(3, CodecSpec::Sz { eb: 1e-11 });
+        let store = testkit::zero_store(n, 3, &config);
         run(&store, &c, &config, Granularity::Staged).unwrap();
         let p = store.probability(marked as usize).unwrap();
         assert!(p > 0.9, "p(marked) = {p}");
@@ -326,8 +172,8 @@ mod tests {
     #[test]
     fn norm_is_preserved() {
         let c = library::hardware_efficient_ansatz(8, 2, 3);
-        let config = cfg(4, CodecSpec::Sz { eb: 1e-10 });
-        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        let config = testkit::cfg(4, CodecSpec::Sz { eb: 1e-10 });
+        let store = testkit::zero_store(8, 4, &config);
         run(&store, &c, &config, Granularity::Staged).unwrap();
         let n = store.norm().unwrap();
         assert!((n - 1.0).abs() < 1e-5, "norm {n}");
@@ -336,20 +182,26 @@ mod tests {
     #[test]
     fn report_accounting_is_consistent() {
         let c = library::ghz(8);
-        let config = cfg(4, CodecSpec::Fpc);
-        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        let config = testkit::cfg(4, CodecSpec::Fpc);
+        let store = testkit::zero_store(8, 4, &config);
         let r = run(&store, &c, &config, Granularity::Staged).unwrap();
         assert!(r.stages >= 1);
         assert!(r.chunk_visits >= store.chunk_count());
         assert!(r.peak_compressed_bytes > 0);
         assert!(r.peak_buffer_bytes > 0);
+        // The CPU executor routes nothing through a device.
+        assert_eq!(r.executor, "cpu-workers");
+        assert_eq!(r.groups_device, 0);
+        assert!(r.groups_cpu > 0);
+        assert_eq!(r.device, mq_device::StreamStats::default());
+        assert_eq!(r.pinned_bytes, 0);
         // GHZ has no outside-diagonal gates, so no scalars.
         assert_eq!(r.scalars_applied, 0);
         // Durations are derived from the telemetry record, not separate
         // accumulators, so they agree with it exactly.
         assert!(r.telemetry.balanced());
         assert_eq!(r.decompress, r.telemetry.busy(Role::Decompress));
-        assert_eq!(r.apply, r.telemetry.busy(Role::CpuApply));
+        assert_eq!(r.cpu_apply, r.telemetry.busy(Role::CpuApply));
         assert_eq!(r.compress, r.telemetry.busy(Role::Recompress));
         assert_eq!(
             r.chunk_visits as u64,
@@ -361,12 +213,27 @@ mod tests {
     #[test]
     fn rejects_invalid_config() {
         let c = library::ghz(4);
-        let mut config = cfg(2, CodecSpec::Fpc);
+        let mut config = testkit::cfg(2, CodecSpec::Fpc);
         config.workers = 0;
-        let store = CompressedStateVector::zero_state(4, 2, Arc::from(CodecSpec::Fpc.build()));
+        let store = testkit::zero_store(4, 2, &config);
         assert!(matches!(
             run(&store, &c, &config, Granularity::Staged),
             Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let config = testkit::cfg(3, CodecSpec::Fpc);
+        let store = testkit::zero_store(6, 3, &config);
+        assert!(matches!(
+            run(&store, &library::ghz(8), &config, Granularity::Staged),
+            Err(EngineError::WidthMismatch { .. })
+        ));
+        let store = testkit::zero_store(8, 5, &config);
+        assert!(matches!(
+            run(&store, &library::ghz(8), &config, Granularity::Staged),
+            Err(EngineError::ChunkMismatch { .. })
         ));
     }
 
@@ -376,9 +243,8 @@ mod tests {
         let (a, b) = (2u64, 3u64);
         let mut c = library::arithmetic::load_operands(n_bits, a, b);
         c.extend(&library::ripple_carry_adder(n_bits));
-        let config = cfg(2, CodecSpec::ZeroRle);
-        let store =
-            CompressedStateVector::zero_state(c.n_qubits(), 2, Arc::from(config.codec.build()));
+        let config = testkit::cfg(2, CodecSpec::ZeroRle);
+        let store = testkit::zero_store(c.n_qubits(), 2, &config);
         run(&store, &c, &config, Granularity::Staged).unwrap();
         let dense = store.to_dense().unwrap();
         let hot: Vec<usize> = (0..dense.len())

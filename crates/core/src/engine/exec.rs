@@ -1,0 +1,510 @@
+//! The unified execution core: one chunk-streaming driver, pluggable
+//! executors.
+//!
+//! Every MEMQSIM engine runs the same skeleton — validate the configuration
+//! and store geometry, build the offline plan, attach telemetry and the
+//! residency cache, then stream every stage's chunk groups (residency-first
+//! when the cache is on) through some compute path, flush, and assemble a
+//! report. [`run_with_executor`] owns that skeleton once; the compute path
+//! is a [`ChunkExecutor`]:
+//!
+//! * [`CpuWorkerExecutor`](super::cpu::CpuWorkerExecutor) — "idle core"
+//!   workers decompress → apply → recompress each group (paper Fig. 2
+//!   step 5);
+//! * [`DevicePipelineExecutor`](super::hybrid::DevicePipelineExecutor) —
+//!   the three-role producer/device/completer pipeline (Fig. 2 steps 1–6).
+//!
+//! Anything implementing the trait — including test mocks — gets config
+//! validation, plan building, cache setup, visit accounting, flush and
+//! [`RunReport`] assembly for free, which is the seam heterogeneous
+//! scheduling (routing stages per-executor) will plug into.
+
+use crate::config::MemQSimConfig;
+use crate::engine::report::RunReport;
+use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
+use crate::planner::chunk_groups;
+use crate::specialize::{specialize, GroupContext, Specialized};
+use crate::store::CompressedStateVector;
+use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan, Stage};
+use mq_circuit::Circuit;
+use mq_device::StreamStats;
+use mq_num::parallel::par_for;
+use mq_num::Complex64;
+use mq_telemetry::{Role, Telemetry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything the driver hands an executor: the store being simulated, the
+/// offline plan, the active configuration and the run's telemetry handle.
+pub struct ExecContext<'a> {
+    /// The compressed state the run mutates.
+    pub store: &'a CompressedStateVector,
+    /// The offline plan (stages, geometry) the driver streams.
+    pub plan: &'a Plan,
+    /// The active engine configuration.
+    pub cfg: &'a MemQSimConfig,
+    /// The run's shared telemetry handle (already attached to the store).
+    pub telemetry: &'a Telemetry,
+}
+
+impl ExecContext<'_> {
+    /// Amplitudes per chunk.
+    pub fn chunk_amps(&self) -> usize {
+        self.store.chunk_amps()
+    }
+}
+
+/// One stage's work order: the stage, its index, and its chunk groups in
+/// the order the driver wants them visited (cache-resident groups first).
+pub struct StageWork<'a> {
+    /// Stage index within the plan (telemetry stage id).
+    pub index: u32,
+    /// The stage being executed.
+    pub stage: &'a Stage,
+    /// Ordered chunk groups; each inner vector is one co-resident group.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Executor-side accounting folded into the final [`RunReport`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorStats {
+    /// Gates applied (after specialization).
+    pub gates_applied: usize,
+    /// Whole-buffer scalar multiplications applied.
+    pub scalars_applied: usize,
+    /// Groups routed through a device.
+    pub groups_device: usize,
+    /// Groups handled by CPU workers.
+    pub groups_cpu: usize,
+    /// Peak transient per-worker group-buffer bytes.
+    pub peak_buffer_bytes: usize,
+    /// Host pinned staging bytes held for the run.
+    pub pinned_bytes: usize,
+    /// Device working-buffer bytes held for the run.
+    pub device_buffer_bytes: usize,
+    /// Device-side stream accounting (zero when no device was involved).
+    pub device: StreamStats,
+}
+
+/// A pluggable compute path for the chunk-streaming driver.
+///
+/// Lifecycle: [`prepare`](Self::prepare) once, then
+/// [`execute_stage`](Self::execute_stage) per plan stage (stage boundaries
+/// are barriers — a stage may read chunks the previous stage wrote), then
+/// [`finish`](Self::finish) exactly once, *even if a stage failed*, so
+/// executors can drain pipelines and release buffers unconditionally.
+pub trait ChunkExecutor {
+    /// Display name, recorded in the report.
+    fn name(&self) -> String;
+
+    /// Allocates run-scoped resources (buffers, streams, threads).
+    fn prepare(&mut self, _ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    /// Processes every chunk group of one stage, in the given order.
+    fn execute_stage(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        work: &StageWork<'_>,
+    ) -> Result<(), EngineError>;
+
+    /// Drains and releases resources, returning the executor's accounting.
+    fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError>;
+}
+
+/// Builds the plan for `circuit` under `cfg` at the given granularity,
+/// optionally running the commutation-aware reorder pass first.
+pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granularity) -> Plan {
+    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
+    let reordered;
+    let circuit = if cfg.reorder {
+        reordered = mq_circuit::reorder::reorder_for_locality(circuit, chunk_bits);
+        &reordered
+    } else {
+        circuit
+    };
+    match granularity {
+        Granularity::Staged => partition(
+            circuit,
+            &PartitionConfig {
+                chunk_bits,
+                max_high_qubits: cfg.max_high_qubits,
+            },
+        ),
+        Granularity::PerGate => partition_per_gate(circuit, chunk_bits),
+    }
+}
+
+/// Runs `circuit` against `store`, streaming every stage's chunk groups
+/// through `executor`. This is the one engine driver: `cpu::run` and
+/// `hybrid::run` are thin constructors over it.
+///
+/// Geometry mismatches surface as typed errors
+/// ([`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`]) rather
+/// than panics.
+pub fn run_with_executor(
+    store: &CompressedStateVector,
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    granularity: Granularity,
+    executor: &mut dyn ChunkExecutor,
+) -> Result<RunReport, EngineError> {
+    cfg.validate().map_err(EngineError::Config)?;
+    if store.n_qubits() != circuit.n_qubits() {
+        return Err(EngineError::WidthMismatch {
+            store_qubits: store.n_qubits(),
+            circuit_qubits: circuit.n_qubits(),
+        });
+    }
+    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
+    if store.chunk_bits() != chunk_bits {
+        return Err(EngineError::ChunkMismatch {
+            store_chunk_bits: store.chunk_bits(),
+            config_chunk_bits: chunk_bits,
+        });
+    }
+
+    // One telemetry record for the whole run; the store (and any device the
+    // executor attaches) feeds counters into it.
+    let telemetry = Telemetry::new();
+    store.attach_telemetry(telemetry.clone());
+    let _store_guard = StoreTelemetryGuard(store);
+    // Hot-chunk residency cache: loads of resident chunks skip the codec
+    // entirely; stores defer recompression to eviction or the final flush.
+    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
+    let cache_enabled = cfg.cache_bytes > 0;
+
+    let plan = build_plan(circuit, cfg, granularity);
+    let ctx = ExecContext {
+        store,
+        plan: &plan,
+        cfg,
+        telemetry: &telemetry,
+    };
+
+    let mut chunk_visits = 0usize;
+    let mut run_err: Option<EngineError> = None;
+    match executor.prepare(&ctx) {
+        Err(e) => run_err = Some(e),
+        Ok(()) => {
+            for (si, stage) in plan.stages.iter().enumerate() {
+                let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
+                if cache_enabled {
+                    // Visit groups with the most cache-resident members
+                    // first so a stage harvests its hits before misses
+                    // evict them.
+                    let resident: std::collections::HashSet<usize> =
+                        store.resident_chunks().into_iter().collect();
+                    groups.sort_by_cached_key(|g| {
+                        std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
+                    });
+                }
+                chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
+                let work = StageWork {
+                    index: si as u32,
+                    stage,
+                    groups,
+                };
+                if let Err(e) = executor.execute_stage(&ctx, &work) {
+                    run_err = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Always give the executor its drain/release call so pipelines join and
+    // buffers free even on a failed stage, then flush dirty resident chunks
+    // so the compressed representation is coherent for callers.
+    let finish_result = executor.finish(&ctx);
+    store.flush();
+
+    // Snapshot after the executor drained, so every span is closed and
+    // every counter has landed.
+    let record = telemetry.finish();
+    if let Some(e) = run_err {
+        return Err(e);
+    }
+    let stats = finish_result?;
+
+    let decompress = record.busy(Role::Decompress);
+    let compress = record.busy(Role::Recompress);
+    let cpu_apply = record.busy(Role::CpuApply);
+    let cpu_side = decompress + compress + cpu_apply;
+    Ok(RunReport {
+        executor: executor.name(),
+        wall: record.wall,
+        decompress,
+        cpu_apply,
+        compress,
+        device: stats.device,
+        stages: plan.stages.len(),
+        chunk_visits,
+        gates_applied: stats.gates_applied,
+        scalars_applied: stats.scalars_applied,
+        groups_device: stats.groups_device,
+        groups_cpu: stats.groups_cpu,
+        peak_compressed_bytes: store.peak_compressed_bytes(),
+        peak_resident_bytes: store.peak_resident_bytes(),
+        peak_buffer_bytes: stats.peak_buffer_bytes,
+        pinned_bytes: stats.pinned_bytes,
+        device_buffer_bytes: stats.device_buffer_bytes,
+        modeled_serial: cpu_side + stats.device.modeled,
+        modeled_overlapped: cpu_side.max(stats.device.modeled),
+        telemetry: record,
+    })
+}
+
+/// Shared gate/scalar application counters for CPU-side group processing.
+#[derive(Debug, Default)]
+pub(crate) struct ApplyCounters {
+    pub(crate) gates: AtomicUsize,
+    pub(crate) scalars: AtomicUsize,
+}
+
+/// Processes a slice of one stage's groups entirely on CPU workers:
+/// decompress → specialize+apply → recompress, distributed with `par_for`.
+/// The single implementation behind both the CPU executor and the hybrid
+/// executor's "idle core" share (paper Fig. 2 step 5).
+pub(crate) fn process_groups_on_cpu(
+    ctx: &ExecContext<'_>,
+    work: &StageWork<'_>,
+    groups: &[Vec<usize>],
+    counters: &ApplyCounters,
+) -> Result<(), EngineError> {
+    let chunk_amps = ctx.chunk_amps();
+    let chunk_bits = ctx.plan.chunk_bits;
+    let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+    par_for(groups.len(), ctx.cfg.workers, |gi| {
+        if first_error.lock().is_some() {
+            return;
+        }
+        let group = &groups[gi];
+        let mut buffer = vec![Complex64::ZERO; group.len() * chunk_amps];
+
+        // Decompress members into their buffer slots.
+        {
+            let _span = ctx.telemetry.stage_span(Role::Decompress, work.index);
+            for (j, &chunk) in group.iter().enumerate() {
+                if let Err(e) = ctx
+                    .store
+                    .load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
+                {
+                    *first_error.lock() = Some(e.into());
+                    return;
+                }
+            }
+        }
+
+        // Apply all stage gates, specialized to this group.
+        let apply_span = ctx.telemetry.stage_span(Role::CpuApply, work.index);
+        let gctx = GroupContext {
+            chunk_bits,
+            high: &work.stage.high_qubits,
+            base_chunk: group[0],
+        };
+        for gate in &work.stage.gates {
+            match specialize(gate, &gctx) {
+                Specialized::Skip => {}
+                Specialized::Scalar(s) => {
+                    for z in buffer.iter_mut() {
+                        *z *= s;
+                    }
+                    counters.scalars.fetch_add(1, Ordering::Relaxed);
+                }
+                Specialized::Apply(g) => {
+                    mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
+                    counters.gates.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(apply_span);
+
+        // Recompress.
+        let _span = ctx.telemetry.stage_span(Role::Recompress, work.index);
+        for (j, &chunk) in group.iter().enumerate() {
+            ctx.store
+                .store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
+        }
+    });
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use mq_circuit::library;
+    use mq_compress::CodecSpec;
+    use mq_telemetry::Counter;
+
+    /// A third, trivial executor: proves the `ChunkExecutor` seam is real by
+    /// driving the shared core with a mock that only round-trips chunks
+    /// (identity compute) while counting what the driver hands it.
+    #[derive(Default)]
+    struct CountingExecutor {
+        prepared: usize,
+        finished: usize,
+        stages_seen: Vec<u32>,
+        groups_seen: usize,
+        chunks_seen: usize,
+    }
+
+    impl ChunkExecutor for CountingExecutor {
+        fn name(&self) -> String {
+            "counting-mock".to_string()
+        }
+
+        fn prepare(&mut self, _ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+            self.prepared += 1;
+            Ok(())
+        }
+
+        fn execute_stage(
+            &mut self,
+            ctx: &ExecContext<'_>,
+            work: &StageWork<'_>,
+        ) -> Result<(), EngineError> {
+            self.stages_seen.push(work.index);
+            self.groups_seen += work.groups.len();
+            let chunk_amps = ctx.chunk_amps();
+            let mut buf = vec![Complex64::ZERO; chunk_amps];
+            for group in &work.groups {
+                for &chunk in group {
+                    self.chunks_seen += 1;
+                    ctx.store.load_chunk(chunk, &mut buf)?;
+                    ctx.store.store_chunk(chunk, &buf);
+                }
+            }
+            Ok(())
+        }
+
+        fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+            self.finished += 1;
+            Ok(ExecutorStats {
+                groups_cpu: self.groups_seen,
+                ..ExecutorStats::default()
+            })
+        }
+    }
+
+    #[test]
+    fn counting_mock_rides_the_same_core() {
+        let cfg = testkit::cfg(3, CodecSpec::Fpc);
+        let circuit = library::qft(7);
+        let store = testkit::zero_store(7, 3, &cfg);
+        let mut mock = CountingExecutor::default();
+        let report =
+            run_with_executor(&store, &circuit, &cfg, Granularity::Staged, &mut mock).unwrap();
+
+        // Lifecycle: prepare and finish exactly once, stages in plan order.
+        assert_eq!(mock.prepared, 1);
+        assert_eq!(mock.finished, 1);
+        assert_eq!(
+            mock.stages_seen,
+            (0..report.stages as u32).collect::<Vec<_>>()
+        );
+
+        // The driver's visit accounting matches what the executor was
+        // handed, and matches the store's counter (the mock loads every
+        // chunk exactly once per stage).
+        assert_eq!(mock.chunks_seen, report.chunk_visits);
+        assert_eq!(
+            report.chunk_visits as u64,
+            report.telemetry.counter(Counter::ChunkVisits)
+        );
+        assert_eq!(report.groups_cpu, mock.groups_seen);
+        assert_eq!(report.executor, "counting-mock");
+
+        // Identity compute: the state is untouched.
+        let dense = store.to_dense().unwrap();
+        assert!((dense[0].re - 1.0).abs() < 1e-12);
+        assert!(dense[1..].iter().all(|z| z.norm() < 1e-12));
+
+        // The report is fully assembled even for a mock executor.
+        assert!(report.telemetry.balanced());
+        assert_eq!(report.gates_applied, 0);
+        assert!(report.peak_compressed_bytes > 0);
+        assert_eq!(report.device, StreamStats::default());
+    }
+
+    #[test]
+    fn failed_stage_still_finishes_the_executor() {
+        struct FailingExecutor {
+            finished: bool,
+        }
+        impl ChunkExecutor for FailingExecutor {
+            fn name(&self) -> String {
+                "failing-mock".to_string()
+            }
+            fn execute_stage(
+                &mut self,
+                _ctx: &ExecContext<'_>,
+                _work: &StageWork<'_>,
+            ) -> Result<(), EngineError> {
+                Err(EngineError::Config("boom".to_string()))
+            }
+            fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+                self.finished = true;
+                Ok(ExecutorStats::default())
+            }
+        }
+        let cfg = testkit::cfg(3, CodecSpec::Fpc);
+        let store = testkit::zero_store(6, 3, &cfg);
+        let mut exec = FailingExecutor { finished: false };
+        let err = run_with_executor(
+            &store,
+            &library::ghz(6),
+            &cfg,
+            Granularity::Staged,
+            &mut exec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+        assert!(exec.finished, "finish must run even when a stage fails");
+    }
+
+    #[test]
+    fn geometry_mismatches_are_typed_errors_not_panics() {
+        let cfg = testkit::cfg(3, CodecSpec::Fpc);
+        let mut mock = CountingExecutor::default();
+
+        // Store narrower than the circuit.
+        let store = testkit::zero_store(6, 3, &cfg);
+        match run_with_executor(
+            &store,
+            &library::ghz(8),
+            &cfg,
+            Granularity::Staged,
+            &mut mock,
+        ) {
+            Err(EngineError::WidthMismatch {
+                store_qubits: 6,
+                circuit_qubits: 8,
+            }) => {}
+            other => panic!("expected WidthMismatch, got {other:?}"),
+        }
+
+        // Store chunked differently from the config.
+        let store = testkit::zero_store(8, 5, &cfg);
+        match run_with_executor(
+            &store,
+            &library::ghz(8),
+            &cfg,
+            Granularity::Staged,
+            &mut mock,
+        ) {
+            Err(EngineError::ChunkMismatch {
+                store_chunk_bits: 5,
+                config_chunk_bits: 3,
+            }) => {}
+            other => panic!("expected ChunkMismatch, got {other:?}"),
+        }
+        // Neither failed run reached the executor.
+        assert_eq!(mock.prepared, 0);
+    }
+}

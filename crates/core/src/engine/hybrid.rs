@@ -16,64 +16,27 @@
 //! `pipeline_buffers` in-flight staging slots (2 = double buffering), so
 //! step 1 of group `k+1` overlaps steps 2–4 of group `k`. Stage boundaries
 //! are barriers (a stage may read chunks the previous stage wrote).
+//!
+//! The streaming skeleton (validation, plan, cache, ordering, accounting,
+//! flush, report) lives in [`exec::run_with_executor`](super::exec); this
+//! module contributes only the [`DevicePipelineExecutor`] compute path.
 
 use crate::config::MemQSimConfig;
-use crate::engine::EngineError;
-use crate::engine::Granularity;
-use crate::engine::{DeviceTelemetryGuard, StoreTelemetryGuard};
-use crate::planner::chunk_groups;
+use crate::engine::exec::{
+    process_groups_on_cpu, run_with_executor, ApplyCounters, ChunkExecutor, ExecContext,
+    ExecutorStats, StageWork,
+};
+use crate::engine::{EngineError, Granularity, RunReport};
 use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::CompressedStateVector;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{bounded, RecvTimeoutError};
 use mq_circuit::{Circuit, Gate};
-use mq_device::{Device, DeviceBuffer, PinnedBuffer, StreamStats};
-use mq_num::parallel::par_for;
+use mq_device::{Device, DeviceBuffer, PinnedBuffer, Stream, StreamStats};
 use mq_num::Complex64;
-use mq_telemetry::{Role, RunTelemetry, Telemetry};
+use mq_telemetry::Role;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
-
-/// Report from a hybrid run.
-///
-/// The `decompress` / `compress` / `cpu_apply` durations are *derived* from
-/// the run's [`RunTelemetry`] timeline (per-role busy times), so they agree
-/// with the span record by construction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HybridRunReport {
-    /// Wall-clock time of the whole run.
-    pub wall: Duration,
-    /// Cumulative CPU time decompressing chunks.
-    pub decompress: Duration,
-    /// Cumulative CPU time recompressing chunks.
-    pub compress: Duration,
-    /// Cumulative CPU time applying gates on the CPU share of groups.
-    pub cpu_apply: Duration,
-    /// Device-side accounting (modeled H2D/kernel/D2H and real time).
-    pub device: StreamStats,
-    /// Groups routed through the device.
-    pub groups_device: usize,
-    /// Groups handled by CPU idle cores (step 5).
-    pub groups_cpu: usize,
-    /// Stages executed.
-    pub stages: usize,
-    /// Peak resident compressed bytes.
-    pub peak_compressed_bytes: usize,
-    /// Peak resident bytes including the residency cache (compressed +
-    /// decompressed cache copies).
-    pub peak_resident_bytes: usize,
-    /// Host pinned staging bytes held by the pipeline.
-    pub pinned_bytes: usize,
-    /// Device working-buffer bytes held by the pipeline.
-    pub device_buffer_bytes: usize,
-    /// Modeled end-to-end time with no overlap (sum of all phases).
-    pub modeled_serial: Duration,
-    /// Modeled end-to-end time with perfect phase overlap
-    /// (max of CPU-side and device-side busy time).
-    pub modeled_overlapped: Duration,
-    /// The full span/counter record the durations above derive from.
-    pub telemetry: RunTelemetry,
-}
 
 /// One unit of pipeline work: a chunk group, staged and specialized.
 struct Work {
@@ -87,213 +50,259 @@ struct Work {
 
 enum ToDevice {
     Work(Work),
-    StageEnd,
+    /// Serial-ablation barrier: drain everything issued so far.
+    Drain,
 }
 
 enum ToCompleter {
     Work(Work, mq_device::Event),
-    StageEnd,
+    Drain,
 }
 
-/// Runs `circuit` against `store` through `device`. With `pipelined =
-/// false` every group completes before the next starts (the Fig. 2 ablation
-/// baseline); with `true` the three roles overlap.
-pub fn run(
-    store: &CompressedStateVector,
-    circuit: &Circuit,
-    cfg: &MemQSimConfig,
-    device: &Device,
+/// [`ChunkExecutor`] running the paper's three-role pipeline against a
+/// simulated device: a producer decompresses and specializes groups into
+/// pinned staging slots, a device issuer runs H2D → kernels → D2H, and a
+/// completer recompresses results — overlapped across `pipeline_buffers`
+/// in-flight slots when `pipelined`, fully drained after every group when
+/// not (the Fig. 2 ablation baseline). A `cpu_share` fraction of each
+/// stage's groups bypasses the device entirely (step 5, "idle cores").
+pub struct DevicePipelineExecutor<'d> {
+    device: &'d Device,
     pipelined: bool,
-) -> Result<HybridRunReport, EngineError> {
-    cfg.validate().map_err(EngineError::Config)?;
-    assert_eq!(store.n_qubits(), circuit.n_qubits(), "width mismatch");
-    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
-    assert_eq!(store.chunk_bits(), chunk_bits, "store chunk size mismatch");
-
-    // One telemetry record for the whole run, shared by all three pipeline
-    // roles; the store and the device feed their counters into it.
-    let telemetry = Telemetry::new();
-    store.attach_telemetry(telemetry.clone());
-    let _store_guard = StoreTelemetryGuard(store);
-    device.attach_telemetry(telemetry.clone());
-    let _device_guard = DeviceTelemetryGuard(device);
-    // Hot-chunk residency cache (shared with the CPU engine): resident
-    // loads skip the codec; dirty stores recompress on eviction/flush.
-    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
-    let cache_enabled = cfg.cache_bytes > 0;
-
-    let plan = super::cpu::build_plan(circuit, cfg, Granularity::Staged);
-    let chunk_amps = store.chunk_amps();
-    let max_group_amps = chunk_amps << cfg.max_high_qubits;
-    let slots = cfg.pipeline_buffers.max(1);
-
-    // Staging: `slots` pinned host buffers + matching device buffers.
-    let pinned: Vec<PinnedBuffer> = (0..slots)
-        .map(|_| PinnedBuffer::new(max_group_amps))
-        .collect();
-    let dev_bufs: Vec<DeviceBuffer> = (0..slots)
-        .map(|_| device.alloc(max_group_amps))
-        .collect::<Result<_, _>>()?;
-
-    let groups_cpu = AtomicUsize::new(0);
-    let groups_device = AtomicUsize::new(0);
-    let error: Mutex<Option<EngineError>> = Mutex::new(None);
-
-    let copy_stream = device.create_stream();
+    slots: usize,
+    max_group_amps: usize,
+    pinned: Vec<PinnedBuffer>,
+    dev_bufs: Vec<DeviceBuffer>,
+    copy_stream: Option<Stream>,
     // Dual-stream mode actually uses three streams (upload / compute /
     // download) so the next group's H2D overlaps this group's kernels and
     // the previous group's D2H — the standard CUDA double-buffering shape.
-    let extra_streams = if cfg.dual_stream {
-        Some((device.create_stream(), device.create_stream()))
-    } else {
-        None
-    };
+    extra_streams: Option<(Stream, Stream)>,
+    counters: ApplyCounters,
+    groups_cpu: usize,
+    groups_device: usize,
+    peak_buffer_bytes: usize,
+    telemetry_attached: bool,
+}
 
-    let result: Result<(), EngineError> = crossbeam::thread::scope(|scope| {
-        let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
-        let (to_completer_tx, to_completer_rx) = bounded::<ToCompleter>(slots);
-        let (pool_tx, pool_rx) = bounded::<usize>(slots);
-        let (stage_ack_tx, stage_ack_rx) = bounded::<()>(1);
-        for i in 0..slots {
-            pool_tx.send(i).expect("pool has capacity");
+impl<'d> DevicePipelineExecutor<'d> {
+    /// Creates an executor over `device`; `pipelined = false` drains the
+    /// pipeline after every group (the serial ablation).
+    pub fn new(device: &'d Device, pipelined: bool) -> DevicePipelineExecutor<'d> {
+        DevicePipelineExecutor {
+            device,
+            pipelined,
+            slots: 0,
+            max_group_amps: 0,
+            pinned: Vec::new(),
+            dev_bufs: Vec::new(),
+            copy_stream: None,
+            extra_streams: None,
+            counters: ApplyCounters::default(),
+            groups_cpu: 0,
+            groups_device: 0,
+            peak_buffer_bytes: 0,
+            telemetry_attached: false,
+        }
+    }
+}
+
+impl Drop for DevicePipelineExecutor<'_> {
+    fn drop(&mut self) {
+        if self.telemetry_attached {
+            self.device.detach_telemetry();
+        }
+    }
+}
+
+impl ChunkExecutor for DevicePipelineExecutor<'_> {
+    fn name(&self) -> String {
+        format!(
+            "device-pipeline[{}]",
+            if self.pipelined {
+                "pipelined"
+            } else {
+                "serial"
+            }
+        )
+    }
+
+    fn prepare(&mut self, ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+        // The device feeds transfer/kernel counters into the run record.
+        self.device.attach_telemetry(ctx.telemetry.clone());
+        self.telemetry_attached = true;
+
+        self.max_group_amps = ctx.chunk_amps() << ctx.cfg.max_high_qubits;
+        self.slots = ctx.cfg.pipeline_buffers.max(1);
+
+        // Staging: `slots` pinned host buffers + matching device buffers.
+        // Allocated one by one into `self` so a mid-way OOM still releases
+        // the successful allocations in `finish`.
+        self.pinned = (0..self.slots)
+            .map(|_| PinnedBuffer::new(self.max_group_amps))
+            .collect();
+        for _ in 0..self.slots {
+            self.dev_bufs.push(self.device.alloc(self.max_group_amps)?);
         }
 
-        // --- device issuer ------------------------------------------------
-        let copy_ref = &copy_stream;
-        let extra_ref = extra_streams.as_ref();
-        let pinned_ref = &pinned;
-        let dev_bufs_ref = &dev_bufs;
-        let issuer_telemetry = telemetry.clone();
-        scope.spawn(move |_| {
-            while let Ok(msg) = to_completer_forwarder(&to_device_rx) {
-                match msg {
-                    ToDevice::StageEnd => {
-                        if to_completer_tx.send(ToCompleter::StageEnd).is_err() {
-                            break;
+        self.copy_stream = Some(self.device.create_stream());
+        self.extra_streams = if ctx.cfg.dual_stream {
+            Some((self.device.create_stream(), self.device.create_stream()))
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn execute_stage(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        work: &StageWork<'_>,
+    ) -> Result<(), EngineError> {
+        let chunk_amps = ctx.chunk_amps();
+        let n_cpu = ((work.groups.len() as f64) * ctx.cfg.cpu_share).round() as usize;
+        let (cpu_groups, dev_groups) = work.groups.split_at(n_cpu.min(work.groups.len()));
+
+        // Step 5: idle-core CPU share, processed before device issue so
+        // both halves of the stage stay within the stage barrier.
+        if !cpu_groups.is_empty() {
+            let group_amps = work.stage.group_size() * chunk_amps;
+            self.peak_buffer_bytes = self
+                .peak_buffer_bytes
+                .max(ctx.cfg.workers.min(cpu_groups.len()) * group_amps * 16);
+            process_groups_on_cpu(ctx, work, cpu_groups, &self.counters)?;
+            self.groups_cpu += cpu_groups.len();
+        }
+        if dev_groups.is_empty() {
+            return Ok(());
+        }
+
+        let store = ctx.store;
+        let telemetry = ctx.telemetry;
+        let pinned = &self.pinned;
+        let dev_bufs = &self.dev_bufs;
+        let copy_stream = self.copy_stream.as_ref().expect("prepared");
+        let extra_streams = self.extra_streams.as_ref();
+        let gate_counter = &self.counters.gates;
+        let scalar_counter = &self.counters.scalars;
+        let slots = self.slots;
+        let pipelined = self.pipelined;
+        let si = work.index;
+        let stage = work.stage;
+        let chunk_bits = ctx.plan.chunk_bits;
+
+        let stage_groups_device = AtomicUsize::new(0);
+        let error: Mutex<Option<EngineError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
+            let (to_completer_tx, to_completer_rx) = bounded::<ToCompleter>(slots);
+            let (pool_tx, pool_rx) = bounded::<usize>(slots);
+            let (drain_ack_tx, drain_ack_rx) = bounded::<()>(1);
+            for i in 0..slots {
+                pool_tx.send(i).expect("pool has capacity");
+            }
+
+            // --- device issuer ----------------------------------------------
+            let issuer_telemetry = telemetry.clone();
+            scope.spawn(move |_| {
+                while let Ok(msg) = to_device_rx.recv() {
+                    match msg {
+                        ToDevice::Drain => {
+                            if to_completer_tx.send(ToCompleter::Drain).is_err() {
+                                break;
+                            }
                         }
-                    }
-                    ToDevice::Work(work) => {
-                        let span = issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
-                        let pb = &pinned_ref[work.slot];
-                        let db = dev_bufs_ref[work.slot];
-                        let event = match extra_ref {
-                            // Multi-stream: uploads, kernels and downloads
-                            // each get their own in-order stream, linked by
-                            // events, so group k+1's H2D overlaps group k's
-                            // kernels and group k-1's D2H — the paper's
-                            // step (3): kernels run "asynchronously during
-                            // the CPU-GPU data transfer".
-                            Some((compute, down)) => {
-                                copy_ref.h2d(pb, 0, db, 0, work.amps);
-                                let uploaded = copy_ref.record_event();
-                                compute.wait_event(&uploaded);
-                                for g in &work.gates {
-                                    compute.run_gate_region(db, work.amps, g.clone());
+                        ToDevice::Work(work) => {
+                            let span = issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
+                            let pb = &pinned[work.slot];
+                            let db = dev_bufs[work.slot];
+                            let event = match extra_streams {
+                                // Multi-stream: uploads, kernels and downloads
+                                // each get their own in-order stream, linked by
+                                // events, so group k+1's H2D overlaps group k's
+                                // kernels and group k-1's D2H — the paper's
+                                // step (3): kernels run "asynchronously during
+                                // the CPU-GPU data transfer".
+                                Some((compute, down)) => {
+                                    copy_stream.h2d(pb, 0, db, 0, work.amps);
+                                    let uploaded = copy_stream.record_event();
+                                    compute.wait_event(&uploaded);
+                                    for g in &work.gates {
+                                        compute.run_gate_region(db, work.amps, g.clone());
+                                    }
+                                    let kernels_done = compute.record_event();
+                                    down.wait_event(&kernels_done);
+                                    down.d2h(db, 0, pb, 0, work.amps);
+                                    down.record_event()
                                 }
-                                let kernels_done = compute.record_event();
-                                down.wait_event(&kernels_done);
-                                down.d2h(db, 0, pb, 0, work.amps);
-                                down.record_event()
-                            }
-                            None => {
-                                copy_ref.h2d(pb, 0, db, 0, work.amps);
-                                for g in &work.gates {
-                                    // The kernel operates on the leading
-                                    // `amps` region of the slot buffer.
-                                    copy_ref.run_gate_region(db, work.amps, g.clone());
+                                None => {
+                                    copy_stream.h2d(pb, 0, db, 0, work.amps);
+                                    for g in &work.gates {
+                                        // The kernel operates on the leading
+                                        // `amps` region of the slot buffer.
+                                        copy_stream.run_gate_region(db, work.amps, g.clone());
+                                    }
+                                    copy_stream.d2h(db, 0, pb, 0, work.amps);
+                                    copy_stream.record_event()
                                 }
-                                copy_ref.d2h(db, 0, pb, 0, work.amps);
-                                copy_ref.record_event()
+                            };
+                            // Close before the send: a full channel is
+                            // backpressure wait, not device-issue work.
+                            drop(span);
+                            if to_completer_tx
+                                .send(ToCompleter::Work(work, event))
+                                .is_err()
+                            {
+                                break;
                             }
-                        };
-                        // Close before the send: a full channel is
-                        // backpressure wait, not device-issue work.
-                        drop(span);
-                        if to_completer_tx
-                            .send(ToCompleter::Work(work, event))
-                            .is_err()
-                        {
-                            break;
                         }
                     }
                 }
-            }
-        });
+            });
 
-        // --- completer / recompressor --------------------------------------
-        let store_ref = store;
-        let groups_device_ref = &groups_device;
-        let completer_telemetry = telemetry.clone();
-        scope.spawn(move |_| {
-            while let Ok(msg) = to_completer_rx.recv() {
-                match msg {
-                    ToCompleter::StageEnd => {
-                        if stage_ack_tx.send(()).is_err() {
-                            break;
+            // --- completer / recompressor -----------------------------------
+            let stage_groups_device_ref = &stage_groups_device;
+            let completer_telemetry = telemetry.clone();
+            scope.spawn(move |_| {
+                while let Ok(msg) = to_completer_rx.recv() {
+                    match msg {
+                        ToCompleter::Drain => {
+                            if drain_ack_tx.send(()).is_err() {
+                                break;
+                            }
+                        }
+                        ToCompleter::Work(work, event) => {
+                            // Waiting on the device is idle time, not
+                            // recompress work; the span opens only once
+                            // results are back.
+                            event.wait();
+                            let _span =
+                                completer_telemetry.stage_span(Role::Recompress, work.stage);
+                            pinned[work.slot].write(|data| {
+                                if work.scalar != Complex64::ONE {
+                                    for z in &mut data[..work.amps] {
+                                        *z *= work.scalar;
+                                    }
+                                }
+                                for (j, &chunk) in work.group.iter().enumerate() {
+                                    store.store_chunk(
+                                        chunk,
+                                        &data[j * chunk_amps..(j + 1) * chunk_amps],
+                                    );
+                                }
+                            });
+                            stage_groups_device_ref.fetch_add(1, Ordering::Relaxed);
+                            let _ = pool_tx.send(work.slot);
                         }
                     }
-                    ToCompleter::Work(work, event) => {
-                        // Waiting on the device is idle time, not recompress
-                        // work; the span opens only once results are back.
-                        event.wait();
-                        let _span = completer_telemetry.stage_span(Role::Recompress, work.stage);
-                        pinned_ref[work.slot].write(|data| {
-                            if work.scalar != Complex64::ONE {
-                                for z in &mut data[..work.amps] {
-                                    *z *= work.scalar;
-                                }
-                            }
-                            for (j, &chunk) in work.group.iter().enumerate() {
-                                store_ref.store_chunk(
-                                    chunk,
-                                    &data[j * chunk_amps..(j + 1) * chunk_amps],
-                                );
-                            }
-                        });
-                        groups_device_ref.fetch_add(1, Ordering::Relaxed);
-                        let _ = pool_tx.send(work.slot);
-                    }
                 }
-            }
-        });
+            });
 
-        // --- producer (this thread): decompress + specialize ---------------
-        'stages: for (si, stage) in plan.stages.iter().enumerate() {
-            let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
-            if cache_enabled {
-                // Visit groups with the most cache-resident members first
-                // so a stage harvests its hits before misses evict them.
-                let resident: std::collections::HashSet<usize> =
-                    store.resident_chunks().into_iter().collect();
-                groups.sort_by_cached_key(|g| {
-                    std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
-                });
-            }
-            let n_cpu = ((groups.len() as f64) * cfg.cpu_share).round() as usize;
-            let (cpu_groups, dev_groups) = groups.split_at(n_cpu.min(groups.len()));
-
-            // Step 5: idle-core CPU share, processed before device issue so
-            // both halves of the stage stay within the stage barrier.
-            if !cpu_groups.is_empty() {
-                process_groups_on_cpu(
-                    store,
-                    stage,
-                    cpu_groups,
-                    plan.chunk_bits,
-                    cfg.workers,
-                    &telemetry,
-                    si as u32,
-                    &error,
-                );
-                groups_cpu.fetch_add(cpu_groups.len(), Ordering::Relaxed);
+            // --- producer (this thread): decompress + specialize ------------
+            'groups: for group in dev_groups {
                 if error.lock().is_some() {
-                    break 'stages;
-                }
-            }
-
-            for group in dev_groups {
-                if error.lock().is_some() {
-                    break 'stages;
+                    break 'groups;
                 }
                 // Acquire a staging slot (poll so a dead completer cannot
                 // wedge the producer).
@@ -302,16 +311,16 @@ pub fn run(
                         Ok(s) => break s,
                         Err(RecvTimeoutError::Timeout) => {
                             if error.lock().is_some() {
-                                break 'stages;
+                                break 'groups;
                             }
                         }
-                        Err(RecvTimeoutError::Disconnected) => break 'stages,
+                        Err(RecvTimeoutError::Disconnected) => break 'groups,
                     }
                 };
                 let amps = group.len() * chunk_amps;
                 let mut failed = None;
                 {
-                    let _span = telemetry.stage_span(Role::Decompress, si as u32);
+                    let _span = telemetry.stage_span(Role::Decompress, si);
                     pinned[slot].write(|data| {
                         for (j, &chunk) in group.iter().enumerate() {
                             if let Err(e) = store
@@ -325,222 +334,138 @@ pub fn run(
                 }
                 if let Some(e) = failed {
                     *error.lock() = Some(e.into());
-                    break 'stages;
+                    break 'groups;
                 }
 
-                let ctx = GroupContext {
-                    chunk_bits: plan.chunk_bits,
+                let gctx = GroupContext {
+                    chunk_bits,
                     high: &stage.high_qubits,
                     base_chunk: group[0],
                 };
                 let mut gates = Vec::new();
                 let mut scalar = Complex64::ONE;
                 for gate in &stage.gates {
-                    match specialize(gate, &ctx) {
+                    match specialize(gate, &gctx) {
                         Specialized::Skip => {}
-                        Specialized::Scalar(s) => scalar *= s,
+                        Specialized::Scalar(s) => {
+                            scalar *= s;
+                            scalar_counter.fetch_add(1, Ordering::Relaxed);
+                        }
                         Specialized::Apply(g) => gates.push(g),
                     }
                 }
+                gate_counter.fetch_add(gates.len(), Ordering::Relaxed);
                 let work = Work {
                     group: group.clone(),
                     amps,
                     slot,
-                    stage: si as u32,
+                    stage: si,
                     gates,
                     scalar,
                 };
                 if to_device_tx.send(ToDevice::Work(work)).is_err() {
-                    break 'stages;
+                    break 'groups;
                 }
                 if !pipelined {
                     // Serial ablation: drain the pipeline after every group.
-                    if to_device_tx.send(ToDevice::StageEnd).is_err() {
-                        break 'stages;
+                    if to_device_tx.send(ToDevice::Drain).is_err() {
+                        break 'groups;
                     }
-                    if stage_ack_rx.recv().is_err() {
-                        break 'stages;
+                    if drain_ack_rx.recv().is_err() {
+                        break 'groups;
                     }
                 }
             }
-            if pipelined {
-                if to_device_tx.send(ToDevice::StageEnd).is_err() {
-                    break 'stages;
-                }
-                if stage_ack_rx.recv().is_err() {
-                    break 'stages;
-                }
+            // Stage barrier: dropping the sender winds the pipeline down and
+            // the scope join waits for both roles to finish.
+            drop(to_device_tx);
+        })
+        .expect("pipeline thread panicked");
+
+        self.groups_device += stage_groups_device.into_inner();
+        match error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+        // Drain the streams first so every device counter has landed.
+        let mut device_stats = StreamStats::default();
+        if let Some(copy_stream) = self.copy_stream.take() {
+            device_stats = copy_stream.synchronize()?;
+        }
+        if let Some((compute, down)) = self.extra_streams.take() {
+            for s in [compute.synchronize()?, down.synchronize()?] {
+                // Streams share the device epoch: the device is done when the
+                // last stream is; category busy-times add.
+                device_stats.modeled = device_stats.modeled.max(s.modeled);
+                device_stats.modeled_h2d += s.modeled_h2d;
+                device_stats.modeled_d2h += s.modeled_d2h;
+                device_stats.modeled_kernel += s.modeled_kernel;
+                device_stats.modeled_scatter += s.modeled_scatter;
+                device_stats.modeled_wait += s.modeled_wait;
+                device_stats.real += s.real;
+                device_stats.commands += s.commands;
+                device_stats.bytes_h2d += s.bytes_h2d;
+                device_stats.bytes_d2h += s.bytes_d2h;
             }
         }
-        drop(to_device_tx); // shut the pipeline down
-        Ok(())
-    })
-    .expect("pipeline thread panicked");
-    result?;
-
-    let mut device_stats = copy_stream.synchronize()?;
-    if let Some((compute, down)) = &extra_streams {
-        for s in [compute.synchronize()?, down.synchronize()?] {
-            // Streams share the device epoch: the device is done when the
-            // last stream is; category busy-times add.
-            device_stats.modeled = device_stats.modeled.max(s.modeled);
-            device_stats.modeled_h2d += s.modeled_h2d;
-            device_stats.modeled_d2h += s.modeled_d2h;
-            device_stats.modeled_kernel += s.modeled_kernel;
-            device_stats.modeled_scatter += s.modeled_scatter;
-            device_stats.modeled_wait += s.modeled_wait;
-            device_stats.real += s.real;
-            device_stats.commands += s.commands;
-            device_stats.bytes_h2d += s.bytes_h2d;
-            device_stats.bytes_d2h += s.bytes_d2h;
+        for db in self.dev_bufs.drain(..) {
+            self.device.free(db)?;
         }
+        if self.telemetry_attached {
+            self.device.detach_telemetry();
+            self.telemetry_attached = false;
+        }
+        let staging_bytes = self.slots * self.max_group_amps * 16;
+        Ok(ExecutorStats {
+            gates_applied: *self.counters.gates.get_mut(),
+            scalars_applied: *self.counters.scalars.get_mut(),
+            groups_device: self.groups_device,
+            groups_cpu: self.groups_cpu,
+            peak_buffer_bytes: self.peak_buffer_bytes,
+            pinned_bytes: staging_bytes,
+            device_buffer_bytes: staging_bytes,
+            device: device_stats,
+        })
     }
-    for db in dev_bufs {
-        device.free(db)?;
-    }
-    if let Some(e) = error.lock().take() {
-        return Err(e);
-    }
-
-    // Write back dirty resident chunks so the compressed representation is
-    // coherent for callers; entries stay resident for follow-up reads.
-    store.flush();
-
-    // Snapshot after the pipeline threads joined and the streams drained,
-    // so every span is closed and every device counter has landed.
-    let record = telemetry.finish();
-    let decompress = record.busy(Role::Decompress);
-    let compress = record.busy(Role::Recompress);
-    let cpu_apply = record.busy(Role::CpuApply);
-    let cpu_side = decompress + compress + cpu_apply;
-    Ok(HybridRunReport {
-        wall: record.wall,
-        decompress,
-        compress,
-        cpu_apply,
-        device: device_stats,
-        groups_device: groups_device.into_inner(),
-        groups_cpu: groups_cpu.into_inner(),
-        stages: plan.stages.len(),
-        peak_compressed_bytes: store.peak_compressed_bytes(),
-        peak_resident_bytes: store.peak_resident_bytes(),
-        pinned_bytes: slots * max_group_amps * 16,
-        device_buffer_bytes: slots * max_group_amps * 16,
-        modeled_serial: cpu_side + device_stats.modeled,
-        modeled_overlapped: cpu_side.max(device_stats.modeled),
-        telemetry: record,
-    })
 }
 
-/// Forwards a receive, keeping the issuer loop tidy.
-fn to_completer_forwarder(
-    rx: &Receiver<ToDevice>,
-) -> Result<ToDevice, crossbeam::channel::RecvError> {
-    rx.recv()
-}
-
-/// Step 5: process a slice of groups entirely on CPU workers.
-#[allow(clippy::too_many_arguments)]
-fn process_groups_on_cpu(
+/// Runs `circuit` against `store` through `device`. With `pipelined =
+/// false` every group completes before the next starts (the Fig. 2 ablation
+/// baseline); with `true` the three roles overlap.
+///
+/// Geometry mismatches between the store and `cfg`/`circuit` surface as
+/// [`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`].
+pub fn run(
     store: &CompressedStateVector,
-    stage: &mq_circuit::partition::Stage,
-    groups: &[Vec<usize>],
-    chunk_bits: u32,
-    workers: usize,
-    telemetry: &Telemetry,
-    stage_idx: u32,
-    error: &Mutex<Option<EngineError>>,
-) {
-    let chunk_amps = 1usize << chunk_bits;
-    par_for(groups.len(), workers, |gi| {
-        if error.lock().is_some() {
-            return;
-        }
-        let group = &groups[gi];
-        let mut buffer = vec![Complex64::ZERO; group.len() * chunk_amps];
-        {
-            let _span = telemetry.stage_span(Role::Decompress, stage_idx);
-            for (j, &chunk) in group.iter().enumerate() {
-                if let Err(e) =
-                    store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
-                {
-                    *error.lock() = Some(e.into());
-                    return;
-                }
-            }
-        }
-        let apply_span = telemetry.stage_span(Role::CpuApply, stage_idx);
-        let ctx = GroupContext {
-            chunk_bits,
-            high: &stage.high_qubits,
-            base_chunk: group[0],
-        };
-        for gate in &stage.gates {
-            match specialize(gate, &ctx) {
-                Specialized::Skip => {}
-                Specialized::Scalar(s) => {
-                    for z in buffer.iter_mut() {
-                        *z *= s;
-                    }
-                }
-                Specialized::Apply(g) => mq_statevec::apply::apply_gate(&mut buffer, &g, 1),
-            }
-        }
-        drop(apply_span);
-        let _span = telemetry.stage_span(Role::Recompress, stage_idx);
-        for (j, &chunk) in group.iter().enumerate() {
-            store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
-        }
-    });
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    device: &Device,
+    pipelined: bool,
+) -> Result<RunReport, EngineError> {
+    let mut executor = DevicePipelineExecutor::new(device, pipelined);
+    run_with_executor(store, circuit, cfg, Granularity::Staged, &mut executor)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::{self, run_hybrid_and_compare};
     use mq_circuit::library;
-    use mq_circuit::unitary::run_dense;
     use mq_compress::CodecSpec;
     use mq_device::DeviceSpec;
-    use mq_num::metrics::max_amp_err;
-    use std::sync::Arc;
+    use mq_telemetry::Counter;
 
     fn cfg(chunk_bits: u32) -> MemQSimConfig {
-        MemQSimConfig {
-            chunk_bits,
-            max_high_qubits: 2,
-            codec: CodecSpec::Fpc,
-            workers: 1,
-            ..Default::default()
-        }
-    }
-
-    fn device() -> Device {
-        Device::new(DeviceSpec::tiny_test(1 << 20))
-    }
-
-    fn run_and_compare(
-        circuit: &Circuit,
-        config: &MemQSimConfig,
-        pipelined: bool,
-    ) -> HybridRunReport {
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            config.effective_chunk_bits(circuit.n_qubits()),
-            Arc::from(config.codec.build()),
-        );
-        let dev = device();
-        let report = run(&store, circuit, config, &dev, pipelined).unwrap();
-        let got = store.to_dense().unwrap();
-        let want = run_dense(circuit, 0);
-        let err = max_amp_err(&got, &want);
-        assert!(err < 1e-10, "{}: err {err}", circuit.name());
-        report
+        testkit::cfg(chunk_bits, CodecSpec::Fpc)
     }
 
     #[test]
     fn suite_matches_dense_reference_pipelined() {
         for c in library::standard_suite(6) {
-            let r = run_and_compare(&c, &cfg(3), true);
+            let r = run_hybrid_and_compare(&c, &cfg(3), true, 1e-10);
             assert!(r.groups_device > 0, "{}", c.name());
             assert!(r.device.modeled_h2d > Duration::ZERO);
         }
@@ -549,7 +474,7 @@ mod tests {
     #[test]
     fn suite_matches_dense_reference_serial() {
         for c in library::standard_suite(6) {
-            run_and_compare(&c, &cfg(3), false);
+            run_hybrid_and_compare(&c, &cfg(3), false, 1e-10);
         }
     }
 
@@ -561,7 +486,7 @@ mod tests {
                 cpu_share: share,
                 ..cfg(3)
             };
-            let r = run_and_compare(&c, &config, true);
+            let r = run_hybrid_and_compare(&c, &config, true, 1e-10);
             if share == 0.0 {
                 assert_eq!(r.groups_cpu, 0);
             }
@@ -582,7 +507,7 @@ mod tests {
                 pipeline_buffers: buffers,
                 ..cfg(3)
             };
-            run_and_compare(&c, &config, true);
+            run_hybrid_and_compare(&c, &config, true, 1e-10);
         }
     }
 
@@ -590,7 +515,7 @@ mod tests {
     fn device_oom_surfaces_as_engine_error() {
         let c = library::ghz(8);
         let config = cfg(4);
-        let store = CompressedStateVector::zero_state(8, 4, Arc::from(config.codec.build()));
+        let store = testkit::zero_store(8, 4, &config);
         // Device too small for even one staging buffer (2^(4+2) amps needed).
         let dev = Device::new(DeviceSpec::tiny_test(8));
         match run(&store, &c, &config, &dev, true) {
@@ -602,7 +527,7 @@ mod tests {
     #[test]
     fn modeled_overlap_never_exceeds_serial() {
         let c = library::qft(7);
-        let r = run_and_compare(&c, &cfg(3), true);
+        let r = run_hybrid_and_compare(&c, &cfg(3), true, 1e-10);
         assert!(r.modeled_overlapped <= r.modeled_serial);
         assert_eq!(
             r.modeled_serial,
@@ -612,9 +537,8 @@ mod tests {
 
     #[test]
     fn report_durations_derive_from_telemetry() {
-        use mq_telemetry::Counter;
         let c = library::qft(7);
-        let r = run_and_compare(&c, &cfg(3), true);
+        let r = run_hybrid_and_compare(&c, &cfg(3), true, 1e-10);
         assert!(r.telemetry.balanced());
         assert_eq!(r.decompress, r.telemetry.busy(Role::Decompress));
         assert_eq!(r.compress, r.telemetry.busy(Role::Recompress));
@@ -638,10 +562,11 @@ mod tests {
         // The ablation drains the pipeline after every group, so no two
         // spans of different roles can ever be open at once.
         let c = library::qft(7);
-        let r = run_and_compare(&c, &cfg(3), false);
+        let r = run_hybrid_and_compare(&c, &cfg(3), false, 1e-10);
         assert!(r.telemetry.balanced());
         assert!(!r.telemetry.has_role_overlap());
         assert_eq!(r.telemetry.overlap(), Duration::ZERO);
+        assert_eq!(r.executor, "device-pipeline[serial]");
     }
 
     #[test]
@@ -653,8 +578,8 @@ mod tests {
             codec: CodecSpec::Sz { eb: 1e-11 },
             ..cfg(3)
         };
-        let store = CompressedStateVector::zero_state(n, 3, Arc::from(config.codec.build()));
-        let dev = device();
+        let store = testkit::zero_store(n, 3, &config);
+        let dev = testkit::tiny_device();
         run(&store, &c, &config, &dev, true).unwrap();
         let p = store.probability(marked as usize).unwrap();
         assert!(p > 0.9, "p = {p}");
@@ -663,17 +588,17 @@ mod tests {
     #[test]
     fn report_byte_accounting() {
         let c = library::ghz(7);
-        let r = run_and_compare(&c, &cfg(3), true);
+        let r = run_hybrid_and_compare(&c, &cfg(3), true, 1e-10);
         // 2 slots * 2^(3+2) amps * 16 bytes.
         assert_eq!(r.pinned_bytes, 2 * (1 << 5) * 16);
         assert_eq!(r.device_buffer_bytes, r.pinned_bytes);
         assert!(r.peak_compressed_bytes > 0);
         assert!(r.peak_resident_bytes >= r.peak_compressed_bytes);
+        assert!(r.peak_working_bytes() >= r.pinned_bytes);
     }
 
     #[test]
     fn cached_pipeline_matches_and_cuts_codec_traffic() {
-        use mq_telemetry::Counter;
         let c = library::qft(7);
         let base = cfg(3);
         let cached = MemQSimConfig {
@@ -681,8 +606,8 @@ mod tests {
             cache_bytes: 8 * (1 << 3) * 16,
             ..base
         };
-        let uncached_r = run_and_compare(&c, &base, true);
-        let cached_r = run_and_compare(&c, &cached, true);
+        let uncached_r = run_hybrid_and_compare(&c, &base, true, 1e-10);
+        let cached_r = run_hybrid_and_compare(&c, &cached, true, 1e-10);
         let visits = cached_r.telemetry.counter(Counter::ChunkVisits);
         assert_eq!(
             cached_r.telemetry.counter(Counter::CacheHits)
@@ -702,21 +627,17 @@ mod tests {
 #[cfg(test)]
 mod dual_stream_tests {
     use super::*;
+    use crate::testkit;
     use mq_circuit::library;
     use mq_circuit::unitary::run_dense;
     use mq_compress::CodecSpec;
     use mq_device::DeviceSpec;
     use mq_num::metrics::max_amp_err;
-    use std::sync::Arc;
 
     fn cfg(dual_stream: bool) -> MemQSimConfig {
         MemQSimConfig {
-            chunk_bits: 3,
-            max_high_qubits: 2,
-            codec: CodecSpec::Fpc,
-            workers: 1,
             dual_stream,
-            ..Default::default()
+            ..testkit::cfg(3, CodecSpec::Fpc)
         }
     }
 
@@ -724,8 +645,7 @@ mod dual_stream_tests {
     fn dual_stream_matches_single_stream_exactly() {
         for circuit in library::standard_suite(7) {
             let mk = |ds: bool| {
-                let store =
-                    CompressedStateVector::zero_state(7, 3, Arc::from(CodecSpec::Fpc.build()));
+                let store = testkit::zero_store(7, 3, &cfg(ds));
                 let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
                 run(&store, &circuit, &cfg(ds), &dev, true).unwrap();
                 store.to_dense().unwrap()
@@ -748,12 +668,9 @@ mod dual_stream_tests {
         // k+1's H2D overlaps group k's kernels, so the device finishes
         // strictly earlier than the serial sum of its busy categories.
         let circuit = library::supremacy_like(12, 6, 8);
-        let store = CompressedStateVector::zero_state(12, 3, Arc::from(CodecSpec::Fpc.build()));
+        let config = cfg(true);
+        let store = testkit::zero_store(12, 3, &config);
         let dev = Device::new(DeviceSpec::tiny_test(1 << 14));
-        let config = MemQSimConfig {
-            chunk_bits: 3,
-            ..cfg(true)
-        };
         let r = run(&store, &circuit, &config, &dev, true).unwrap();
         let busy = r.device.modeled_h2d
             + r.device.modeled_d2h
@@ -777,7 +694,7 @@ mod dual_stream_tests {
                 cpu_share: share,
                 ..cfg(true)
             };
-            let store = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+            let store = testkit::zero_store(8, 3, &config);
             let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
             run(&store, &circuit, &config, &dev, pipelined).unwrap();
             assert!(max_amp_err(&store.to_dense().unwrap(), &want) < 1e-10);
@@ -788,12 +705,12 @@ mod dual_stream_tests {
 #[cfg(test)]
 mod max_high_one_tests {
     use super::*;
+    use crate::testkit;
     use mq_circuit::library;
     use mq_circuit::unitary::run_dense;
     use mq_compress::CodecSpec;
     use mq_device::DeviceSpec;
     use mq_num::metrics::max_amp_err;
-    use std::sync::Arc;
 
     #[test]
     fn pair_only_scheduling_works_end_to_end() {
@@ -801,16 +718,13 @@ mod max_high_one_tests {
         // pairing qubit, so groups are chunk *pairs* — the minimal working
         // set (GHZ/W/BV never need more).
         let cfg = MemQSimConfig {
-            chunk_bits: 3,
             max_high_qubits: 1,
-            codec: CodecSpec::Fpc,
-            workers: 1,
             dual_stream: true,
             reorder: true,
-            ..Default::default()
+            ..testkit::cfg(3, CodecSpec::Fpc)
         };
         for circuit in [library::ghz(8), library::w_state(8)] {
-            let store = CompressedStateVector::zero_state(8, 3, Arc::from(CodecSpec::Fpc.build()));
+            let store = testkit::zero_store(8, 3, &cfg);
             let dev = Device::new(DeviceSpec::tiny_test(1 << 10));
             run(&store, &circuit, &cfg, &dev, true).unwrap();
             let err = max_amp_err(&store.to_dense().unwrap(), &run_dense(&circuit, 0));

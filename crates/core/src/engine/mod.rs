@@ -1,14 +1,29 @@
 //! The MEMQSIM execution engines.
 //!
-//! * [`cpu`] — the compressed CPU engine: decompress → apply stage →
+//! One chunk-streaming core, pluggable compute paths:
+//!
+//! * [`exec`] — the shared driver ([`exec::run_with_executor`]): config and
+//!   geometry validation, plan building, telemetry/cache attachment,
+//!   residency-first group ordering, chunk-visit accounting, flush and
+//!   [`RunReport`] assembly — written once, for every executor.
+//! * [`cpu`] — [`cpu::CpuWorkerExecutor`]: decompress → apply stage →
 //!   recompress, chunk groups processed by "idle core" workers. Also hosts
 //!   the per-gate granularity baseline (Wu et al.\[6\]).
-//! * [`hybrid`] — the full paper pipeline (Fig. 2): CPU decompression,
-//!   pinned staging buffers, H2D, device gate kernels, D2H, CPU
-//!   recompression, overlapped across in-flight buffer slots.
+//! * [`hybrid`] — [`hybrid::DevicePipelineExecutor`]: the full paper
+//!   pipeline (Fig. 2): CPU decompression, pinned staging buffers, H2D,
+//!   device gate kernels, D2H, CPU recompression, overlapped across
+//!   in-flight buffer slots.
+//! * [`report`] — the unified [`RunReport`] every run produces.
 
 pub mod cpu;
+pub mod exec;
 pub mod hybrid;
+pub mod report;
+
+pub use exec::{
+    build_plan, run_with_executor, ChunkExecutor, ExecContext, ExecutorStats, StageWork,
+};
+pub use report::RunReport;
 
 use mq_compress::CodecError;
 use mq_device::DeviceError;
@@ -23,6 +38,21 @@ pub enum EngineError {
     Device(DeviceError),
     /// Invalid configuration.
     Config(String),
+    /// The store's register width disagrees with the circuit's.
+    WidthMismatch {
+        /// Qubits the store was built for.
+        store_qubits: u32,
+        /// Qubits the circuit addresses.
+        circuit_qubits: u32,
+    },
+    /// The store's chunk geometry disagrees with the configuration's
+    /// effective chunk size (construct the store with the same config).
+    ChunkMismatch {
+        /// log2 amplitudes per chunk in the store.
+        store_chunk_bits: u32,
+        /// log2 amplitudes per chunk the config requires.
+        config_chunk_bits: u32,
+    },
     /// Two backends disagreed beyond tolerance on the same circuit.
     BackendDivergence {
         /// Name of the reference backend (the first in the comparison).
@@ -42,6 +72,20 @@ impl fmt::Display for EngineError {
             EngineError::Codec(e) => write!(f, "codec error: {e}"),
             EngineError::Device(e) => write!(f, "device error: {e}"),
             EngineError::Config(m) => write!(f, "configuration error: {m}"),
+            EngineError::WidthMismatch {
+                store_qubits,
+                circuit_qubits,
+            } => write!(
+                f,
+                "width mismatch: the store holds {store_qubits} qubits but the circuit addresses {circuit_qubits}"
+            ),
+            EngineError::ChunkMismatch {
+                store_chunk_bits,
+                config_chunk_bits,
+            } => write!(
+                f,
+                "chunk geometry mismatch: the store uses 2^{store_chunk_bits}-amplitude chunks but the configuration requires 2^{config_chunk_bits}"
+            ),
             EngineError::BackendDivergence {
                 first,
                 other,
@@ -74,15 +118,6 @@ impl From<DeviceError> for EngineError {
 pub(crate) struct StoreTelemetryGuard<'a>(pub(crate) &'a crate::store::CompressedStateVector);
 
 impl Drop for StoreTelemetryGuard<'_> {
-    fn drop(&mut self) {
-        self.0.detach_telemetry();
-    }
-}
-
-/// Device-side counterpart of [`StoreTelemetryGuard`].
-pub(crate) struct DeviceTelemetryGuard<'a>(pub(crate) &'a mq_device::Device);
-
-impl Drop for DeviceTelemetryGuard<'_> {
     fn drop(&mut self) {
         self.0.detach_telemetry();
     }

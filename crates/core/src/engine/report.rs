@@ -1,0 +1,78 @@
+//! The unified per-run report shared by every execution engine.
+//!
+//! A [`RunReport`] is produced by [`run_with_executor`] regardless of which
+//! [`ChunkExecutor`] processed the chunk groups, so backends, benches and
+//! tests consume one shape whether the run was CPU-only, hybrid, or a custom
+//! executor.
+//!
+//! [`run_with_executor`]: crate::engine::exec::run_with_executor
+//! [`ChunkExecutor`]: crate::engine::exec::ChunkExecutor
+
+use mq_device::StreamStats;
+use mq_telemetry::RunTelemetry;
+use std::time::Duration;
+
+/// Timing, traffic and accounting report from one engine run.
+///
+/// All duration fields are *derived* from the run's [`RunTelemetry`]
+/// timeline (per-role busy times), so they agree with the span record by
+/// construction. Device fields are zero for CPU-only executors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Display name of the executor that processed the chunk groups.
+    pub executor: String,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Cumulative time in chunk decompression (summed across workers).
+    pub decompress: Duration,
+    /// Cumulative time applying gates on CPU workers.
+    pub cpu_apply: Duration,
+    /// Cumulative time in chunk recompression.
+    pub compress: Duration,
+    /// Device-side accounting (modeled H2D/kernel/D2H and real time);
+    /// all-zero for executors that never touch a device.
+    pub device: StreamStats,
+    /// Number of stages executed.
+    pub stages: usize,
+    /// Total chunk visits (decompress+recompress rounds).
+    pub chunk_visits: usize,
+    /// Gates applied (after specialization; skipped gates not counted).
+    pub gates_applied: usize,
+    /// Whole-buffer scalar multiplications applied.
+    pub scalars_applied: usize,
+    /// Chunk groups routed through the device (0 for CPU executors).
+    pub groups_device: usize,
+    /// Chunk groups handled by CPU workers.
+    pub groups_cpu: usize,
+    /// Peak resident compressed bytes during the run.
+    pub peak_compressed_bytes: usize,
+    /// Peak resident bytes including the residency cache (compressed +
+    /// decompressed cache copies) — the footprint to hold against a memory
+    /// budget when `cache_bytes > 0`.
+    pub peak_resident_bytes: usize,
+    /// Peak transient working-buffer bytes (per-worker group buffers).
+    pub peak_buffer_bytes: usize,
+    /// Host pinned staging bytes held by the executor (0 for CPU-only).
+    pub pinned_bytes: usize,
+    /// Device working-buffer bytes held by the executor (0 for CPU-only).
+    pub device_buffer_bytes: usize,
+    /// Modeled end-to-end time with no overlap (sum of all phases).
+    pub modeled_serial: Duration,
+    /// Modeled end-to-end time with perfect phase overlap
+    /// (max of CPU-side and device-side busy time).
+    pub modeled_overlapped: Duration,
+    /// The full span/counter record the durations above derive from.
+    pub telemetry: RunTelemetry,
+}
+
+impl RunReport {
+    /// Total CPU-side busy time (decompress + apply + recompress).
+    pub fn cpu_busy(&self) -> Duration {
+        self.decompress + self.cpu_apply + self.compress
+    }
+
+    /// Total transient working bytes (group buffers + pinned staging).
+    pub fn peak_working_bytes(&self) -> usize {
+        self.peak_buffer_bytes + self.pinned_bytes
+    }
+}

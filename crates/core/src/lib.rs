@@ -45,12 +45,17 @@ pub mod measure;
 pub mod planner;
 pub mod specialize;
 pub mod store;
+#[cfg(test)]
+mod testkit;
 
 pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
 pub use config::{MemQSimConfig, MemQSimConfigBuilder};
-pub use engine::{EngineError, Granularity};
+pub use engine::{
+    run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
+    RunReport, StageWork,
+};
 pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
 pub use store::{CachePolicy, CompressedStateVector};
 
@@ -70,7 +75,7 @@ pub struct SimOutcome {
     /// The compressed final state (kept compressed; query it directly).
     pub store: CompressedStateVector,
     /// Engine report.
-    pub report: engine::cpu::CpuRunReport,
+    pub report: RunReport,
     /// Dense-equivalent bytes / resident compressed bytes at the end.
     pub compression_ratio: f64,
 }
@@ -122,7 +127,7 @@ impl MemQSim {
         &self,
         circuit: &Circuit,
         device_spec: mq_device::DeviceSpec,
-    ) -> Result<(CompressedStateVector, engine::hybrid::HybridRunReport), EngineError> {
+    ) -> Result<(CompressedStateVector, RunReport), EngineError> {
         let chunk_bits = self.cfg.effective_chunk_bits(circuit.n_qubits());
         let store = CompressedStateVector::zero_state(
             circuit.n_qubits(),

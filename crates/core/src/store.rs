@@ -377,12 +377,15 @@ impl CompressedStateVector {
                     self.commit_slot(i, bytes, amps.len());
                 }
                 cache.map.remove(&i);
+                // Byte accounting happens under the cache lock (derived from
+                // the map size) so a concurrent insert can never observe a
+                // transient sum above the real occupancy.
+                self.cache_bytes_now
+                    .store(cache.map.len() * self.entry_bytes(), Ordering::Relaxed);
                 removed = true;
             }
         }
         if removed {
-            self.cache_bytes_now
-                .fetch_sub(self.entry_bytes(), Ordering::Relaxed);
             self.count(Counter::Evictions, 1);
         }
     }
@@ -457,12 +460,12 @@ impl CompressedStateVector {
                     },
                 );
                 inserted = true;
+                let cur = cache.map.len() * self.entry_bytes();
+                self.cache_bytes_now.store(cur, Ordering::Relaxed);
+                self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
             }
         }
         if inserted {
-            let eb = self.entry_bytes();
-            let cur = self.cache_bytes_now.fetch_add(eb, Ordering::Relaxed) + eb;
-            self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
             self.note_resident();
         }
     }
@@ -565,12 +568,12 @@ impl CompressedStateVector {
                     );
                     outcome = Some((false, gen));
                     inserted = true;
+                    let cur = cache.map.len() * self.entry_bytes();
+                    self.cache_bytes_now.store(cur, Ordering::Relaxed);
+                    self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
                 }
             }
             if inserted {
-                let eb = self.entry_bytes();
-                let cur = self.cache_bytes_now.fetch_add(eb, Ordering::Relaxed) + eb;
-                self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
                 self.note_resident();
             }
             match outcome {

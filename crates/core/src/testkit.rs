@@ -1,0 +1,84 @@
+//! Shared test helpers for the engine and backend test modules.
+//!
+//! Test-only (`#[cfg(test)]`): one place for the config/store/run-and-compare
+//! boilerplate that was previously copy-pasted across `engine::cpu`,
+//! `engine::hybrid` and `backend` tests.
+
+use crate::config::MemQSimConfig;
+use crate::engine::{cpu, hybrid, Granularity, RunReport};
+use crate::store::CompressedStateVector;
+use mq_circuit::unitary::run_dense;
+use mq_circuit::Circuit;
+use mq_compress::CodecSpec;
+use mq_device::{Device, DeviceSpec};
+use mq_num::metrics::max_amp_err;
+use std::sync::Arc;
+
+/// Canonical small test configuration: tiny chunks, pair-to-quad groups,
+/// single worker, everything else default.
+pub(crate) fn cfg(chunk_bits: u32, codec: CodecSpec) -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits,
+        max_high_qubits: 2,
+        codec,
+        workers: 1,
+        ..Default::default()
+    }
+}
+
+/// A |0...0> store with geometry matching `cfg`'s codec.
+pub(crate) fn zero_store(
+    n_qubits: u32,
+    chunk_bits: u32,
+    cfg: &MemQSimConfig,
+) -> CompressedStateVector {
+    CompressedStateVector::zero_state(n_qubits, chunk_bits, Arc::from(cfg.codec.build()))
+}
+
+/// A simulated device large enough for any test circuit.
+pub(crate) fn tiny_device() -> Device {
+    Device::new(DeviceSpec::tiny_test(1 << 20))
+}
+
+/// Runs `circuit` on the CPU engine and asserts the result matches the
+/// dense reference within `tol`.
+pub(crate) fn run_cpu_and_compare(
+    circuit: &Circuit,
+    config: &MemQSimConfig,
+    tol: f64,
+) -> RunReport {
+    let store = zero_store(
+        circuit.n_qubits(),
+        config.effective_chunk_bits(circuit.n_qubits()),
+        config,
+    );
+    let report = cpu::run(&store, circuit, config, Granularity::Staged).unwrap();
+    compare_to_dense(&store, circuit, tol);
+    report
+}
+
+/// Runs `circuit` on the hybrid engine and asserts the result matches the
+/// dense reference within `tol`.
+pub(crate) fn run_hybrid_and_compare(
+    circuit: &Circuit,
+    config: &MemQSimConfig,
+    pipelined: bool,
+    tol: f64,
+) -> RunReport {
+    let store = zero_store(
+        circuit.n_qubits(),
+        config.effective_chunk_bits(circuit.n_qubits()),
+        config,
+    );
+    let dev = tiny_device();
+    let report = hybrid::run(&store, circuit, config, &dev, pipelined).unwrap();
+    compare_to_dense(&store, circuit, tol);
+    report
+}
+
+fn compare_to_dense(store: &CompressedStateVector, circuit: &Circuit, tol: f64) {
+    let got = store.to_dense().unwrap();
+    let want = run_dense(circuit, 0);
+    let err = max_amp_err(&got, &want);
+    assert!(err < tol, "{}: err {err}", circuit.name());
+}

@@ -16,7 +16,7 @@
 //!   the measured overlap between roles) and a stable JSON rendering for
 //!   machine-readable experiment artifacts.
 //!
-//! The design goal is that report structs like `HybridRunReport` *derive*
+//! The design goal is that report structs like the engine's `RunReport` *derive*
 //! their duration fields from this record instead of maintaining their own
 //! accumulators, so every optimization claim in the repo is backed by the
 //! same measured timeline the experiment bins serialize.

@@ -35,8 +35,9 @@ pub use mq_telemetry as telemetry;
 // re-exported at the crate root so `use memqsim_suite::{Backend, ...}`
 // works without knowing which member crate owns what.
 pub use memqsim_core::{
-    Backend, BackendRun, CachePolicy, CompressedCpuBackend, DenseCpuBackend, EngineError,
-    HybridBackend, MemQSim, MemQSimConfig, MemQSimConfigBuilder, RunTelemetry,
+    Backend, BackendRun, CachePolicy, ChunkExecutor, CompressedCpuBackend, DenseCpuBackend,
+    EngineError, HybridBackend, MemQSim, MemQSimConfig, MemQSimConfigBuilder, RunReport,
+    RunTelemetry,
 };
 pub use mq_compress::CodecSpec;
 pub use mq_device::DeviceSpec;

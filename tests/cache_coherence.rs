@@ -5,6 +5,7 @@
 
 use memqsim_core::{
     engine::cpu, measure, CachePolicy, CompressedStateVector, Counter, Granularity, MemQSimConfig,
+    RunReport,
 };
 use mq_circuit::unitary::run_dense;
 use mq_circuit::{library, Circuit, Gate};
@@ -27,7 +28,7 @@ fn cached_cfg(chunk_bits: u32, cache_bytes: usize) -> MemQSimConfig {
     }
 }
 
-fn run_cpu(circuit: &Circuit, cfg: &MemQSimConfig) -> (CompressedStateVector, cpu::CpuRunReport) {
+fn run_cpu(circuit: &Circuit, cfg: &MemQSimConfig) -> (CompressedStateVector, RunReport) {
     let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
     let store = CompressedStateVector::zero_state(
         circuit.n_qubits(),

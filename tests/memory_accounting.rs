@@ -11,10 +11,7 @@ fn run(
     circuit: &Circuit,
     chunk_bits: u32,
     codec: CodecSpec,
-) -> (
-    CompressedStateVector,
-    memqsim_core::engine::cpu::CpuRunReport,
-) {
+) -> (CompressedStateVector, memqsim_core::engine::RunReport) {
     let cfg = MemQSimConfig {
         chunk_bits,
         max_high_qubits: 2,

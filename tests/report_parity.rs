@@ -1,0 +1,123 @@
+//! Report parity between executors: a CPU run and a hybrid run of the same
+//! circuit must agree on everything the shared driver accounts for — the
+//! [`RunReport`] shape is unified, so the numbers must be comparable too.
+
+use memqsim_core::engine::{cpu, hybrid, Granularity, RunReport};
+use memqsim_core::{CompressedStateVector, Counter, MemQSimConfig};
+use memqsim_suite::{circuit::library, circuit::Circuit, CodecSpec, DeviceSpec};
+use std::sync::Arc;
+
+fn cfg() -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits: 3,
+        max_high_qubits: 2,
+        codec: CodecSpec::Fpc,
+        workers: 1,
+        ..Default::default()
+    }
+}
+
+fn run_cpu(circuit: &Circuit, config: &MemQSimConfig) -> RunReport {
+    let store = CompressedStateVector::zero_state(
+        circuit.n_qubits(),
+        config.effective_chunk_bits(circuit.n_qubits()),
+        Arc::from(config.codec.build()),
+    );
+    cpu::run(&store, circuit, config, Granularity::Staged).unwrap()
+}
+
+fn run_hybrid(circuit: &Circuit, config: &MemQSimConfig) -> RunReport {
+    let store = CompressedStateVector::zero_state(
+        circuit.n_qubits(),
+        config.effective_chunk_bits(circuit.n_qubits()),
+        Arc::from(config.codec.build()),
+    );
+    let device = memqsim_suite::device::Device::new(DeviceSpec::tiny_test(1 << 16));
+    hybrid::run(&store, circuit, config, &device, true).unwrap()
+}
+
+#[test]
+fn cpu_and_hybrid_reports_agree_on_driver_accounting() {
+    let config = cfg();
+    for circuit in [library::qft(7), library::ghz(7), library::w_state(7)] {
+        let c = run_cpu(&circuit, &config);
+        let h = run_hybrid(&circuit, &config);
+
+        // The shared driver does the plan building and visit accounting, so
+        // these are identical regardless of the executor.
+        assert_eq!(c.stages, h.stages, "{}", circuit.name());
+        assert_eq!(c.chunk_visits, h.chunk_visits, "{}", circuit.name());
+
+        // Both executors specialize the same plan against the same state, so
+        // they apply exactly the same gates and scalars.
+        assert_eq!(c.gates_applied, h.gates_applied, "{}", circuit.name());
+        assert_eq!(c.scalars_applied, h.scalars_applied, "{}", circuit.name());
+        assert_eq!(
+            c.groups_cpu,
+            h.groups_cpu + h.groups_device,
+            "{}",
+            circuit.name()
+        );
+
+        // Lossless codec + identical state trajectory: codec traffic
+        // matches byte for byte.
+        for counter in [Counter::BytesDecompressed, Counter::BytesCompressed] {
+            assert_eq!(
+                c.telemetry.counter(counter),
+                h.telemetry.counter(counter),
+                "{}: {counter:?}",
+                circuit.name()
+            );
+        }
+
+        // Executor identity is the only expected difference in shape.
+        assert_eq!(c.executor, "cpu-workers");
+        assert_eq!(h.executor, "device-pipeline[pipelined]");
+    }
+}
+
+#[test]
+fn cache_identity_holds_for_both_executors() {
+    // With the residency cache on, every chunk visit is either a hit or a
+    // miss — on both executors, because the store-side accounting is shared.
+    let config = MemQSimConfig {
+        cache_bytes: 8 * (1 << 3) * 16,
+        ..cfg()
+    };
+    let circuit = library::qft(7);
+    for report in [run_cpu(&circuit, &config), run_hybrid(&circuit, &config)] {
+        let visits = report.telemetry.counter(Counter::ChunkVisits);
+        assert_eq!(visits, report.chunk_visits as u64, "{}", report.executor);
+        assert_eq!(
+            report.telemetry.counter(Counter::CacheHits)
+                + report.telemetry.counter(Counter::CacheMisses),
+            visits,
+            "{}",
+            report.executor
+        );
+        assert!(report.telemetry.counter(Counter::CacheHits) > 0);
+    }
+}
+
+#[test]
+fn byte_accounting_is_internally_consistent() {
+    let config = cfg();
+    let circuit = library::random_circuit(7, 6, 9);
+    let c = run_cpu(&circuit, &config);
+    let h = run_hybrid(&circuit, &config);
+
+    // CPU-only: no staging, no device buffers, no device time.
+    assert_eq!(c.pinned_bytes, 0);
+    assert_eq!(c.device_buffer_bytes, 0);
+    assert_eq!(c.peak_working_bytes(), c.peak_buffer_bytes);
+    assert_eq!(c.groups_device, 0);
+
+    // Hybrid: staging buffers on both sides of the bus, sized identically.
+    assert!(h.pinned_bytes > 0);
+    assert_eq!(h.pinned_bytes, h.device_buffer_bytes);
+    assert_eq!(h.peak_working_bytes(), h.peak_buffer_bytes + h.pinned_bytes);
+    assert!(h.groups_device > 0);
+
+    // Both runs held the same compressed state at peak (same trajectory).
+    assert_eq!(c.peak_compressed_bytes, h.peak_compressed_bytes);
+}
