@@ -2,10 +2,9 @@
 //! scheduling and the chunk-size sweep, on the compressed CPU engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{build_store, Granularity, MemQSimConfig};
 use mq_circuit::library;
 use mq_compress::CodecSpec;
-use std::sync::Arc;
 
 fn run(n: u32, chunk_bits: u32, granularity: Granularity) {
     let cfg = MemQSimConfig {
@@ -16,7 +15,7 @@ fn run(n: u32, chunk_bits: u32, granularity: Granularity) {
         ..Default::default()
     };
     let circuit = library::qft(n);
-    let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+    let store = build_store(n, &cfg).expect("store construction failed");
     memqsim_core::engine::cpu::run(&store, &circuit, &cfg, granularity).expect("run failed");
 }
 

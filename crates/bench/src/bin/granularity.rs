@@ -14,12 +14,11 @@
 //!
 //! Usage: `cargo run -p mq-bench --release --bin granularity [--qubits 16]`
 
-use memqsim_core::{CompressedStateVector, Counter, Granularity, MemQSimConfig};
+use memqsim_core::{build_store, ChunkStore, Counter, Granularity, MemQSimConfig};
 use mq_bench::{write_results_json, Args, Table};
 use mq_circuit::library;
 use mq_compress::CodecSpec;
 use mq_num::stats::format_bytes;
-use std::sync::Arc;
 
 fn run_once(
     n: u32,
@@ -52,7 +51,7 @@ fn run_once_with(
         ..Default::default()
     };
     let circuit = library::qft(n);
-    let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+    let store = build_store(n, &cfg).expect("store construction failed");
     let report = memqsim_core::engine::cpu::run(&store, &circuit, &cfg, granularity)
         .expect("engine run failed");
     (report, store.current_ratio())
@@ -186,7 +185,7 @@ fn main() {
             ..Default::default()
         };
         let circuit = mq_circuit::library::hardware_efficient_ansatz(n, 2, 7);
-        let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+        let store = build_store(n, &cfg).expect("store construction failed");
         let r = memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged)
             .expect("engine run failed");
         t.row(&[

@@ -9,12 +9,11 @@
 //! Usage: `cargo run -p mq-bench --release --bin pipeline_breakdown
 //!         [--qubits 16] [--chunk-bits 12]`
 
-use memqsim_core::{engine::hybrid, CompressedStateVector, Counter, MemQSimConfig};
+use memqsim_core::{build_store, engine::hybrid, Counter, MemQSimConfig};
 use mq_bench::{write_results_json, Args, Table};
 use mq_circuit::library;
 use mq_compress::CodecSpec;
 use mq_device::{Device, DeviceSpec};
-use std::sync::Arc;
 use std::time::Duration;
 
 fn fmt(d: Duration) -> String {
@@ -58,7 +57,7 @@ fn main() {
             cache_bytes: cache,
             ..cfg
         };
-        let store = CompressedStateVector::zero_state(n, chunk_bits, Arc::from(cfg.codec.build()));
+        let store = build_store(n, &cfg).expect("store construction failed");
         let device = Device::new(DeviceSpec::pcie_gen3());
         let r = hybrid::run(&store, &circuit, &cfg, &device, pipelined).expect("hybrid run failed");
         rows.push((key, label, r));

@@ -24,11 +24,10 @@
 //! bounds); the absolute default is the strictest possible reading of the
 //! claim.
 
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{build_store, Granularity, MemQSimConfig};
 use mq_bench::{Args, Table};
 use mq_circuit::{library, Circuit};
 use mq_compress::CodecSpec;
-use std::sync::Arc;
 
 struct Workload {
     name: &'static str,
@@ -76,12 +75,7 @@ fn workloads() -> Vec<Workload> {
 /// Peak MEMQSIM footprint (compressed store peak + working buffers) for one
 /// run, in bytes — and the wall time, for the "without slowing down" check.
 fn memqsim_peak(circuit: &Circuit, cfg: &MemQSimConfig) -> (usize, std::time::Duration) {
-    let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
-    let store = CompressedStateVector::zero_state(
-        circuit.n_qubits(),
-        chunk_bits,
-        Arc::from(cfg.codec.build()),
-    );
+    let store = build_store(circuit.n_qubits(), cfg).expect("store construction failed");
     let report = memqsim_core::engine::cpu::run(&store, circuit, cfg, Granularity::Staged)
         .expect("engine run failed");
     (

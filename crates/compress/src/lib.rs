@@ -58,6 +58,16 @@ pub enum CodecError {
         /// Length of the caller's output buffer.
         got: usize,
     },
+    /// A caller-supplied chunk buffer has the wrong length for the store's
+    /// chunk geometry (amplitude counts, not bytes).
+    BufferMismatch {
+        /// Amplitudes the store's chunks hold.
+        expected: usize,
+        /// Length of the caller's buffer.
+        got: usize,
+    },
+    /// A storage-tier I/O operation failed (e.g. a spill file).
+    Io(String),
 }
 
 impl fmt::Display for CodecError {
@@ -67,6 +77,13 @@ impl fmt::Display for CodecError {
             CodecError::LengthMismatch { expected, got } => {
                 write!(f, "length mismatch: stream has {expected}, buffer {got}")
             }
+            CodecError::BufferMismatch { expected, got } => {
+                write!(
+                    f,
+                    "chunk buffer mismatch: store chunks hold {expected} amplitudes, buffer has {got}"
+                )
+            }
+            CodecError::Io(m) => write!(f, "storage i/o error: {m}"),
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests: codec round-trips on adversarial floating-point inputs —
+//! signed zeros, subnormals, magnitude extremes, and values engineered to
+//! straddle the SZ quantization-bin edges. Lossless codecs must be bit-exact
+//! (including the sign of -0.0); the lossy codec must honour its bound on
+//! every component, no matter how hostile the input.
+
+use mq_compress::{compress_complex, decompress_complex, AdaptiveCodec, Codec, CodecSpec, SzCodec};
+use mq_num::Complex64;
+use proptest::prelude::*;
+
+/// Floats weighted toward the representations codecs get wrong: both zeros,
+/// the subnormal range, the smallest/largest normals, and plain values.
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        6 => -1.0f64..1.0,
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(f64::MIN_POSITIVE),
+        1 => Just(-f64::MIN_POSITIVE),
+        1 => Just(f64::MIN_POSITIVE / 2.0),
+        1 => Just(-f64::MIN_POSITIVE / 1024.0),
+        1 => Just(f64::from_bits(1)), // smallest positive subnormal
+        1 => Just(-f64::from_bits(1)),
+        1 => -1e300f64..1e300,
+        1 => -1e-300f64..1e-300,
+    ]
+}
+
+fn lossless_specs() -> [CodecSpec; 4] {
+    [
+        CodecSpec::Null,
+        CodecSpec::ZeroRle,
+        CodecSpec::Fpc,
+        CodecSpec::ShuffleLzss,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lossless_codecs_are_bit_exact_on_adversarial_values(
+        data in prop::collection::vec(adversarial_f64(), 0..256),
+    ) {
+        for spec in lossless_specs() {
+            let codec = spec.build();
+            let bytes = codec.compress(&data);
+            let mut out = vec![0.0f64; data.len()];
+            codec.decompress(&bytes, &mut out).unwrap();
+            for (a, b) in data.iter().zip(&out) {
+                // to_bits distinguishes 0.0 from -0.0 and every subnormal.
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", spec);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_lossless_is_bit_exact_on_adversarial_values(
+        data in prop::collection::vec(adversarial_f64(), 0..256),
+    ) {
+        let codec = AdaptiveCodec::lossless();
+        let bytes = codec.compress(&data);
+        let mut out = vec![0.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sz_respects_its_bound_on_adversarial_values(
+        data in prop::collection::vec(adversarial_f64(), 1..256),
+        eb_exp in -14i32..-2,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let codec = SzCodec::new(eb);
+        let bytes = codec.compress(&data);
+        let mut out = vec![0.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= eb, "|{} - {}| > {}", a, b, eb);
+        }
+    }
+
+    #[test]
+    fn sz_respects_its_bound_on_bin_edge_straddlers(
+        // Values placed a hair on either side of quantization-bin centres
+        // k * 2eb: the rounding direction must never cost more than eb.
+        bins in prop::collection::vec((-200i32..200, -0.55f64..0.55), 1..256),
+        eb_exp in -12i32..-4,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let data: Vec<f64> = bins
+            .iter()
+            .map(|&(k, frac)| (k as f64 + frac) * 2.0 * eb)
+            .collect();
+        let codec = SzCodec::new(eb);
+        let bytes = codec.compress(&data);
+        let mut out = vec![0.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= eb, "|{} - {}| > {}", a, b, eb);
+        }
+    }
+
+    #[test]
+    fn complex_round_trip_interleaves_components_faithfully(
+        reim in prop::collection::vec((adversarial_f64(), adversarial_f64()), 0..128),
+    ) {
+        let amps: Vec<Complex64> = reim.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        for spec in lossless_specs() {
+            let codec = spec.build();
+            let bytes = compress_complex(codec.as_ref(), &amps);
+            let mut out = vec![Complex64::ZERO; amps.len()];
+            decompress_complex(codec.as_ref(), &bytes, &mut out).unwrap();
+            for (a, b) in amps.iter().zip(&out) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "{:?}", spec);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "{:?}", spec);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_sz_bounds_both_components(
+        reim in prop::collection::vec((adversarial_f64(), adversarial_f64()), 1..128),
+        eb_exp in -12i32..-4,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let amps: Vec<Complex64> = reim.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let codec = SzCodec::new(eb);
+        let bytes = compress_complex(&codec, &amps);
+        let mut out = vec![Complex64::ZERO; amps.len()];
+        decompress_complex(&codec, &bytes, &mut out).unwrap();
+        for (a, b) in amps.iter().zip(&out) {
+            prop_assert!((a.re - b.re).abs() <= eb, "re |{} - {}| > {}", a.re, b.re, eb);
+            prop_assert!((a.im - b.im).abs() <= eb, "im |{} - {}| > {}", a.im, b.im, eb);
+        }
+    }
+}

@@ -8,12 +8,11 @@
 
 use crate::config::MemQSimConfig;
 use crate::engine::{cpu, hybrid, EngineError, Granularity};
-use crate::store::CompressedStateVector;
+use crate::store::build_store;
 use mq_circuit::Circuit;
 use mq_device::{Device, DeviceSpec};
 use mq_num::Complex64;
 use mq_telemetry::{Role, RunTelemetry, Telemetry};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Result of running a circuit on any backend.
@@ -129,12 +128,7 @@ impl Backend for CompressedCpuBackend {
     }
 
     fn run(&self, circuit: &Circuit) -> Result<BackendRun, EngineError> {
-        let chunk_bits = self.cfg.effective_chunk_bits(circuit.n_qubits());
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            chunk_bits,
-            Arc::from(self.cfg.codec.build()),
-        );
+        let store = build_store(circuit.n_qubits(), &self.cfg)?;
         let report = cpu::run(&store, circuit, &self.cfg, self.granularity)?;
         let amplitudes = store.to_dense()?;
         Ok(BackendRun {
@@ -190,12 +184,7 @@ impl Backend for HybridBackend {
     }
 
     fn run(&self, circuit: &Circuit) -> Result<BackendRun, EngineError> {
-        let chunk_bits = self.cfg.effective_chunk_bits(circuit.n_qubits());
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            chunk_bits,
-            Arc::from(self.cfg.codec.build()),
-        );
+        let store = build_store(circuit.n_qubits(), &self.cfg)?;
         let device = Device::new(self.device_spec.clone());
         let report = hybrid::run(&store, circuit, &self.cfg, &device, self.pipelined)?;
         let amplitudes = store.to_dense()?;

@@ -3,6 +3,27 @@
 use crate::store::CachePolicy;
 use mq_compress::CodecSpec;
 
+/// Which base storage tier [`build_store`](crate::store::build_store)
+/// assembles the stack on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Codec-compressed chunks with integrity checksums
+    /// ([`CompressedTier`](crate::store::CompressedTier)) — the paper's
+    /// representation and the default.
+    #[default]
+    Compressed,
+    /// Uncompressed chunks ([`DenseStore`](crate::store::DenseStore)) —
+    /// the no-codec baseline for widths where codec overhead dominates.
+    Dense,
+    /// Compressed chunks bounded by an in-memory byte budget; overflow
+    /// spills to temp files ([`SpillStore`](crate::store::SpillStore)) —
+    /// the beyond-RAM "+5 qubits" direction.
+    Spill {
+        /// Maximum compressed bytes resident in CPU memory at once.
+        resident_budget: usize,
+    },
+}
+
 /// Configuration shared by the MEMQSIM engines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemQSimConfig {
@@ -40,6 +61,9 @@ pub struct MemQSimConfig {
     /// defers recompression to eviction/flush; write-through keeps slots
     /// always current).
     pub cache_policy: CachePolicy,
+    /// Which base storage tier holds the chunks (compressed, dense, or
+    /// disk-spill).
+    pub store_kind: StoreKind,
 }
 
 impl Default for MemQSimConfig {
@@ -55,6 +79,7 @@ impl Default for MemQSimConfig {
             reorder: false,
             cache_bytes: 0,
             cache_policy: CachePolicy::WriteBack,
+            store_kind: StoreKind::Compressed,
         }
     }
 }
@@ -182,6 +207,12 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// Which base storage tier holds the chunks.
+    pub fn store_kind(mut self, store_kind: StoreKind) -> Self {
+        self.cfg.store_kind = store_kind;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -251,6 +282,9 @@ mod tests {
             .reorder(true)
             .cache_bytes(1 << 20)
             .cache_policy(CachePolicy::WriteThrough)
+            .store_kind(StoreKind::Spill {
+                resident_budget: 1 << 24,
+            })
             .build()
             .unwrap();
         assert_eq!(
@@ -266,6 +300,9 @@ mod tests {
                 reorder: true,
                 cache_bytes: 1 << 20,
                 cache_policy: CachePolicy::WriteThrough,
+                store_kind: StoreKind::Spill {
+                    resident_budget: 1 << 24,
+                },
             }
         );
     }

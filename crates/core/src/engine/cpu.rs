@@ -1,6 +1,6 @@
 //! The compressed CPU engine.
 //!
-//! Executes a circuit directly against the [`CompressedStateVector`]:
+//! Executes a circuit directly against any [`ChunkStore`] stack:
 //! for every stage of the offline plan, every chunk group is decompressed
 //! into a working buffer, all of the stage's gates are applied (specialized
 //! to the group), and the chunks are recompressed — with groups distributed
@@ -16,7 +16,7 @@ use crate::engine::exec::{
     ExecutorStats, StageWork,
 };
 use crate::engine::{EngineError, Granularity, RunReport};
-use crate::store::CompressedStateVector;
+use crate::store::ChunkStore;
 use mq_circuit::Circuit;
 
 pub use crate::engine::exec::build_plan;
@@ -71,7 +71,7 @@ impl ChunkExecutor for CpuWorkerExecutor {
 /// Geometry mismatches between the store and `cfg`/`circuit` surface as
 /// [`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`].
 pub fn run(
-    store: &CompressedStateVector,
+    store: &dyn ChunkStore,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     granularity: Granularity,

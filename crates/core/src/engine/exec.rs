@@ -24,7 +24,7 @@ use crate::engine::report::RunReport;
 use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
 use crate::specialize::{specialize, GroupContext, Specialized};
-use crate::store::CompressedStateVector;
+use crate::store::ChunkStore;
 use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan, Stage};
 use mq_circuit::Circuit;
 use mq_device::StreamStats;
@@ -37,8 +37,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Everything the driver hands an executor: the store being simulated, the
 /// offline plan, the active configuration and the run's telemetry handle.
 pub struct ExecContext<'a> {
-    /// The compressed state the run mutates.
-    pub store: &'a CompressedStateVector,
+    /// The chunked state the run mutates (any [`ChunkStore`] stack).
+    pub store: &'a dyn ChunkStore,
     /// The offline plan (stages, geometry) the driver streams.
     pub plan: &'a Plan,
     /// The active engine configuration.
@@ -144,7 +144,7 @@ pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granulari
 /// ([`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`]) rather
 /// than panics.
 pub fn run_with_executor(
-    store: &CompressedStateVector,
+    store: &dyn ChunkStore,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     granularity: Granularity,
@@ -165,14 +165,14 @@ pub fn run_with_executor(
         });
     }
 
-    // One telemetry record for the whole run; the store (and any device the
-    // executor attaches) feeds counters into it.
+    // One telemetry record for the whole run; the store stack's telemetry
+    // tier (and any device the executor attaches) feeds counters into it.
     let telemetry = Telemetry::new();
     store.attach_telemetry(telemetry.clone());
     let _store_guard = StoreTelemetryGuard(store);
-    // Hot-chunk residency cache: loads of resident chunks skip the codec
-    // entirely; stores defer recompression to eviction or the final flush.
-    store.set_cache(cfg.cache_bytes, cfg.cache_policy);
+    // The hot-chunk residency cache, when configured, is already part of the
+    // store stack (see `store::build_store`); the driver only exploits it by
+    // ordering groups residency-first.
     let cache_enabled = cfg.cache_bytes > 0;
 
     let plan = build_plan(circuit, cfg, granularity);
@@ -216,9 +216,11 @@ pub fn run_with_executor(
 
     // Always give the executor its drain/release call so pipelines join and
     // buffers free even on a failed stage, then flush dirty resident chunks
-    // so the compressed representation is coherent for callers.
+    // so the base representation is coherent for callers.
     let finish_result = executor.finish(&ctx);
-    store.flush();
+    if let Err(e) = store.flush() {
+        run_err.get_or_insert(e.into());
+    }
 
     // Snapshot after the executor drained, so every span is closed and
     // every counter has landed.
@@ -245,7 +247,7 @@ pub fn run_with_executor(
         scalars_applied: stats.scalars_applied,
         groups_device: stats.groups_device,
         groups_cpu: stats.groups_cpu,
-        peak_compressed_bytes: store.peak_compressed_bytes(),
+        peak_compressed_bytes: store.peak_state_bytes(),
         peak_resident_bytes: store.peak_resident_bytes(),
         peak_buffer_bytes: stats.peak_buffer_bytes,
         pinned_bytes: stats.pinned_bytes,
@@ -324,8 +326,13 @@ pub(crate) fn process_groups_on_cpu(
         // Recompress.
         let _span = ctx.telemetry.stage_span(Role::Recompress, work.index);
         for (j, &chunk) in group.iter().enumerate() {
-            ctx.store
-                .store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps]);
+            if let Err(e) = ctx
+                .store
+                .store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps])
+            {
+                *first_error.lock() = Some(e.into());
+                return;
+            }
         }
     });
     match first_error.into_inner() {
@@ -377,7 +384,7 @@ mod tests {
                 for &chunk in group {
                     self.chunks_seen += 1;
                     ctx.store.load_chunk(chunk, &mut buf)?;
-                    ctx.store.store_chunk(chunk, &buf);
+                    ctx.store.store_chunk(chunk, &buf)?;
                 }
             }
             Ok(())

@@ -28,7 +28,7 @@ use crate::engine::exec::{
 };
 use crate::engine::{EngineError, Granularity, RunReport};
 use crate::specialize::{specialize, GroupContext, Specialized};
-use crate::store::CompressedStateVector;
+use crate::store::ChunkStore;
 use crossbeam::channel::{bounded, RecvTimeoutError};
 use mq_circuit::{Circuit, Gate};
 use mq_device::{Device, DeviceBuffer, PinnedBuffer, Stream, StreamStats};
@@ -264,6 +264,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
             // --- completer / recompressor -----------------------------------
             let stage_groups_device_ref = &stage_groups_device;
             let completer_telemetry = telemetry.clone();
+            let completer_error = &error;
             scope.spawn(move |_| {
                 while let Ok(msg) = to_completer_rx.recv() {
                     match msg {
@@ -279,6 +280,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
                             event.wait();
                             let _span =
                                 completer_telemetry.stage_span(Role::Recompress, work.stage);
+                            let mut failed = None;
                             pinned[work.slot].write(|data| {
                                 if work.scalar != Complex64::ONE {
                                     for z in &mut data[..work.amps] {
@@ -286,12 +288,18 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
                                     }
                                 }
                                 for (j, &chunk) in work.group.iter().enumerate() {
-                                    store.store_chunk(
+                                    if let Err(e) = store.store_chunk(
                                         chunk,
                                         &data[j * chunk_amps..(j + 1) * chunk_amps],
-                                    );
+                                    ) {
+                                        failed = Some(e);
+                                        return;
+                                    }
                                 }
                             });
+                            if let Some(e) = failed {
+                                completer_error.lock().get_or_insert(e.into());
+                            }
                             stage_groups_device_ref.fetch_add(1, Ordering::Relaxed);
                             let _ = pool_tx.send(work.slot);
                         }
@@ -439,7 +447,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
 /// Geometry mismatches between the store and `cfg`/`circuit` surface as
 /// [`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`].
 pub fn run(
-    store: &CompressedStateVector,
+    store: &dyn ChunkStore,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     device: &Device,

@@ -115,7 +115,7 @@ impl From<DeviceError> for EngineError {
 
 /// Attaches a telemetry handle to a store for the lifetime of the guard,
 /// so engine early returns can't leave a stale handle behind.
-pub(crate) struct StoreTelemetryGuard<'a>(pub(crate) &'a crate::store::CompressedStateVector);
+pub(crate) struct StoreTelemetryGuard<'a>(pub(crate) &'a dyn crate::store::ChunkStore);
 
 impl Drop for StoreTelemetryGuard<'_> {
     fn drop(&mut self) {

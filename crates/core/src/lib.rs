@@ -6,8 +6,12 @@
 //!
 //! Architecture (paper Fig. 1 + Fig. 2):
 //!
-//! * [`store::CompressedStateVector`] — the state vector lives in CPU
-//!   memory as independently compressed chunks (offline stage).
+//! * [`store`] — the state vector lives as independently stored chunks
+//!   behind the [`store::ChunkStore`] trait: a compressed base tier
+//!   ([`store::CompressedTier`], the paper's offline stage), an
+//!   uncompressed baseline ([`store::DenseStore`]), a disk-spill tier
+//!   ([`store::SpillStore`]), plus residency-cache and telemetry
+//!   middleware ([`store::ResidencyCache`], [`store::TelemetryTier`]).
 //! * [`planner`] + `mq_circuit::partition` — the offline circuit
 //!   partitioner: stages with bounded cross-chunk working sets, chunk
 //!   groups per stage.
@@ -51,13 +55,16 @@ mod testkit;
 pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
-pub use config::{MemQSimConfig, MemQSimConfigBuilder};
+pub use config::{MemQSimConfig, MemQSimConfigBuilder, StoreKind};
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
     RunReport, StageWork,
 };
 pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
-pub use store::{CachePolicy, CompressedStateVector};
+pub use store::{
+    build_store, build_store_from_amplitudes, CachePolicy, ChunkStore, CompressedStateVector,
+    CompressedTier, DenseStore, ResidencyCache, SpillStore, StoreCounters, TelemetryTier,
+};
 
 use mq_circuit::Circuit;
 use mq_num::Complex64;
@@ -70,10 +77,10 @@ pub struct MemQSim {
 }
 
 /// Outcome of a [`MemQSim::simulate`] call.
-#[derive(Debug)]
 pub struct SimOutcome {
-    /// The compressed final state (kept compressed; query it directly).
-    pub store: CompressedStateVector,
+    /// The final state, still chunked in its store stack; query it
+    /// directly through the [`ChunkStore`] trait.
+    pub store: Arc<dyn ChunkStore>,
     /// Engine report.
     pub report: RunReport,
     /// Dense-equivalent bytes / resident compressed bytes at the end.
@@ -105,12 +112,7 @@ impl MemQSim {
 
     /// Simulates `circuit` from `|0...0>` on the compressed CPU engine.
     pub fn simulate(&self, circuit: &Circuit) -> Result<SimOutcome, EngineError> {
-        let chunk_bits = self.cfg.effective_chunk_bits(circuit.n_qubits());
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            chunk_bits,
-            Arc::from(self.cfg.codec.build()),
-        );
+        let store = build_store(circuit.n_qubits(), &self.cfg)?;
         let report = engine::cpu::run(&store, circuit, &self.cfg, Granularity::Staged)?;
         let compression_ratio = store.current_ratio();
         Ok(SimOutcome {
@@ -121,19 +123,14 @@ impl MemQSim {
     }
 
     /// Simulates `circuit` through the full hybrid CPU/device pipeline on a
-    /// freshly created simulated device. Returns the compressed final state
+    /// freshly created simulated device. Returns the final chunked state
     /// and the pipeline report (device modeled clocks, per-phase timing).
     pub fn simulate_hybrid(
         &self,
         circuit: &Circuit,
         device_spec: mq_device::DeviceSpec,
-    ) -> Result<(CompressedStateVector, RunReport), EngineError> {
-        let chunk_bits = self.cfg.effective_chunk_bits(circuit.n_qubits());
-        let store = CompressedStateVector::zero_state(
-            circuit.n_qubits(),
-            chunk_bits,
-            Arc::from(self.cfg.codec.build()),
-        );
+    ) -> Result<(Arc<dyn ChunkStore>, RunReport), EngineError> {
+        let store = build_store(circuit.n_qubits(), &self.cfg)?;
         let device = mq_device::Device::new(device_spec);
         let report = engine::hybrid::run(&store, circuit, &self.cfg, &device, true)?;
         Ok((store, report))

@@ -6,7 +6,7 @@
 //! exactly once to resolve its shots' offsets.
 
 use crate::planner::chunk_groups;
-use crate::store::CompressedStateVector;
+use crate::store::ChunkStore;
 use mq_circuit::partition::Stage;
 use mq_compress::CodecError;
 use mq_num::Complex64;
@@ -15,7 +15,7 @@ use mq_statevec::State;
 use rand::Rng;
 
 /// Per-chunk total probabilities (streaming; one chunk resident at a time).
-pub fn chunk_probabilities(store: &CompressedStateVector) -> Result<Vec<f64>, CodecError> {
+pub fn chunk_probabilities(store: &dyn ChunkStore) -> Result<Vec<f64>, CodecError> {
     let mut buf = vec![Complex64::ZERO; store.chunk_amps()];
     let mut probs = Vec::with_capacity(store.chunk_count());
     for i in 0..store.chunk_count() {
@@ -28,7 +28,7 @@ pub fn chunk_probabilities(store: &CompressedStateVector) -> Result<Vec<f64>, Co
 /// Draws `shots` full-register samples, returning `(basis_state, count)`
 /// pairs sorted by descending count (ties by state index).
 pub fn sample_counts<R: Rng>(
-    store: &CompressedStateVector,
+    store: &dyn ChunkStore,
     shots: usize,
     rng: &mut R,
 ) -> Result<Vec<(usize, usize)>, CodecError> {
@@ -84,7 +84,7 @@ pub fn sample_counts<R: Rng>(
 /// Expectation of a product of Pauli-Z operators, computed streaming from
 /// the compressed store (Z-strings are diagonal, so no pairing is needed):
 /// `<Z_{q0} Z_{q1} ...> = sum_i p(i) * (-1)^(popcount of selected bits)`.
-pub fn expect_z_product(store: &CompressedStateVector, qubits: &[u32]) -> Result<f64, CodecError> {
+pub fn expect_z_product(store: &dyn ChunkStore, qubits: &[u32]) -> Result<f64, CodecError> {
     for &q in qubits {
         assert!(q < store.n_qubits(), "qubit {q} out of range");
     }
@@ -122,7 +122,7 @@ pub fn expect_z_product(store: &CompressedStateVector, qubits: &[u32]) -> Result
 /// # Panics
 /// Panics if more than 8 X/Y factors sit at or above the chunk boundary
 /// (the group working set is `2^k` chunks for `k` such factors).
-pub fn expect_pauli(store: &CompressedStateVector, p: &PauliString) -> Result<f64, CodecError> {
+pub fn expect_pauli(store: &dyn ChunkStore, p: &PauliString) -> Result<f64, CodecError> {
     let n = store.n_qubits();
     let c = store.chunk_bits();
     for &(q, _) in &p.0 {
@@ -181,10 +181,7 @@ pub fn expect_pauli(store: &CompressedStateVector, p: &PauliString) -> Result<f6
 }
 
 /// Expected MaxCut value over `edges`, streaming from the compressed store.
-pub fn expected_cut(
-    store: &CompressedStateVector,
-    edges: &[(u32, u32)],
-) -> Result<f64, CodecError> {
+pub fn expected_cut(store: &dyn ChunkStore, edges: &[(u32, u32)]) -> Result<f64, CodecError> {
     let mut total = 0.0;
     for &(a, b) in edges {
         let zz = expect_z_product(store, &[a, b])?;
@@ -198,6 +195,7 @@ mod tests {
     use super::*;
     use crate::config::MemQSimConfig;
     use crate::engine::{cpu, Granularity};
+    use crate::store::CompressedStateVector;
     use mq_circuit::library;
     use mq_compress::CodecSpec;
     use rand::rngs::StdRng;

@@ -1,0 +1,711 @@
+//! The write-back residency-cache middleware: hot decompressed chunks in
+//! front of any inner [`ChunkStore`].
+
+use super::{expect_chunk_len, fingerprint_amps, ChunkStore, StoreCounters};
+use mq_compress::{CodecError, CompressionStats};
+use mq_num::Complex64;
+use mq_telemetry::Telemetry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// When cached stores reach the inner store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Stores dirty the resident copy; the inner store sees the data on
+    /// eviction or [`flush`](ChunkStore::flush) (the default).
+    #[default]
+    WriteBack,
+    /// Stores keep the resident copy *and* write through to the inner
+    /// store immediately, so the inner representation is never stale.
+    WriteThrough,
+}
+
+/// One decompressed chunk resident in the cache.
+struct CacheEntry {
+    amps: Vec<Complex64>,
+    /// True when the resident copy is newer than the inner store's.
+    dirty: bool,
+    /// Monotonic generation stamp; write-backs commit only if it still
+    /// matches their snapshot, so a concurrent store supersedes them.
+    gen: u64,
+    /// Content fingerprint of `amps` — stores of identical content skip
+    /// the write entirely (and don't re-dirty a clean entry).
+    fingerprint: u64,
+    /// Recency clock value of the last touch (drives victim selection).
+    tick: u64,
+}
+
+struct CacheState {
+    map: HashMap<usize, CacheEntry>,
+    tick: u64,
+    gen: u64,
+}
+
+/// Bounded write-back cache of decompressed chunks over any inner store.
+///
+/// Loads of resident chunks skip the inner store (checksum and codec)
+/// entirely; stores replace the resident copy and mark it dirty
+/// ([`CachePolicy::WriteBack`]) — the inner store sees the data only on
+/// eviction or [`flush`](ChunkStore::flush), and clean evictions drop the
+/// buffer with zero inner traffic. A content fingerprint (FNV-1a over the
+/// amplitude bits) short-circuits stores of unmodified chunks.
+///
+/// Eviction is *scan-resistant*: entries carry a recency clock, but on
+/// overflow the **most** recently touched entry is evicted — the engines
+/// sweep every chunk once per stage, and classic LRU degrades to zero hits
+/// on cyclic sweeps that exceed capacity (each entry is evicted moments
+/// before its next use). Evicting the freshest entry sacrifices a chunk
+/// already visited this sweep and protects the unharvested tail: the
+/// textbook scan-resistant choice, within one entry of Belady-optimal for
+/// cyclic access.
+///
+/// Cache bytes count toward
+/// [`peak_resident_bytes`](ChunkStore::peak_resident_bytes) so the
+/// memory-efficiency claim stays truthful.
+///
+/// Lock order: the cache mutex may be held while the inner store takes its
+/// chunk-slot locks (write-backs and evictions commit to the inner store
+/// under the cache lock, which is what makes the gen-checked write-back
+/// race free), but **never** the reverse — the load path calls into the
+/// inner store with the cache lock released.
+pub struct ResidencyCache {
+    inner: Arc<dyn ChunkStore>,
+    /// Capacity in entries (`cache_bytes / decompressed chunk size`);
+    /// 0 = passthrough.
+    capacity: usize,
+    policy: CachePolicy,
+    entry_bytes: usize,
+    state: Mutex<CacheState>,
+    /// Per-chunk write versions, bumped (under the cache lock) whenever
+    /// this middleware commits new content to the inner store; the load
+    /// path uses them to avoid admitting a stale decode after a concurrent
+    /// write-back.
+    versions: Vec<AtomicU64>,
+    cache_bytes_now: AtomicUsize,
+    peak_cache_bytes: AtomicUsize,
+    /// Peak of inner state bytes + cache bytes observed at any instant.
+    peak_resident: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    skipped: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResidencyCache {
+    /// Wraps `inner` with up to `cache_bytes` of decompressed resident
+    /// chunks (rounded down to whole chunks; budgets below one chunk make
+    /// the cache a passthrough).
+    pub fn new(inner: Arc<dyn ChunkStore>, cache_bytes: usize, policy: CachePolicy) -> Self {
+        let entry_bytes = inner.chunk_amps() * 16;
+        let capacity = cache_bytes / entry_bytes;
+        let chunk_count = inner.chunk_count();
+        ResidencyCache {
+            inner,
+            capacity,
+            policy,
+            entry_bytes,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+                gen: 0,
+            }),
+            versions: (0..chunk_count).map(|_| AtomicU64::new(0)).collect(),
+            cache_bytes_now: AtomicUsize::new(0),
+            peak_cache_bytes: AtomicUsize::new(0),
+            peak_resident: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped inner store.
+    pub fn inner(&self) -> &Arc<dyn ChunkStore> {
+        &self.inner
+    }
+
+    /// Decompressed bytes currently held resident.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache_bytes_now.load(Ordering::Relaxed)
+    }
+
+    /// Peak decompressed bytes ever held resident.
+    pub fn peak_cache_bytes(&self) -> usize {
+        self.peak_cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Evicts everything (write-backs included), leaving the cache empty
+    /// and the inner store current — a full spill.
+    pub fn drain(&self) -> Result<(), CodecError> {
+        loop {
+            let victim = {
+                let cache = self.state.lock();
+                cache.map.iter().next().map(|(&i, e)| (i, e.gen))
+            };
+            match victim {
+                None => return Ok(()),
+                Some((i, gen)) => {
+                    if self.evict_candidate(i, gen)? {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_resident(&self) {
+        let resident = self.inner.state_bytes() + self.cache_bytes_now.load(Ordering::Relaxed);
+        self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+    }
+
+    /// Writes a dirty resident copy through to the inner store if
+    /// generation `gen` still owns the entry; a concurrent store supersedes
+    /// us. The gen check and the inner commit happen atomically under the
+    /// cache lock, so a racing newer write-back can never be overwritten by
+    /// an older one.
+    fn writeback(&self, i: usize, amps: &[Complex64], gen: u64) -> Result<(), CodecError> {
+        let mut cache = self.state.lock();
+        if let Some(e) = cache.map.get_mut(&i) {
+            if e.gen == gen {
+                self.inner.store_chunk(i, amps)?;
+                self.versions[i].fetch_add(1, Ordering::Release);
+                e.dirty = false;
+            }
+        }
+        drop(cache);
+        self.note_resident();
+        Ok(())
+    }
+
+    /// Completes the eviction of a snapshot victim: dirty copies are
+    /// committed to the inner store, clean ones dropped with zero inner
+    /// traffic. Returns whether the entry was actually removed.
+    fn evict_candidate(&self, i: usize, gen: u64) -> Result<bool, CodecError> {
+        let mut cache = self.state.lock();
+        let dirty_amps = match cache.map.get(&i) {
+            Some(e) if e.gen == gen => e.dirty.then(|| e.amps.clone()),
+            _ => return Ok(false),
+        };
+        if let Some(amps) = dirty_amps {
+            self.inner.store_chunk(i, &amps)?;
+            self.versions[i].fetch_add(1, Ordering::Release);
+        }
+        cache.map.remove(&i);
+        // Byte accounting happens under the cache lock (derived from the
+        // map size) so a concurrent insert can never observe a transient
+        // sum above the real occupancy.
+        self.cache_bytes_now
+            .store(cache.map.len() * self.entry_bytes, Ordering::Relaxed);
+        drop(cache);
+        self.note_resident();
+        Ok(true)
+    }
+
+    /// Evicts entries until there is room for one more (see the type docs
+    /// for why the victim is the *most* recently touched entry).
+    fn make_room(&self) -> Result<(), CodecError> {
+        loop {
+            let victim = {
+                let cache = self.state.lock();
+                if cache.map.len() < self.capacity {
+                    return Ok(());
+                }
+                cache
+                    .map
+                    .iter()
+                    .max_by_key(|(_, e)| e.tick)
+                    .map(|(&i, e)| (i, e.gen))
+            };
+            match victim {
+                Some((i, gen)) => {
+                    if self.evict_candidate(i, gen)? {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Admits a freshly decoded chunk as a clean entry, unless the inner
+    /// slot changed since the decode or the chunk raced in some other way.
+    fn admit_clean(&self, i: usize, amps: &[Complex64], version: u64) -> Result<(), CodecError> {
+        self.make_room()?;
+        let fp = fingerprint_amps(amps);
+        let mut inserted = false;
+        {
+            let mut cache = self.state.lock();
+            if cache.map.len() < self.capacity
+                && !cache.map.contains_key(&i)
+                && self.versions[i].load(Ordering::Acquire) == version
+            {
+                cache.tick += 1;
+                cache.gen += 1;
+                let (tick, gen) = (cache.tick, cache.gen);
+                cache.map.insert(
+                    i,
+                    CacheEntry {
+                        amps: amps.to_vec(),
+                        dirty: false,
+                        gen,
+                        fingerprint: fp,
+                        tick,
+                    },
+                );
+                inserted = true;
+                let cur = cache.map.len() * self.entry_bytes;
+                self.cache_bytes_now.store(cur, Ordering::Relaxed);
+                self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
+            }
+        }
+        if inserted {
+            self.note_resident();
+        }
+        Ok(())
+    }
+}
+
+impl ChunkStore for ResidencyCache {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn n_qubits(&self) -> u32 {
+        self.inner.n_qubits()
+    }
+
+    fn chunk_bits(&self) -> u32 {
+        self.inner.chunk_bits()
+    }
+
+    /// Serves resident chunks straight from the decompressed copy — no
+    /// checksum, no codec. Misses fall through to the inner store and the
+    /// decode is admitted as a clean entry.
+    fn load_chunk(&self, i: usize, out: &mut [Complex64]) -> Result<(), CodecError> {
+        expect_chunk_len(self.chunk_amps(), out.len())?;
+        if self.capacity == 0 {
+            return self.inner.load_chunk(i, out);
+        }
+        {
+            let mut cache = self.state.lock();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(e) = cache.map.get_mut(&i) {
+                e.tick = tick;
+                out.copy_from_slice(&e.amps);
+                drop(cache);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        let version = self.versions[i].load(Ordering::Acquire);
+        self.inner.load_chunk(i, out)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.admit_clean(i, out, version)
+    }
+
+    /// Replaces the resident copy and marks it dirty (write-back) — the
+    /// inner store sees the data on eviction or flush — unless the content
+    /// fingerprint matches, which skips the store entirely.
+    fn store_chunk(&self, i: usize, amps: &[Complex64]) -> Result<(), CodecError> {
+        expect_chunk_len(self.chunk_amps(), amps.len())?;
+        if self.capacity == 0 {
+            return self.inner.store_chunk(i, amps);
+        }
+        let fp = fingerprint_amps(amps);
+        let (skipped, gen) = loop {
+            // None = no room yet; Some((skipped, gen)) = entry updated.
+            let mut outcome = None;
+            let mut inserted = false;
+            {
+                let mut cache = self.state.lock();
+                cache.tick += 1;
+                cache.gen += 1;
+                let (tick, gen) = (cache.tick, cache.gen);
+                if let Some(e) = cache.map.get_mut(&i) {
+                    e.tick = tick;
+                    if e.fingerprint == fp {
+                        outcome = Some((true, e.gen));
+                    } else {
+                        e.amps.copy_from_slice(amps);
+                        e.fingerprint = fp;
+                        e.dirty = true;
+                        e.gen = gen;
+                        outcome = Some((false, gen));
+                    }
+                } else if cache.map.len() < self.capacity {
+                    cache.map.insert(
+                        i,
+                        CacheEntry {
+                            amps: amps.to_vec(),
+                            dirty: true,
+                            gen,
+                            fingerprint: fp,
+                            tick,
+                        },
+                    );
+                    outcome = Some((false, gen));
+                    inserted = true;
+                    let cur = cache.map.len() * self.entry_bytes;
+                    self.cache_bytes_now.store(cur, Ordering::Relaxed);
+                    self.peak_cache_bytes.fetch_max(cur, Ordering::Relaxed);
+                }
+            }
+            if inserted {
+                self.note_resident();
+            }
+            match outcome {
+                Some(o) => break o,
+                None => self.make_room()?,
+            }
+        };
+        if skipped {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+        } else if self.policy == CachePolicy::WriteThrough {
+            self.writeback(i, amps, gen)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty resident chunk back to the inner store (entries
+    /// stay resident, now clean), then flushes the inner store.
+    fn flush(&self) -> Result<(), CodecError> {
+        let dirty: Vec<(usize, Vec<Complex64>, u64)> = {
+            let cache = self.state.lock();
+            cache
+                .map
+                .iter()
+                .filter(|(_, e)| e.dirty)
+                .map(|(&i, e)| (i, e.amps.clone(), e.gen))
+                .collect()
+        };
+        for (i, amps, gen) in dirty {
+            self.writeback(i, &amps, gen)?;
+        }
+        self.inner.flush()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+
+    fn peak_state_bytes(&self) -> usize {
+        self.inner.peak_state_bytes()
+    }
+
+    fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+            .load(Ordering::Relaxed)
+            .max(self.inner.peak_resident_bytes())
+    }
+
+    fn counters(&self) -> StoreCounters {
+        let inner = self.inner.counters();
+        if self.capacity == 0 {
+            return inner;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        StoreCounters {
+            // The inner store only sees misses; visits at this tier are
+            // the caller-observed total.
+            chunk_visits: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            recompress_skipped: self.skipped.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            ..inner
+        }
+    }
+
+    fn cumulative_stats(&self) -> CompressionStats {
+        self.inner.cumulative_stats()
+    }
+
+    fn resident_chunks(&self) -> Vec<usize> {
+        self.state.lock().map.keys().copied().collect()
+    }
+
+    fn attach_telemetry(&self, telemetry: Telemetry) {
+        self.inner.attach_telemetry(telemetry);
+    }
+
+    fn detach_telemetry(&self) {
+        self.inner.detach_telemetry();
+    }
+
+    fn debug_corrupt_chunk(&self, i: usize) {
+        self.inner.debug_corrupt_chunk(i);
+    }
+}
+
+impl std::fmt::Debug for ResidencyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidencyCache")
+            .field("inner", &self.inner.kind())
+            .field("capacity_chunks", &self.capacity)
+            .field("policy", &self.policy)
+            .field("cache_resident_bytes", &self.cache_resident_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::CompressedTier;
+    use super::*;
+    use mq_compress::SzCodec;
+    use mq_num::complex::c64;
+
+    /// A store with every chunk already written once (8 qubits, 16 chunks
+    /// of 16 amps), cache configured for `entries` resident chunks.
+    fn cached_store(entries: usize) -> (Arc<dyn ChunkStore>, ResidencyCache) {
+        let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
+            8,
+            4,
+            Arc::new(SzCodec::new(1e-12)),
+        ));
+        let cache = ResidencyCache::new(
+            inner.clone(),
+            entries * inner.chunk_amps() * 16,
+            CachePolicy::WriteBack,
+        );
+        (inner, cache)
+    }
+
+    #[test]
+    fn cache_hits_skip_the_codec() {
+        let (_, store) = cached_store(4);
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(0, &mut buf).unwrap(); // miss: decodes + admits
+        let decoded = store.counters().bytes_decompressed;
+        assert!(decoded > 0);
+        assert_eq!(store.counters().cache_misses, 1);
+        store.load_chunk(0, &mut buf).unwrap(); // hit: no codec traffic
+        let c = store.counters();
+        assert_eq!(c.bytes_decompressed, decoded);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.chunk_visits, 2);
+        assert_eq!(c.cache_hits + c.cache_misses, c.chunk_visits);
+    }
+
+    #[test]
+    fn dirty_store_defers_recompression_until_flush() {
+        let (inner, store) = cached_store(4);
+        let compressed_0 = store.counters().bytes_compressed;
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.1 * k as f64, 0.0)).collect();
+        store.store_chunk(2, &buf).unwrap();
+        assert_eq!(
+            store.counters().bytes_compressed,
+            compressed_0,
+            "write-back must not touch the codec"
+        );
+        // The dirty resident copy is what loads see.
+        let mut back = vec![Complex64::ZERO; 16];
+        store.load_chunk(2, &mut back).unwrap();
+        assert_eq!(back, buf);
+        store.flush().unwrap();
+        assert!(store.counters().bytes_compressed > compressed_0);
+        // Flushed entries stay resident (clean): another flush is free.
+        let after = store.counters().bytes_compressed;
+        store.flush().unwrap();
+        assert_eq!(store.counters().bytes_compressed, after);
+        // And the inner store now round-trips the data.
+        inner.load_chunk(2, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn fingerprint_skips_recompression_of_unmodified_chunks() {
+        let (_, store) = cached_store(4);
+        let baseline = store.counters().bytes_compressed;
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(5, &mut buf).unwrap(); // admit clean
+        store.store_chunk(5, &buf).unwrap(); // identical content
+        assert_eq!(store.counters().recompress_skipped, 1);
+        store.flush().unwrap();
+        assert_eq!(
+            store.counters().bytes_compressed,
+            baseline,
+            "unmodified store must not dirty the entry"
+        );
+    }
+
+    #[test]
+    fn overflow_eviction_writes_back_dirty_chunks() {
+        let (_, store) = cached_store(2);
+        let baseline = store.counters().bytes_compressed;
+        let mk = |seed: usize| -> Vec<Complex64> {
+            (0..16)
+                .map(|k| c64((seed * 16 + k) as f64 * 0.01, 0.0))
+                .collect()
+        };
+        // Three dirty stores through a 2-entry cache: one must be evicted
+        // (the freshest at overflow time — scan-resistant victim choice).
+        store.store_chunk(0, &mk(0)).unwrap();
+        store.store_chunk(1, &mk(1)).unwrap();
+        store.store_chunk(2, &mk(2)).unwrap();
+        assert!(store.counters().evictions >= 1);
+        assert!(
+            store.counters().bytes_compressed > baseline,
+            "dirty eviction must recompress"
+        );
+        assert!(store.cache_resident_bytes() <= 2 * store.chunk_amps() * 16);
+        // All three chunks readable and correct, evicted or resident alike.
+        for seed in 0..3usize {
+            let mut back = vec![Complex64::ZERO; 16];
+            store.load_chunk(seed, &mut back).unwrap();
+            for (a, b) in back.iter().zip(&mk(seed)) {
+                assert!((a.re - b.re).abs() <= 1e-9, "chunk {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eviction_is_codec_free() {
+        let (_, store) = cached_store(1);
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(0, &mut buf).unwrap(); // admit clean
+        let compressed = store.counters().bytes_compressed;
+        store.load_chunk(1, &mut buf).unwrap(); // evicts clean chunk 0
+        assert!(store.counters().evictions >= 1);
+        assert_eq!(
+            store.counters().bytes_compressed,
+            compressed,
+            "clean eviction must not recompress"
+        );
+    }
+
+    #[test]
+    fn write_through_policy_keeps_inner_current() {
+        let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
+            8,
+            4,
+            Arc::new(SzCodec::new(1e-12)),
+        ));
+        let store = ResidencyCache::new(inner.clone(), 4 * 16 * 16, CachePolicy::WriteThrough);
+        let baseline = store.counters().bytes_compressed;
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.05 * k as f64, 0.0)).collect();
+        store.store_chunk(3, &buf).unwrap();
+        assert!(
+            store.counters().bytes_compressed > baseline,
+            "write-through compresses immediately"
+        );
+        // The inner store is current without any flush.
+        let mut back = vec![Complex64::ZERO; 16];
+        inner.load_chunk(3, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn cache_budget_bounds_resident_bytes() {
+        let (_, store) = cached_store(3);
+        let budget = 3 * store.chunk_amps() * 16;
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.01 * k as f64, 0.0)).collect();
+        for round in 0..4 {
+            for i in 0..store.chunk_count() {
+                let mut b = buf.clone();
+                b[0] = c64(round as f64, i as f64);
+                store.store_chunk(i, &b).unwrap();
+                assert!(
+                    store.cache_resident_bytes() <= budget,
+                    "cache overran its budget"
+                );
+            }
+        }
+        assert!(store.peak_cache_bytes() <= budget);
+        assert!(store.peak_resident_bytes() >= store.peak_state_bytes());
+    }
+
+    #[test]
+    fn cached_hit_bypasses_corruption_check_until_eviction() {
+        let (inner, store) = cached_store(2);
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(7, &mut buf).unwrap(); // resident, clean
+        store.debug_corrupt_chunk(7);
+        // Resident: served from the (uncorrupted) decompressed copy.
+        assert!(store.load_chunk(7, &mut buf).is_ok());
+        // Non-resident chunk with corruption still surfaces the error.
+        store.debug_corrupt_chunk(9);
+        assert!(matches!(
+            store.load_chunk(9, &mut buf),
+            Err(CodecError::Corrupt(_))
+        ));
+        // Once chunk 7 leaves the cache (clean eviction — no write-back),
+        // the corrupted inner slot is exposed again.
+        store.drain().unwrap();
+        assert!(matches!(
+            inner.load_chunk(7, &mut buf),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_cached_access_is_safe_and_coherent() {
+        let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
+            10,
+            5,
+            Arc::new(SzCodec::new(1e-12)),
+        ));
+        // Tiny cache: constant eviction churn under contention.
+        let store = Arc::new(ResidencyCache::new(
+            inner,
+            3 * 32 * 16,
+            CachePolicy::WriteBack,
+        ));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let store = store.clone();
+                s.spawn(move || {
+                    let mut buf = vec![Complex64::ZERO; 32];
+                    for round in 0..32 {
+                        let i = (t * 16 + round) % store.chunk_count();
+                        store.load_chunk(i, &mut buf).unwrap();
+                        buf[0] = c64(t as f64, round as f64);
+                        store.store_chunk(i, &buf).unwrap();
+                    }
+                });
+            }
+        });
+        store.flush().unwrap();
+        assert!(store.to_dense().is_ok());
+        let budget = 3 * store.chunk_amps() * 16;
+        assert!(store.peak_cache_bytes() <= budget);
+    }
+
+    #[test]
+    fn drain_spills_and_preserves_data() {
+        let (inner, store) = cached_store(4);
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.02 * k as f64, 0.01)).collect();
+        store.store_chunk(1, &buf).unwrap(); // dirty resident
+        store.drain().unwrap();
+        assert!(store.resident_chunks().is_empty());
+        let mut back = vec![Complex64::ZERO; 16];
+        inner.load_chunk(1, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn sub_chunk_budget_is_a_passthrough() {
+        let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
+            8,
+            4,
+            Arc::new(SzCodec::new(1e-12)),
+        ));
+        let store = ResidencyCache::new(inner, 8, CachePolicy::WriteBack);
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(0, &mut buf).unwrap();
+        assert!(store.resident_chunks().is_empty());
+        assert_eq!(store.counters().cache_hits, 0);
+        assert_eq!(store.counters().cache_misses, 0);
+    }
+}

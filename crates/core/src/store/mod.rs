@@ -1,0 +1,504 @@
+//! The chunked state-vector storage stack — MEMQSIM's resident
+//! representation, decomposed into layers behind the [`ChunkStore`] trait.
+//!
+//! The `2^n`-amplitude state lives as `2^(n-c)` independently stored chunks
+//! of `2^c` amplitudes (paper Fig. 2, "offline stage"). *How* a chunk is
+//! held is a pluggable tier:
+//!
+//! * [`CompressedTier`] — codec-compressed chunks with integrity checksums,
+//!   the paper's headline representation (and the default).
+//! * [`DenseStore`] — uncompressed chunks; the no-codec baseline for widths
+//!   where codec overhead dominates.
+//! * [`SpillStore`] — compressed chunks bounded by a resident-byte budget;
+//!   overflow spills to temp files on disk, the paper's beyond-RAM
+//!   "+5 qubits" direction.
+//!
+//! Two middleware tiers wrap any inner store:
+//!
+//! * [`ResidencyCache`] — the write-back hot-chunk cache (recency tracking,
+//!   content-fingerprint recompress skip, scan-resistant eviction), lifted
+//!   out of the old monolithic store so it composes with every base tier.
+//! * [`TelemetryTier`] — owns counter emission: it diffs the inner stack's
+//!   plain atomic totals into an attached [`Telemetry`] handle after every
+//!   operation, so inner tiers never name a telemetry type.
+//!
+//! [`build_store`] assembles the stack from a [`MemQSimConfig`]:
+//! `TelemetryTier( ResidencyCache?( base tier ) )`.
+//!
+//! [`Telemetry`]: mq_telemetry::Telemetry
+
+pub mod cache;
+pub mod compressed;
+pub mod dense;
+pub mod spill;
+pub mod telemetry_tier;
+
+pub use cache::{CachePolicy, ResidencyCache};
+pub use compressed::CompressedTier;
+pub use dense::DenseStore;
+pub use spill::SpillStore;
+pub use telemetry_tier::TelemetryTier;
+
+use crate::config::{MemQSimConfig, StoreKind};
+use mq_compress::{CodecError, CompressionStats};
+use mq_num::{bits, Complex64};
+use mq_telemetry::Telemetry;
+use std::sync::Arc;
+
+/// Compatibility alias for the pre-refactor monolithic store. The codec +
+/// checksum base tier keeps the old name reachable; new code should name
+/// [`CompressedTier`] or, better, go through [`build_store`] and the
+/// [`ChunkStore`] trait.
+pub type CompressedStateVector = CompressedTier;
+
+/// FNV-1a 64-bit hash — the chunk integrity checksum.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over the raw amplitude bits — the cache's content fingerprint.
+pub(crate) fn fingerprint_amps(amps: &[Complex64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for z in amps {
+        for b in z.re.to_le_bytes().into_iter().chain(z.im.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Typed precondition: a chunk buffer must match the store's chunk size.
+pub(crate) fn expect_chunk_len(expected: usize, got: usize) -> Result<(), CodecError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(CodecError::BufferMismatch { expected, got })
+    }
+}
+
+/// Monotonic operation totals a store tier accumulates over its lifetime.
+///
+/// Inner tiers keep these as plain atomics; the [`TelemetryTier`] diffs them
+/// into a run's [`Telemetry`] record. Middleware
+/// composes them: [`ResidencyCache`] replaces `chunk_visits` with its own
+/// total (the inner store only sees misses) and adds the cache fields.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Chunk load/store round trips observed at this tier.
+    pub chunk_visits: u64,
+    /// Compressed payload bytes expanded by codec decompression.
+    pub bytes_decompressed: u64,
+    /// Compressed payload bytes produced by codec compression.
+    pub bytes_compressed: u64,
+    /// Loads served from a residency cache (no checksum, no decode).
+    pub cache_hits: u64,
+    /// Loads that fell through a residency cache to the inner store.
+    pub cache_misses: u64,
+    /// Stores whose content fingerprint matched the resident copy.
+    pub recompress_skipped: u64,
+    /// Cache entries evicted.
+    pub evictions: u64,
+    /// Compressed chunk bytes spilled to disk.
+    pub spill_bytes_written: u64,
+    /// Compressed chunk bytes read back from disk.
+    pub spill_bytes_read: u64,
+}
+
+/// A chunked state-vector storage tier.
+///
+/// Object-safe so engines, backends and benches hold `Arc<dyn ChunkStore>`
+/// and never name a concrete representation. Implementations are
+/// `Send + Sync`: pipeline threads and "idle core" workers stream different
+/// chunks concurrently.
+pub trait ChunkStore: Send + Sync {
+    /// Short display name of this tier stack (`"compressed"`, `"dense"`,
+    /// `"spill"`; middleware reports the inner store's kind).
+    fn kind(&self) -> &'static str;
+
+    /// Register width.
+    fn n_qubits(&self) -> u32;
+
+    /// Chunk size exponent (`2^chunk_bits` amplitudes per chunk).
+    fn chunk_bits(&self) -> u32;
+
+    /// Reads chunk `i` into `out` (`out.len()` must equal
+    /// [`chunk_amps`](ChunkStore::chunk_amps), checked as a typed
+    /// [`CodecError::BufferMismatch`]).
+    fn load_chunk(&self, i: usize, out: &mut [Complex64]) -> Result<(), CodecError>;
+
+    /// Stores `amps` as the new contents of chunk `i` (same length
+    /// precondition as [`load_chunk`](ChunkStore::load_chunk)).
+    fn store_chunk(&self, i: usize, amps: &[Complex64]) -> Result<(), CodecError>;
+
+    /// Forces deferred work (dirty cache write-backs) down to the base
+    /// representation, so external views of the stored bytes are coherent.
+    fn flush(&self) -> Result<(), CodecError>;
+
+    /// Current bytes the stored state occupies in CPU memory (compressed
+    /// for codec tiers, raw for [`DenseStore`], in-memory portion only for
+    /// [`SpillStore`]). With a write-back cache this can lag dirty resident
+    /// copies; [`flush`](ChunkStore::flush) first for an up-to-date view.
+    fn state_bytes(&self) -> usize;
+
+    /// Peak of [`state_bytes`](ChunkStore::state_bytes) observed so far.
+    fn peak_state_bytes(&self) -> usize;
+
+    /// Peak bytes resident in CPU memory at any instant, including
+    /// middleware copies (decompressed cache entries) — the number to hold
+    /// against a memory budget.
+    fn peak_resident_bytes(&self) -> usize;
+
+    /// Monotonic operation totals for this tier stack.
+    fn counters(&self) -> StoreCounters;
+
+    /// Cumulative compress-call statistics (zero for tiers with no codec).
+    fn cumulative_stats(&self) -> CompressionStats;
+
+    /// Chunk indices a residency middleware currently holds decompressed
+    /// (empty for tiers without one). Engines visit these first.
+    fn resident_chunks(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Attaches a per-run telemetry handle. Only the [`TelemetryTier`]
+    /// reacts; inner tiers stay telemetry-free.
+    fn attach_telemetry(&self, telemetry: Telemetry) {
+        let _ = telemetry;
+    }
+
+    /// Detaches the telemetry handle, if any.
+    fn detach_telemetry(&self) {}
+
+    /// Fault-injection hook: corrupt chunk `i`'s stored bytes so integrity
+    /// checks can be tested. No-op on tiers without checksums.
+    #[doc(hidden)]
+    fn debug_corrupt_chunk(&self, i: usize) {
+        let _ = i;
+    }
+
+    // --- provided helpers (geometry + whole-state reads) -----------------
+
+    /// Amplitudes per chunk.
+    fn chunk_amps(&self) -> usize {
+        1usize << self.chunk_bits()
+    }
+
+    /// Number of chunks.
+    fn chunk_count(&self) -> usize {
+        1usize << (self.n_qubits() - self.chunk_bits())
+    }
+
+    /// Bytes a dense representation would need.
+    fn dense_bytes(&self) -> usize {
+        (1usize << self.n_qubits()) * 16
+    }
+
+    /// Current overall compression ratio (dense / resident state bytes).
+    fn current_ratio(&self) -> f64 {
+        let c = self.state_bytes();
+        if c == 0 {
+            return 1.0;
+        }
+        self.dense_bytes() as f64 / c as f64
+    }
+
+    /// Decompresses the whole state (exponential memory — small registers
+    /// and verification only). Cache-resident chunks are read first so a
+    /// miss can never evict a pending hit.
+    fn to_dense(&self) -> Result<Vec<Complex64>, CodecError> {
+        let mut out = vec![Complex64::ZERO; 1usize << self.n_qubits()];
+        let ca = self.chunk_amps();
+        let mut done = vec![false; self.chunk_count()];
+        for i in self.resident_chunks() {
+            if i < done.len() && !done[i] {
+                self.load_chunk(i, &mut out[i * ca..(i + 1) * ca])?;
+                done[i] = true;
+            }
+        }
+        for (i, done) in done.iter().enumerate() {
+            if !done {
+                self.load_chunk(i, &mut out[i * ca..(i + 1) * ca])?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// L2 norm, computed streaming one chunk at a time (cache residents
+    /// first — the sum is order-free).
+    fn norm(&self) -> Result<f64, CodecError> {
+        let mut buf = vec![Complex64::ZERO; self.chunk_amps()];
+        let mut acc = 0.0f64;
+        let mut done = vec![false; self.chunk_count()];
+        for i in self.resident_chunks() {
+            if i < done.len() && !done[i] {
+                self.load_chunk(i, &mut buf)?;
+                acc += buf.iter().map(|z| z.norm_sqr()).sum::<f64>();
+                done[i] = true;
+            }
+        }
+        for (i, done) in done.iter().enumerate() {
+            if !done {
+                self.load_chunk(i, &mut buf)?;
+                acc += buf.iter().map(|z| z.norm_sqr()).sum::<f64>();
+            }
+        }
+        Ok(acc.sqrt())
+    }
+
+    /// Rescales the state to unit norm, streaming chunk by chunk (two
+    /// passes). Long lossy runs accumulate slight denormalization; calling
+    /// this periodically (or before sampling) repairs it at the cost of one
+    /// decompress/recompress round. No-op within `tol` of 1.
+    fn renormalize(&self, tol: f64) -> Result<f64, CodecError> {
+        let norm = self.norm()?;
+        if norm <= 0.0 || (norm - 1.0).abs() <= tol {
+            return Ok(norm);
+        }
+        let inv = 1.0 / norm;
+        let mut buf = vec![Complex64::ZERO; self.chunk_amps()];
+        for i in 0..self.chunk_count() {
+            self.load_chunk(i, &mut buf)?;
+            for z in buf.iter_mut() {
+                *z = *z * inv;
+            }
+            self.store_chunk(i, &buf)?;
+        }
+        Ok(norm)
+    }
+
+    /// Born probability of one basis state (reads one chunk).
+    fn probability(&self, basis: usize) -> Result<f64, CodecError> {
+        assert!(
+            basis < 1usize << self.n_qubits(),
+            "basis state out of range"
+        );
+        let (chunk, off) = bits::split_index(basis, self.chunk_bits());
+        let mut buf = vec![Complex64::ZERO; self.chunk_amps()];
+        self.load_chunk(chunk, &mut buf)?;
+        Ok(buf[off].norm_sqr())
+    }
+}
+
+/// `Arc<S>` is a store wherever `S` is, so engine entry points taking
+/// `&dyn ChunkStore` accept `&Arc<dyn ChunkStore>` (what [`build_store`]
+/// returns) directly.
+impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+
+    fn n_qubits(&self) -> u32 {
+        (**self).n_qubits()
+    }
+
+    fn chunk_bits(&self) -> u32 {
+        (**self).chunk_bits()
+    }
+
+    fn load_chunk(&self, i: usize, out: &mut [Complex64]) -> Result<(), CodecError> {
+        (**self).load_chunk(i, out)
+    }
+
+    fn store_chunk(&self, i: usize, amps: &[Complex64]) -> Result<(), CodecError> {
+        (**self).store_chunk(i, amps)
+    }
+
+    fn flush(&self) -> Result<(), CodecError> {
+        (**self).flush()
+    }
+
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
+    }
+
+    fn peak_state_bytes(&self) -> usize {
+        (**self).peak_state_bytes()
+    }
+
+    fn peak_resident_bytes(&self) -> usize {
+        (**self).peak_resident_bytes()
+    }
+
+    fn counters(&self) -> StoreCounters {
+        (**self).counters()
+    }
+
+    fn cumulative_stats(&self) -> CompressionStats {
+        (**self).cumulative_stats()
+    }
+
+    fn resident_chunks(&self) -> Vec<usize> {
+        (**self).resident_chunks()
+    }
+
+    fn attach_telemetry(&self, telemetry: Telemetry) {
+        (**self).attach_telemetry(telemetry)
+    }
+
+    fn detach_telemetry(&self) {
+        (**self).detach_telemetry()
+    }
+
+    fn debug_corrupt_chunk(&self, i: usize) {
+        (**self).debug_corrupt_chunk(i)
+    }
+}
+
+/// Builds the configured storage stack holding the `|0...0>` state:
+/// base tier per [`StoreKind`], wrapped in a [`ResidencyCache`] when
+/// `cache_bytes` holds at least one chunk, wrapped in a [`TelemetryTier`]
+/// outermost so engines can attach per-run counters.
+///
+/// Errors only for tiers that touch the filesystem ([`SpillStore`]).
+pub fn build_store(n_qubits: u32, cfg: &MemQSimConfig) -> Result<Arc<dyn ChunkStore>, CodecError> {
+    let chunk_bits = cfg.effective_chunk_bits(n_qubits);
+    let codec: Arc<dyn mq_compress::Codec> = Arc::from(cfg.codec.build());
+    let base: Arc<dyn ChunkStore> = match cfg.store_kind {
+        StoreKind::Compressed => Arc::new(CompressedTier::zero_state(n_qubits, chunk_bits, codec)),
+        StoreKind::Dense => Arc::new(DenseStore::zero_state(n_qubits, chunk_bits)),
+        StoreKind::Spill { resident_budget } => Arc::new(SpillStore::zero_state(
+            n_qubits,
+            chunk_bits,
+            codec,
+            resident_budget,
+        )?),
+    };
+    Ok(wrap_middleware(base, cfg))
+}
+
+/// Like [`build_store`], but compressing an existing dense state.
+///
+/// # Panics
+/// Panics if `amps.len()` is not a power of two.
+pub fn build_store_from_amplitudes(
+    amps: &[Complex64],
+    cfg: &MemQSimConfig,
+) -> Result<Arc<dyn ChunkStore>, CodecError> {
+    assert!(bits::is_pow2(amps.len()), "length must be a power of two");
+    let n_qubits = bits::floor_log2(amps.len());
+    let chunk_bits = cfg.effective_chunk_bits(n_qubits);
+    let codec: Arc<dyn mq_compress::Codec> = Arc::from(cfg.codec.build());
+    let base: Arc<dyn ChunkStore> = match cfg.store_kind {
+        StoreKind::Compressed => Arc::new(CompressedTier::from_amplitudes(amps, chunk_bits, codec)),
+        StoreKind::Dense => Arc::new(DenseStore::from_amplitudes(amps, chunk_bits)),
+        StoreKind::Spill { resident_budget } => Arc::new(SpillStore::from_amplitudes(
+            amps,
+            chunk_bits,
+            codec,
+            resident_budget,
+        )?),
+    };
+    Ok(wrap_middleware(base, cfg))
+}
+
+fn wrap_middleware(base: Arc<dyn ChunkStore>, cfg: &MemQSimConfig) -> Arc<dyn ChunkStore> {
+    let entry_bytes = base.chunk_amps() * 16;
+    let cached: Arc<dyn ChunkStore> = if cfg.cache_bytes >= entry_bytes {
+        Arc::new(ResidencyCache::new(base, cfg.cache_bytes, cfg.cache_policy))
+    } else {
+        base
+    };
+    Arc::new(TelemetryTier::new(cached))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_compress::CodecSpec;
+
+    fn cfg(kind: StoreKind) -> MemQSimConfig {
+        MemQSimConfig {
+            chunk_bits: 4,
+            store_kind: kind,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_kind_as_zero_state() {
+        for kind in [
+            StoreKind::Compressed,
+            StoreKind::Dense,
+            StoreKind::Spill {
+                resident_budget: 1 << 16,
+            },
+        ] {
+            let store = build_store(8, &cfg(kind)).unwrap();
+            assert_eq!(store.n_qubits(), 8);
+            assert_eq!(store.chunk_bits(), 4);
+            assert_eq!(store.chunk_count(), 16);
+            let dense = store.to_dense().unwrap();
+            assert!((dense[0].re - 1.0).abs() < 1e-9, "{kind:?}");
+            assert!(dense[1..].iter().all(|z| z.norm() < 1e-9), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn factory_wraps_cache_only_when_budget_holds_a_chunk() {
+        let mut c = cfg(StoreKind::Compressed);
+        c.cache_bytes = 4 * (1usize << 4) * 16;
+        let cached = build_store(8, &c).unwrap();
+        let mut buf = vec![Complex64::ZERO; cached.chunk_amps()];
+        cached.load_chunk(0, &mut buf).unwrap();
+        assert_eq!(cached.resident_chunks(), vec![0]);
+
+        c.cache_bytes = 8; // below one chunk: no cache layer
+        let uncached = build_store(8, &c).unwrap();
+        uncached.load_chunk(0, &mut buf).unwrap();
+        assert!(uncached.resident_chunks().is_empty());
+    }
+
+    #[test]
+    fn buffer_mismatch_is_typed_on_every_kind() {
+        for kind in [
+            StoreKind::Compressed,
+            StoreKind::Dense,
+            StoreKind::Spill {
+                resident_budget: 1 << 16,
+            },
+        ] {
+            let store = build_store(8, &cfg(kind)).unwrap();
+            let mut short = vec![Complex64::ZERO; 3];
+            assert!(matches!(
+                store.load_chunk(0, &mut short),
+                Err(CodecError::BufferMismatch {
+                    expected: 16,
+                    got: 3
+                })
+            ));
+            assert!(matches!(
+                store.store_chunk(0, &short),
+                Err(CodecError::BufferMismatch {
+                    expected: 16,
+                    got: 3
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn from_amplitudes_round_trips_on_every_kind() {
+        let amps: Vec<Complex64> = (0..64)
+            .map(|i| mq_num::complex::c64((i as f64 * 0.03).sin() * 0.1, 0.01))
+            .collect();
+        let mut c = cfg(StoreKind::Compressed);
+        c.codec = CodecSpec::Fpc;
+        for kind in [
+            StoreKind::Compressed,
+            StoreKind::Dense,
+            StoreKind::Spill {
+                resident_budget: 256,
+            },
+        ] {
+            c.store_kind = kind;
+            let store = build_store_from_amplitudes(&amps, &c).unwrap();
+            assert_eq!(store.to_dense().unwrap(), amps, "{kind:?}");
+        }
+    }
+}

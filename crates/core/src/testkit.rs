@@ -6,7 +6,7 @@
 
 use crate::config::MemQSimConfig;
 use crate::engine::{cpu, hybrid, Granularity, RunReport};
-use crate::store::CompressedStateVector;
+use crate::store::{build_store, ChunkStore};
 use mq_circuit::unitary::run_dense;
 use mq_circuit::Circuit;
 use mq_compress::CodecSpec;
@@ -26,13 +26,16 @@ pub(crate) fn cfg(chunk_bits: u32, codec: CodecSpec) -> MemQSimConfig {
     }
 }
 
-/// A |0...0> store with geometry matching `cfg`'s codec.
+/// A |0...0> store stack built for `cfg` (the same path the backends use),
+/// except with `chunk_bits` forced so geometry-mismatch tests can build
+/// deliberately wrong stores.
 pub(crate) fn zero_store(
     n_qubits: u32,
     chunk_bits: u32,
     cfg: &MemQSimConfig,
-) -> CompressedStateVector {
-    CompressedStateVector::zero_state(n_qubits, chunk_bits, Arc::from(cfg.codec.build()))
+) -> Arc<dyn ChunkStore> {
+    let cfg = MemQSimConfig { chunk_bits, ..*cfg };
+    build_store(n_qubits, &cfg).expect("store construction")
 }
 
 /// A simulated device large enough for any test circuit.
@@ -76,7 +79,7 @@ pub(crate) fn run_hybrid_and_compare(
     report
 }
 
-fn compare_to_dense(store: &CompressedStateVector, circuit: &Circuit, tol: f64) {
+fn compare_to_dense(store: &dyn ChunkStore, circuit: &Circuit, tol: f64) {
     let got = store.to_dense().unwrap();
     let want = run_dense(circuit, 0);
     let err = max_amp_err(&got, &want);

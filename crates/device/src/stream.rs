@@ -58,8 +58,8 @@ impl Device {
         &self.inner.spec
     }
 
-    /// Attaches a telemetry handle: until [`detach_telemetry`]
-    /// (Self::detach_telemetry), every command executed on any of this
+    /// Attaches a telemetry handle: until [`Self::detach_telemetry`] is
+    /// called, every command executed on any of this
     /// device's streams contributes to the run's `bytes_h2d` / `bytes_d2h` /
     /// `kernel_launches` / `scatter_ops` counters.
     pub fn attach_telemetry(&self, telemetry: Telemetry) {

@@ -101,11 +101,15 @@ pub enum Counter {
     /// Cache entries evicted (dirty evictions recompress; clean evictions
     /// drop the buffer with zero codec work).
     Evictions,
+    /// Compressed chunk bytes spilled from the resident budget to disk.
+    SpillBytesWritten,
+    /// Compressed chunk bytes read back from spill files on disk.
+    SpillBytesRead,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -117,6 +121,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::RecompressSkipped,
         Counter::Evictions,
+        Counter::SpillBytesWritten,
+        Counter::SpillBytesRead,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -133,6 +139,8 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::RecompressSkipped => "recompress_skipped",
             Counter::Evictions => "evictions",
+            Counter::SpillBytesWritten => "spill_bytes_written",
+            Counter::SpillBytesRead => "spill_bytes_read",
         }
     }
 
@@ -149,6 +157,8 @@ impl Counter {
             Counter::CacheMisses => 8,
             Counter::RecompressSkipped => 9,
             Counter::Evictions => 10,
+            Counter::SpillBytesWritten => 11,
+            Counter::SpillBytesRead => 12,
         }
     }
 }
@@ -556,6 +566,8 @@ mod tests {
             "\"cache_misses\": 0",
             "\"recompress_skipped\": 0",
             "\"evictions\": 0",
+            "\"spill_bytes_written\": 0",
+            "\"spill_bytes_read\": 0",
             "\"roles\"",
             "\"cpu_apply\"",
             "\"serial_sum_ns\"",

@@ -9,7 +9,7 @@
 
 use memqsim_suite::circuit::library;
 use memqsim_suite::core::measure;
-use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
+use memqsim_suite::{ChunkStore, CodecSpec, MemQSim, MemQSimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,7 @@ fn main() {
     println!(
         "Simulated in {:.2?}; resident compressed state: {} of {} dense bytes",
         t0.elapsed(),
-        outcome.store.compressed_bytes(),
+        outcome.store.state_bytes(),
         outcome.store.dense_bytes()
     );
 

@@ -7,10 +7,9 @@
 //! Run with: `cargo run --example memory_budget --release`
 
 use memqsim_suite::circuit::library;
-use memqsim_suite::core::{CompressedStateVector, Granularity};
+use memqsim_suite::core::{build_store, Granularity};
 use memqsim_suite::num::stats::format_bytes;
-use memqsim_suite::{CodecSpec, MemQSimConfig};
-use std::sync::Arc;
+use memqsim_suite::{ChunkStore, CodecSpec, MemQSimConfig};
 
 fn main() {
     let n = 22u32;
@@ -30,7 +29,7 @@ fn main() {
         .build()
         .expect("valid config");
     let circuit = library::ghz(n);
-    let store = CompressedStateVector::zero_state(n, 12, Arc::from(cfg.codec.build()));
+    let store = build_store(n, &cfg).expect("store construction");
     let t0 = std::time::Instant::now();
     let report = memqsim_suite::core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged)
         .expect("simulation failed");

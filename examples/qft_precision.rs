@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example qft_precision --release`
 
 use memqsim_suite::circuit::library;
-use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
+use memqsim_suite::{ChunkStore, CodecSpec, MemQSim, MemQSimConfig};
 
 fn main() {
     let n = 12u32;
@@ -34,10 +34,7 @@ fn main() {
         );
         let outcome = sim.simulate(&circuit).expect("simulation failed");
         let p0 = outcome.probability(0);
-        println!(
-            "{eb:<12.0e} {p0:>14.9} {:>16}",
-            outcome.store.compressed_bytes()
-        );
+        println!("{eb:<12.0e} {p0:>14.9} {:>16}", outcome.store.state_bytes());
     }
 
     println!("\nTighter bounds recover the identity more exactly and cost more memory;");

@@ -3,7 +3,7 @@
 //! Run with: `cargo run --example quickstart --release`
 
 use memqsim_suite::circuit::Circuit;
-use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
+use memqsim_suite::{ChunkStore, CodecSpec, MemQSim, MemQSimConfig};
 
 fn main() {
     // 1. Build a circuit with the chainable builder: a 12-qubit GHZ state.
@@ -43,7 +43,7 @@ fn main() {
     println!(
         "Dense state would need {} bytes; compressed store holds {} bytes ({:.0}x smaller).",
         outcome.store.dense_bytes(),
-        outcome.store.compressed_bytes(),
+        outcome.store.state_bytes(),
         outcome.compression_ratio
     );
     println!(

@@ -7,7 +7,7 @@
 
 use memqsim_suite::circuit::qasm;
 use memqsim_suite::core::measure;
-use memqsim_suite::{CodecSpec, MemQSim, MemQSimConfig};
+use memqsim_suite::{ChunkStore, CodecSpec, MemQSim, MemQSimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,7 +66,7 @@ fn main() {
     println!(
         "simulated in {:.2?}; state resident at {} bytes ({:.1}x under dense)",
         t0.elapsed(),
-        outcome.store.compressed_bytes(),
+        outcome.store.state_bytes(),
         outcome.compression_ratio
     );
 

@@ -35,9 +35,9 @@ pub use mq_telemetry as telemetry;
 // re-exported at the crate root so `use memqsim_suite::{Backend, ...}`
 // works without knowing which member crate owns what.
 pub use memqsim_core::{
-    Backend, BackendRun, CachePolicy, ChunkExecutor, CompressedCpuBackend, DenseCpuBackend,
-    EngineError, HybridBackend, MemQSim, MemQSimConfig, MemQSimConfigBuilder, RunReport,
-    RunTelemetry,
+    Backend, BackendRun, CachePolicy, ChunkExecutor, ChunkStore, CompressedCpuBackend,
+    DenseCpuBackend, EngineError, HybridBackend, MemQSim, MemQSimConfig, MemQSimConfigBuilder,
+    RunReport, RunTelemetry, StoreCounters, StoreKind,
 };
 pub use mq_compress::CodecSpec;
 pub use mq_device::DeviceSpec;

@@ -1,7 +1,7 @@
 //! Property-based integration tests: codec guarantees and chunked-engine
 //! equivalence over randomized inputs.
 
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{ChunkStore, CompressedStateVector, Granularity, MemQSimConfig};
 use mq_circuit::unitary::run_dense;
 use mq_circuit::{Circuit, Gate};
 use mq_compress::{Codec, CodecSpec};

@@ -2,7 +2,7 @@
 //! behaviour across workload classes, and the qubit-extension mechanism
 //! behind the paper's "+5 qubits".
 
-use memqsim_core::{CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{ChunkStore, CompressedStateVector, Granularity, MemQSimConfig};
 use mq_circuit::{library, Circuit};
 use mq_compress::CodecSpec;
 use std::sync::Arc;
@@ -72,10 +72,10 @@ fn peak_tracks_the_worst_moment_not_the_end() {
     }
     let (store, report) = run(&circuit, 6, CodecSpec::Sz { eb: 1e-10 });
     assert!(
-        report.peak_compressed_bytes > store.compressed_bytes(),
+        report.peak_compressed_bytes > store.state_bytes(),
         "peak {} vs final {}",
         report.peak_compressed_bytes,
-        store.compressed_bytes()
+        store.state_bytes()
     );
 }
 
@@ -84,7 +84,7 @@ fn tighter_bounds_cost_more_resident_bytes() {
     let circuit = library::qft(12);
     let (loose, _) = run(&circuit, 6, CodecSpec::Sz { eb: 1e-4 });
     let (tight, _) = run(&circuit, 6, CodecSpec::Sz { eb: 1e-12 });
-    assert!(loose.compressed_bytes() < tight.compressed_bytes());
+    assert!(loose.state_bytes() < tight.state_bytes());
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! sampling equivalence between dense and compressed paths.
 
 use memqsim_core::{
-    engine::hybrid, measure, CompressedStateVector, Counter, EngineError, MemQSimConfig, Role,
+    build_store, engine::hybrid, measure, ChunkStore, Counter, EngineError, MemQSimConfig, Role,
     Telemetry,
 };
 use mq_circuit::library;
@@ -13,7 +13,6 @@ use mq_device::{Device, DeviceError, DeviceSpec};
 use mq_num::metrics::max_amp_err;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
 fn cfg(chunk_bits: u32) -> MemQSimConfig {
     MemQSimConfig {
@@ -31,12 +30,7 @@ fn run_hybrid(
     device_amps: usize,
     pipelined: bool,
 ) {
-    let chunk_bits = config.effective_chunk_bits(circuit.n_qubits());
-    let store = CompressedStateVector::zero_state(
-        circuit.n_qubits(),
-        chunk_bits,
-        Arc::from(config.codec.build()),
-    );
+    let store = build_store(circuit.n_qubits(), config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(device_amps));
     hybrid::run(&store, circuit, config, &device, pipelined).expect("hybrid run failed");
     let got = store.to_dense().expect("store readable");
@@ -84,7 +78,7 @@ fn device_exactly_fits_the_staging_buffers() {
 fn device_one_amp_short_is_oom() {
     let circuit = library::ghz(8);
     let config = cfg(3);
-    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let store = build_store(8, &config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(63));
     match hybrid::run(&store, &circuit, &config, &device, true) {
         Err(EngineError::Device(DeviceError::OutOfMemory {
@@ -103,7 +97,7 @@ fn store_survives_a_failed_run() {
     // After an OOM the store must still be structurally readable.
     let circuit = library::ghz(8);
     let config = cfg(3);
-    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let store = build_store(8, &config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(8));
     let _ = hybrid::run(&store, &circuit, &config, &device, true);
     let dense = store.to_dense().expect("store must stay readable");
@@ -116,7 +110,7 @@ fn store_survives_a_failed_run() {
 fn sampling_matches_between_dense_and_compressed() {
     let circuit = library::w_state(8);
     let config = cfg(3);
-    let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+    let store = build_store(8, &config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(1 << 10));
     hybrid::run(&store, &circuit, &config, &device, true).expect("run failed");
 
@@ -142,7 +136,7 @@ fn repeated_runs_on_one_device_reuse_memory_cleanly() {
     let config = cfg(3);
     let device = Device::new(DeviceSpec::tiny_test(96));
     for round in 0..8 {
-        let store = CompressedStateVector::zero_state(8, 3, Arc::from(config.codec.build()));
+        let store = build_store(8, &config).expect("store construction failed");
         hybrid::run(&store, &circuit, &config, &device, true)
             .unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
@@ -155,7 +149,7 @@ fn telemetry_record_balances_and_matches_report_durations() {
     // so they must agree exactly — and the record itself must be coherent.
     let circuit = library::supremacy_like(9, 5, 4);
     let config = cfg(3);
-    let store = CompressedStateVector::zero_state(9, 3, Arc::from(config.codec.build()));
+    let store = build_store(9, &config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(1 << 12));
     let r = hybrid::run(&store, &circuit, &config, &device, true).expect("run failed");
     let t = &r.telemetry;
@@ -187,7 +181,12 @@ fn telemetry_record_balances_and_matches_report_durations() {
 fn telemetry_counters_are_monotonic() {
     // Counters only ever accumulate while a handle is attached.
     let telemetry = Telemetry::new();
-    let store = CompressedStateVector::zero_state(6, 2, Arc::from(CodecSpec::Fpc.build()));
+    let config = MemQSimConfig {
+        chunk_bits: 2,
+        codec: CodecSpec::Fpc,
+        ..Default::default()
+    };
+    let store = build_store(6, &config).expect("store construction failed");
     store.attach_telemetry(telemetry.clone());
     let mut last_bytes = 0;
     let mut last_visits = 0;
@@ -217,7 +216,7 @@ fn pipelined_run_overlaps_roles_where_serial_does_not() {
         workers: 2,
         ..cfg(2)
     };
-    let mk = || CompressedStateVector::zero_state(11, 2, Arc::from(config.codec.build()));
+    let mk = || build_store(11, &config).expect("store construction failed");
     let device = Device::new(DeviceSpec::tiny_test(1 << 12));
 
     let serial_store = mk();
@@ -246,7 +245,7 @@ fn pipelined_run_overlaps_roles_where_serial_does_not() {
 fn pipelined_and_serial_produce_identical_states() {
     let circuit = library::supremacy_like(9, 5, 4);
     let config = cfg(3);
-    let mk = || CompressedStateVector::zero_state(9, 3, Arc::from(config.codec.build()));
+    let mk = || build_store(9, &config).expect("store construction failed");
     let a = mk();
     let b = mk();
     let dev = Device::new(DeviceSpec::tiny_test(1 << 12));

@@ -3,9 +3,8 @@
 //! [`RunReport`] shape is unified, so the numbers must be comparable too.
 
 use memqsim_core::engine::{cpu, hybrid, Granularity, RunReport};
-use memqsim_core::{CompressedStateVector, Counter, MemQSimConfig};
+use memqsim_core::{build_store, ChunkStore, Counter, MemQSimConfig, StoreKind};
 use memqsim_suite::{circuit::library, circuit::Circuit, CodecSpec, DeviceSpec};
-use std::sync::Arc;
 
 fn cfg() -> MemQSimConfig {
     MemQSimConfig {
@@ -18,20 +17,12 @@ fn cfg() -> MemQSimConfig {
 }
 
 fn run_cpu(circuit: &Circuit, config: &MemQSimConfig) -> RunReport {
-    let store = CompressedStateVector::zero_state(
-        circuit.n_qubits(),
-        config.effective_chunk_bits(circuit.n_qubits()),
-        Arc::from(config.codec.build()),
-    );
+    let store = build_store(circuit.n_qubits(), config).expect("store construction failed");
     cpu::run(&store, circuit, config, Granularity::Staged).unwrap()
 }
 
 fn run_hybrid(circuit: &Circuit, config: &MemQSimConfig) -> RunReport {
-    let store = CompressedStateVector::zero_state(
-        circuit.n_qubits(),
-        config.effective_chunk_bits(circuit.n_qubits()),
-        Arc::from(config.codec.build()),
-    );
+    let store = build_store(circuit.n_qubits(), config).expect("store construction failed");
     let device = memqsim_suite::device::Device::new(DeviceSpec::tiny_test(1 << 16));
     hybrid::run(&store, circuit, config, &device, true).unwrap()
 }
@@ -96,6 +87,51 @@ fn cache_identity_holds_for_both_executors() {
             report.executor
         );
         assert!(report.telemetry.counter(Counter::CacheHits) > 0);
+    }
+}
+
+#[test]
+fn driver_accounting_is_identical_across_store_kinds() {
+    // The store tier must be invisible to the driver: dense, compressed and
+    // disk-spilling stores see the same plan, the same visits and the same
+    // gate/scalar work — and (with a lossless codec) the same final state.
+    let circuit = library::qft(7);
+    let kinds = [
+        StoreKind::Compressed,
+        StoreKind::Dense,
+        StoreKind::Spill {
+            // Far below the 2 KiB dense state: forces mid-run disk traffic.
+            resident_budget: 512,
+        },
+    ];
+    let mut reports = Vec::new();
+    let mut states = Vec::new();
+    for kind in kinds {
+        let config = MemQSimConfig {
+            store_kind: kind,
+            ..cfg()
+        };
+        let store = build_store(circuit.n_qubits(), &config).expect("store construction failed");
+        let report = cpu::run(&store, &circuit, &config, Granularity::Staged).unwrap();
+        states.push(store.to_dense().unwrap());
+        reports.push(report);
+    }
+    let base = &reports[0];
+    for (r, kind) in reports.iter().zip(kinds).skip(1) {
+        assert_eq!(base.stages, r.stages, "{kind:?}");
+        assert_eq!(base.chunk_visits, r.chunk_visits, "{kind:?}");
+        assert_eq!(base.gates_applied, r.gates_applied, "{kind:?}");
+        assert_eq!(base.scalars_applied, r.scalars_applied, "{kind:?}");
+        assert_eq!(base.groups_cpu, r.groups_cpu, "{kind:?}");
+        assert_eq!(
+            base.telemetry.counter(Counter::ChunkVisits),
+            r.telemetry.counter(Counter::ChunkVisits),
+            "{kind:?}"
+        );
+    }
+    for (s, kind) in states.iter().zip(kinds).skip(1) {
+        let err = memqsim_suite::num::metrics::max_amp_err(&states[0], s);
+        assert!(err < 1e-12, "{kind:?} drifted from compressed run by {err}");
     }
 }
 
