@@ -1,0 +1,78 @@
+//! Criterion bench for the blocked apply driver: one cache-tiled sweep over
+//! the buffer (`apply_all`) vs one full buffer pass per gate (`apply_gate`
+//! in a loop) on the same stage-like gate lists. Also isolates the two
+//! specialized single-pass kernels — a diagonal run folded into one phase
+//! table and an X/SWAP run composed into one index permutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mq_circuit::Gate;
+use mq_num::complex::c64;
+use mq_num::Complex64;
+use mq_statevec::apply::{apply_all, apply_gate};
+
+fn buffer(n: u32) -> Vec<Complex64> {
+    (0..1usize << n)
+        .map(|i| c64((i as f64 * 1e-4).sin(), (i as f64 * 1e-4).cos()))
+        .collect()
+}
+
+/// A stage-like mix: dense 1q/2q gates, diagonals and swaps, all local to
+/// the low 12 qubits (tile-local for the default 2^15-amp tile).
+fn mixed_stage() -> Vec<Gate> {
+    let mut gates = Vec::new();
+    for k in 0..4u32 {
+        gates.push(Gate::H(k));
+        gates.push(Gate::Rz(k + 4, 0.3 + k as f64));
+        gates.push(Gate::Cx(k, k + 4));
+        gates.push(Gate::Cz(k + 1, k + 8));
+        gates.push(Gate::Swap(k, k + 8));
+        gates.push(Gate::T(k + 2));
+    }
+    gates
+}
+
+/// A pure diagonal run — folds into one phase-table pass.
+fn diagonal_run() -> Vec<Gate> {
+    (0..8u32)
+        .flat_map(|k| [Gate::Rz(k, 0.1 * (k + 1) as f64), Gate::Cz(k, (k + 3) % 8)])
+        .collect()
+}
+
+/// A pure X/SWAP run — composes into one index permutation.
+fn permutation_run() -> Vec<Gate> {
+    (0..8u32)
+        .flat_map(|k| [Gate::X(k), Gate::Swap(k, (k + 5) % 12)])
+        .collect()
+}
+
+fn bench_apply_fusion(c: &mut Criterion) {
+    let n = 18u32;
+    let mut state = buffer(n);
+    let amps = state.len() as u64;
+
+    let cases: Vec<(&str, Vec<Gate>)> = vec![
+        ("mixed_stage_24g", mixed_stage()),
+        ("diag_run_16g", diagonal_run()),
+        ("perm_run_16g", permutation_run()),
+    ];
+
+    let mut group = c.benchmark_group("apply_fusion_2^18");
+    group.sample_size(20);
+    for (label, gates) in &cases {
+        group.throughput(Throughput::Elements(amps * gates.len() as u64));
+        group.bench_with_input(BenchmarkId::new("per_gate", label), gates, |b, gates| {
+            b.iter(|| {
+                for g in gates {
+                    apply_gate(&mut state, g, 1);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", label), gates, |b, gates| {
+            b.iter(|| apply_all(&mut state, gates, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_fusion);
+criterion_main!(benches);

@@ -15,6 +15,15 @@ use crate::Circuit;
 /// Multi-qubit gates act as barriers on the qubits they touch. Relative
 /// order of the surviving gates is preserved.
 pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
+    fuse_1q_runs_below(circuit, u32::MAX)
+}
+
+/// [`fuse_1q_runs`] restricted to qubits below `limit`: any gate touching a
+/// qubit `>= limit` passes through unfused, acting as a barrier on the
+/// qubits it touches. The chunked engines fuse each stage with
+/// `limit = chunk_bits`, so fused gates never absorb a cross-chunk pairing
+/// qubit and the stage's `high_qubits` stay valid.
+pub fn fuse_1q_runs_below(circuit: &Circuit, limit: u32) -> Circuit {
     let n = circuit.n_qubits();
     let mut out = Circuit::named(n, format!("{}_fused1q", circuit.name()));
     // Pending accumulated 1q matrix per qubit.
@@ -27,7 +36,12 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
     };
 
     for g in circuit.gates() {
-        if let Some(m) = g.mat2() {
+        if g.qubits().iter().any(|&q| q >= limit) {
+            for q in g.qubits() {
+                flush(&mut out, &mut pending, q);
+            }
+            out.push(g.clone());
+        } else if let Some(m) = g.mat2() {
             let q = g.qubits()[0];
             let acc = match pending[q as usize] {
                 // Later gate multiplies from the left.
@@ -54,6 +68,14 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
 /// through as barriers. The result contains only `U2q`, `U1q` (for
 /// leftovers) and `Mcu` gates.
 pub fn fuse_to_2q(circuit: &Circuit) -> Circuit {
+    fuse_to_2q_below(circuit, u32::MAX)
+}
+
+/// [`fuse_to_2q`] restricted to qubits below `limit`: any gate touching a
+/// qubit `>= limit` passes through unfused, acting as a barrier on the
+/// qubits it touches (like `Mcu`). See [`fuse_1q_runs_below`] for why the
+/// chunked engines need the restriction.
+pub fn fuse_to_2q_below(circuit: &Circuit, limit: u32) -> Circuit {
     let n = circuit.n_qubits();
     let mut out = Circuit::named(n, format!("{}_fused2q", circuit.name()));
     let mut pending_1q: Vec<Option<Mat2>> = vec![None; n as usize];
@@ -73,6 +95,22 @@ pub fn fuse_to_2q(circuit: &Circuit) -> Circuit {
     }
 
     for g in circuit.gates() {
+        if g.qubits().iter().any(|&q| q >= limit) {
+            // Same barrier handling as `Mcu` below: close an overlapping
+            // open block, flush pending 1q on the touched qubits, pass
+            // the gate through unfused.
+            if let Some((a, b, _)) = open {
+                let qs = g.qubits();
+                if qs.contains(&a) || qs.contains(&b) {
+                    close_open(&mut out, &mut open);
+                }
+            }
+            for q in g.qubits() {
+                flush_1q(&mut out, &mut pending_1q, q);
+            }
+            out.push(g.clone());
+            continue;
+        }
         if let Some(m) = g.mat2() {
             let q = g.qubits()[0];
             // Absorb into the open block if it covers q.
@@ -225,6 +263,47 @@ mod tests {
         let c = Circuit::new(3);
         assert!(fuse_1q_runs(&c).is_empty());
         assert!(fuse_to_2q(&c).is_empty());
+    }
+
+    #[test]
+    fn fuse_1q_below_limit_leaves_high_gates_alone() {
+        let mut c = Circuit::new(3);
+        c.h(2).t(2).h(0).t(0);
+        let f = fuse_1q_runs_below(&c, 2);
+        // The qubit-2 run passes through unfused; the qubit-0 run collapses.
+        assert_eq!(f.len(), 3);
+        assert_equivalent(&c, &f, 1e-12);
+    }
+
+    #[test]
+    fn fuse_1q_below_high_gate_is_barrier_on_low_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2).h(0);
+        let f = fuse_1q_runs_below(&c, 2);
+        // CX(0,2) touches qubit 2 >= limit: passes through and splits the
+        // H(0) run, so nothing fuses.
+        assert_eq!(f.len(), 3);
+        assert_equivalent(&c, &f, 1e-12);
+    }
+
+    #[test]
+    fn fuse_2q_below_closes_block_overlapped_by_high_gate() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(2, 0).cx(0, 1);
+        let f = fuse_to_2q_below(&c, 2);
+        // CX(2,0) is a pass-through barrier overlapping the open (0,1)
+        // block, so the two CX(0,1) cannot merge across it.
+        assert_eq!(f.len(), 3);
+        assert_equivalent(&c, &f, 1e-12);
+    }
+
+    #[test]
+    fn fuse_2q_below_zero_limit_is_identity_rewrite() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).cz(1, 0);
+        let f = fuse_to_2q_below(&c, 0);
+        assert_eq!(f.len(), c.len());
+        assert_equivalent(&c, &f, 1e-12);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property tests: gate fusion is unitary-preserving. The chunked engines
+//! rewrite every stage through these passes before touching any amplitudes,
+//! so the bar is strict: on random circuits the fused and unfused unitaries
+//! must agree to ~1e-12 (matrix products only reassociate the arithmetic),
+//! fusion never increases the gate count, and the `_below(limit)` variants
+//! must pass every gate touching a qubit `>= limit` through untouched —
+//! that invariant is what keeps a stage's `high_qubits` valid after fusion.
+
+use mq_circuit::fusion::{fuse_1q_runs, fuse_1q_runs_below, fuse_to_2q, fuse_to_2q_below};
+use mq_circuit::library;
+use mq_circuit::unitary::circuit_unitary;
+use mq_circuit::Circuit;
+use proptest::prelude::*;
+
+/// Largest elementwise |a - b| between the unitaries of two circuits.
+fn max_unitary_err(a: &Circuit, b: &Circuit) -> f64 {
+    let ua = circuit_unitary(a);
+    let ub = circuit_unitary(b);
+    ua.data()
+        .iter()
+        .zip(ub.data())
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+/// Gates touching any qubit `>= limit` — the ones fusion must not absorb.
+fn high_gate_count(c: &Circuit, limit: u32) -> usize {
+    c.gates()
+        .iter()
+        .filter(|g| g.qubits().iter().any(|&q| q >= limit))
+        .count()
+}
+
+fn random_case() -> impl Strategy<Value = Circuit> {
+    (2u32..=5, 0u32..24, any::<u64>())
+        .prop_map(|(n, depth, seed)| library::random_circuit(n, depth, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fusion_preserves_the_circuit_unitary(c in random_case()) {
+        for fused in [fuse_1q_runs(&c), fuse_to_2q(&c)] {
+            let err = max_unitary_err(&c, &fused);
+            prop_assert!(err < 1e-12, "err {err} on {}", c.name());
+            prop_assert!(fused.len() <= c.len());
+        }
+    }
+
+    #[test]
+    fn limited_fusion_preserves_unitary_and_high_gates(
+        c in random_case(),
+        limit in 0u32..=5,
+    ) {
+        for fused in [fuse_1q_runs_below(&c, limit), fuse_to_2q_below(&c, limit)] {
+            let err = max_unitary_err(&c, &fused);
+            prop_assert!(err < 1e-12, "err {err} on {} limit {limit}", c.name());
+            // High gates are barriers: they pass through one-for-one, and
+            // nothing the pass *creates* may reach a qubit >= limit.
+            prop_assert_eq!(high_gate_count(&fused, limit), high_gate_count(&c, limit));
+            prop_assert!(fused.len() <= c.len());
+        }
+    }
+
+    #[test]
+    fn full_limit_matches_unlimited_fusion(c in random_case()) {
+        let n = c.n_qubits();
+        prop_assert_eq!(fuse_1q_runs_below(&c, n).len(), fuse_1q_runs(&c).len());
+        prop_assert_eq!(fuse_to_2q_below(&c, n).len(), fuse_to_2q(&c).len());
+    }
+}
+
+/// The library suite, through the limited passes at every chunk-width-like
+/// cut point — deterministic companion to the random sweep above.
+#[test]
+fn limited_fusion_preserves_library_suite() {
+    for c in library::standard_suite(4) {
+        for limit in 0..=4u32 {
+            for fused in [fuse_1q_runs_below(&c, limit), fuse_to_2q_below(&c, limit)] {
+                let err = max_unitary_err(&c, &fused);
+                assert!(err < 1e-12, "err {err} on {} limit {limit}", c.name());
+                assert_eq!(high_gate_count(&fused, limit), high_gate_count(&c, limit));
+            }
+        }
+    }
+}

@@ -24,6 +24,24 @@ pub enum StoreKind {
     },
 }
 
+/// Plan-level gate fusion applied per stage by
+/// [`build_plan`](crate::engine::cpu::build_plan). Fusion never crosses a
+/// stage barrier, and gates touching qubits at or above the chunk width
+/// pass through unfused so a stage's cross-chunk pairing set stays valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionLevel {
+    /// No fusion; every plan gate is applied as authored.
+    #[default]
+    Off,
+    /// Collapse runs of single-qubit gates into `U1q` gates
+    /// ([`fuse_1q_runs`](mq_circuit::fusion::fuse_1q_runs)).
+    Runs1q,
+    /// Fuse toward two-qubit blocks: absorb 1q gates into adjacent 2q
+    /// gates and merge same-pair 2q gates into `U2q`
+    /// ([`fuse_to_2q`](mq_circuit::fusion::fuse_to_2q)).
+    Blocks2q,
+}
+
 /// Configuration shared by the MEMQSIM engines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemQSimConfig {
@@ -64,6 +82,9 @@ pub struct MemQSimConfig {
     /// Which base storage tier holds the chunks (compressed, dense, or
     /// disk-spill).
     pub store_kind: StoreKind,
+    /// Plan-level per-stage gate fusion (fewer gates, fewer buffer passes
+    /// per chunk visit); `Off` reproduces the unfused per-gate apply path.
+    pub fusion: FusionLevel,
 }
 
 impl Default for MemQSimConfig {
@@ -80,6 +101,7 @@ impl Default for MemQSimConfig {
             cache_bytes: 0,
             cache_policy: CachePolicy::WriteBack,
             store_kind: StoreKind::Compressed,
+            fusion: FusionLevel::Off,
         }
     }
 }
@@ -213,6 +235,12 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// Plan-level per-stage gate fusion level.
+    pub fn fusion(mut self, fusion: FusionLevel) -> Self {
+        self.cfg.fusion = fusion;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -285,6 +313,7 @@ mod tests {
             .store_kind(StoreKind::Spill {
                 resident_budget: 1 << 24,
             })
+            .fusion(FusionLevel::Blocks2q)
             .build()
             .unwrap();
         assert_eq!(
@@ -303,6 +332,7 @@ mod tests {
                 store_kind: StoreKind::Spill {
                     resident_budget: 1 << 24,
                 },
+                fusion: FusionLevel::Blocks2q,
             }
         );
     }

@@ -48,9 +48,10 @@ impl ChunkExecutor for CpuWorkerExecutor {
         work: &StageWork<'_>,
     ) -> Result<(), EngineError> {
         let group_amps = work.stage.group_size() * ctx.chunk_amps();
+        let amp_bytes = std::mem::size_of::<mq_num::Complex64>();
         self.peak_buffer_bytes = self
             .peak_buffer_bytes
-            .max(ctx.cfg.workers.min(work.groups.len()) * group_amps * 16);
+            .max(ctx.cfg.workers.min(work.groups.len()) * group_amps * amp_bytes);
         self.groups += work.groups.len();
         process_groups_on_cpu(ctx, work, &work.groups, &self.counters)
     }

@@ -19,7 +19,7 @@
 //! [`RunReport`] assembly for free, which is the seam heterogeneous
 //! scheduling (routing stages per-executor) will plug into.
 
-use crate::config::MemQSimConfig;
+use crate::config::{FusionLevel, MemQSimConfig};
 use crate::engine::report::RunReport;
 use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
@@ -30,7 +30,7 @@ use mq_circuit::Circuit;
 use mq_device::StreamStats;
 use mq_num::parallel::par_for;
 use mq_num::Complex64;
-use mq_telemetry::{Role, Telemetry};
+use mq_telemetry::{Counter, Role, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -114,8 +114,19 @@ pub trait ChunkExecutor {
 }
 
 /// Builds the plan for `circuit` under `cfg` at the given granularity,
-/// optionally running the commutation-aware reorder pass first.
+/// optionally running the commutation-aware reorder pass first and the
+/// per-stage fusion pass (`cfg.fusion`) last.
 pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granularity) -> Plan {
+    build_plan_counted(circuit, cfg, granularity).0
+}
+
+/// [`build_plan`] that also reports how many gates per-stage fusion
+/// eliminated (0 when `cfg.fusion` is [`FusionLevel::Off`]).
+pub(crate) fn build_plan_counted(
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    granularity: Granularity,
+) -> (Plan, usize) {
     let chunk_bits = cfg.effective_chunk_bits(circuit.n_qubits());
     let reordered;
     let circuit = if cfg.reorder {
@@ -124,7 +135,7 @@ pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granulari
     } else {
         circuit
     };
-    match granularity {
+    let mut plan = match granularity {
         Granularity::Staged => partition(
             circuit,
             &PartitionConfig {
@@ -133,7 +144,35 @@ pub fn build_plan(circuit: &Circuit, cfg: &MemQSimConfig, granularity: Granulari
             },
         ),
         Granularity::PerGate => partition_per_gate(circuit, chunk_bits),
+    };
+    let gates_fused = fuse_plan_stages(&mut plan, cfg.fusion, circuit.n_qubits());
+    (plan, gates_fused)
+}
+
+/// Fuses each stage's gate list in place, never crossing a stage barrier.
+/// Gates touching qubits at or above `chunk_bits` (the stage's cross-chunk
+/// pairing set lives there) pass through unfused, so the stage's
+/// `high_qubits` and the specializer's index mapping stay valid. Returns
+/// the number of gates eliminated.
+fn fuse_plan_stages(plan: &mut Plan, level: FusionLevel, n_qubits: u32) -> usize {
+    if level == FusionLevel::Off {
+        return 0;
     }
+    let mut fused_away = 0usize;
+    for stage in &mut plan.stages {
+        let mut staged = Circuit::new(n_qubits);
+        for g in &stage.gates {
+            staged.push(g.clone());
+        }
+        let fused = match level {
+            FusionLevel::Runs1q => mq_circuit::fusion::fuse_1q_runs_below(&staged, plan.chunk_bits),
+            FusionLevel::Blocks2q => mq_circuit::fusion::fuse_to_2q_below(&staged, plan.chunk_bits),
+            FusionLevel::Off => unreachable!(),
+        };
+        fused_away += stage.gates.len().saturating_sub(fused.len());
+        stage.gates = fused.gates().to_vec();
+    }
+    fused_away
 }
 
 /// Runs `circuit` against `store`, streaming every stage's chunk groups
@@ -175,7 +214,10 @@ pub fn run_with_executor(
     // ordering groups residency-first.
     let cache_enabled = cfg.cache_bytes > 0;
 
-    let plan = build_plan(circuit, cfg, granularity);
+    let (plan, gates_fused) = build_plan_counted(circuit, cfg, granularity);
+    if gates_fused > 0 {
+        telemetry.add(Counter::GatesFused, gates_fused as u64);
+    }
     let ctx = ExecContext {
         store,
         plan: &plan,
@@ -193,12 +235,22 @@ pub fn run_with_executor(
                 if cache_enabled {
                     // Visit groups with the most cache-resident members
                     // first so a stage harvests its hits before misses
-                    // evict them.
-                    let resident: std::collections::HashSet<usize> =
-                        store.resident_chunks().into_iter().collect();
-                    groups.sort_by_cached_key(|g| {
-                        std::cmp::Reverse(g.iter().filter(|c| resident.contains(c)).count())
-                    });
+                    // evict them. An empty cache (first stage, tiny budget)
+                    // skips the set build; an all-zero count vector skips
+                    // the sort.
+                    let resident = store.resident_chunks();
+                    if !resident.is_empty() {
+                        let resident: std::collections::HashSet<usize> =
+                            resident.into_iter().collect();
+                        let mut counted: Vec<(usize, Vec<usize>)> = groups
+                            .into_iter()
+                            .map(|g| (g.iter().filter(|c| resident.contains(c)).count(), g))
+                            .collect();
+                        if counted.iter().any(|(n, _)| *n > 0) {
+                            counted.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+                        }
+                        groups = counted.into_iter().map(|(_, g)| g).collect();
+                    }
                 }
                 chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
                 let work = StageWork {
@@ -245,6 +297,8 @@ pub fn run_with_executor(
         chunk_visits,
         gates_applied: stats.gates_applied,
         scalars_applied: stats.scalars_applied,
+        gates_fused: record.counter(Counter::GatesFused) as usize,
+        apply_passes_saved: record.counter(Counter::ApplyPassesSaved) as usize,
         groups_device: stats.groups_device,
         groups_cpu: stats.groups_cpu,
         peak_compressed_bytes: store.peak_state_bytes(),
@@ -306,19 +360,49 @@ pub(crate) fn process_groups_on_cpu(
             high: &work.stage.high_qubits,
             base_chunk: group[0],
         };
-        for gate in &work.stage.gates {
-            match specialize(gate, &gctx) {
-                Specialized::Skip => {}
-                Specialized::Scalar(s) => {
-                    for z in buffer.iter_mut() {
-                        *z *= s;
+        if ctx.cfg.fusion == FusionLevel::Off {
+            // Unfused baseline: one full buffer pass per gate, exactly as
+            // authored.
+            for gate in &work.stage.gates {
+                match specialize(gate, &gctx) {
+                    Specialized::Skip => {}
+                    Specialized::Scalar(s) => {
+                        for z in buffer.iter_mut() {
+                            *z *= s;
+                        }
+                        counters.scalars.fetch_add(1, Ordering::Relaxed);
                     }
-                    counters.scalars.fetch_add(1, Ordering::Relaxed);
+                    Specialized::Apply(g) => {
+                        mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
+                        counters.gates.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                Specialized::Apply(g) => {
-                    mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
-                    counters.gates.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            // Fused path: specialize the whole stage first (scalars fold
+            // into one factor), then run the cache-blocked sweep.
+            let mut gates = Vec::with_capacity(work.stage.gates.len());
+            let mut scalar = Complex64::ONE;
+            for gate in &work.stage.gates {
+                match specialize(gate, &gctx) {
+                    Specialized::Skip => {}
+                    Specialized::Scalar(s) => {
+                        scalar *= s;
+                        counters.scalars.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Specialized::Apply(g) => gates.push(g),
                 }
+            }
+            if scalar != Complex64::ONE {
+                for z in buffer.iter_mut() {
+                    *z *= scalar;
+                }
+            }
+            let stats = mq_statevec::apply::apply_all(&mut buffer, &gates, 1);
+            counters.gates.fetch_add(stats.gates, Ordering::Relaxed);
+            if stats.passes_saved() > 0 {
+                ctx.telemetry
+                    .add(Counter::ApplyPassesSaved, stats.passes_saved() as u64);
             }
         }
         drop(apply_span);

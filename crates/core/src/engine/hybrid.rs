@@ -21,7 +21,7 @@
 //! flush, report) lives in [`exec::run_with_executor`](super::exec); this
 //! module contributes only the [`DevicePipelineExecutor`] compute path.
 
-use crate::config::MemQSimConfig;
+use crate::config::{FusionLevel, MemQSimConfig};
 use crate::engine::exec::{
     process_groups_on_cpu, run_with_executor, ApplyCounters, ChunkExecutor, ExecContext,
     ExecutorStats, StageWork,
@@ -167,9 +167,10 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
         // both halves of the stage stay within the stage barrier.
         if !cpu_groups.is_empty() {
             let group_amps = work.stage.group_size() * chunk_amps;
+            let amp_bytes = std::mem::size_of::<Complex64>();
             self.peak_buffer_bytes = self
                 .peak_buffer_bytes
-                .max(ctx.cfg.workers.min(cpu_groups.len()) * group_amps * 16);
+                .max(ctx.cfg.workers.min(cpu_groups.len()) * group_amps * amp_bytes);
             process_groups_on_cpu(ctx, work, cpu_groups, &self.counters)?;
             self.groups_cpu += cpu_groups.len();
         }
@@ -190,6 +191,9 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
         let si = work.index;
         let stage = work.stage;
         let chunk_bits = ctx.plan.chunk_bits;
+        // With fusion on, a group's whole gate list becomes one batched
+        // kernel command (single modeled launch, blocked apply body).
+        let fuse_kernels = ctx.cfg.fusion != FusionLevel::Off;
 
         let stage_groups_device = AtomicUsize::new(0);
         let error: Mutex<Option<EngineError>> = Mutex::new(None);
@@ -228,8 +232,16 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
                                     copy_stream.h2d(pb, 0, db, 0, work.amps);
                                     let uploaded = copy_stream.record_event();
                                     compute.wait_event(&uploaded);
-                                    for g in &work.gates {
-                                        compute.run_gate_region(db, work.amps, g.clone());
+                                    if fuse_kernels {
+                                        compute.run_fused_gates_region(
+                                            db,
+                                            work.amps,
+                                            work.gates.clone(),
+                                        );
+                                    } else {
+                                        for g in &work.gates {
+                                            compute.run_gate_region(db, work.amps, g.clone());
+                                        }
                                     }
                                     let kernels_done = compute.record_event();
                                     down.wait_event(&kernels_done);
@@ -238,10 +250,20 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
                                 }
                                 None => {
                                     copy_stream.h2d(pb, 0, db, 0, work.amps);
-                                    for g in &work.gates {
-                                        // The kernel operates on the leading
+                                    if fuse_kernels {
+                                        // One batched kernel over the leading
                                         // `amps` region of the slot buffer.
-                                        copy_stream.run_gate_region(db, work.amps, g.clone());
+                                        copy_stream.run_fused_gates_region(
+                                            db,
+                                            work.amps,
+                                            work.gates.clone(),
+                                        );
+                                    } else {
+                                        for g in &work.gates {
+                                            // The kernel operates on the leading
+                                            // `amps` region of the slot buffer.
+                                            copy_stream.run_gate_region(db, work.amps, g.clone());
+                                        }
                                     }
                                     copy_stream.d2h(db, 0, pb, 0, work.amps);
                                     copy_stream.record_event()
@@ -426,7 +448,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
             self.device.detach_telemetry();
             self.telemetry_attached = false;
         }
-        let staging_bytes = self.slots * self.max_group_amps * 16;
+        let staging_bytes = self.slots * self.max_group_amps * std::mem::size_of::<Complex64>();
         Ok(ExecutorStats {
             gates_applied: *self.counters.gates.get_mut(),
             scalars_applied: *self.counters.scalars.get_mut(),

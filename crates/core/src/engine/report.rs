@@ -40,6 +40,11 @@ pub struct RunReport {
     pub gates_applied: usize,
     /// Whole-buffer scalar multiplications applied.
     pub scalars_applied: usize,
+    /// Gates eliminated by plan-level fusion (0 with `FusionLevel::Off`).
+    pub gates_fused: usize,
+    /// Amplitude-buffer passes avoided by the blocked apply driver,
+    /// summed over every chunk visit (0 with `FusionLevel::Off`).
+    pub apply_passes_saved: usize,
     /// Chunk groups routed through the device (0 for CPU executors).
     pub groups_device: usize,
     /// Chunk groups handled by CPU workers.

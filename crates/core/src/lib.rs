@@ -55,7 +55,7 @@ mod testkit;
 pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
-pub use config::{MemQSimConfig, MemQSimConfigBuilder, StoreKind};
+pub use config::{FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind};
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
     RunReport, StageWork,

@@ -252,6 +252,11 @@ enum Command {
         amps: usize,
         gate: Gate,
     },
+    RunFusedGates {
+        buf: DeviceBuffer,
+        amps: usize,
+        gates: Vec<Gate>,
+    },
     RecordEvent(Event),
     WaitEvent(Event),
     Sync(Sender<Result<StreamStats, DeviceError>>),
@@ -408,6 +413,18 @@ impl Stream {
     /// is larger than the live group staged in it.
     pub fn run_gate_region(&self, buf: DeviceBuffer, amps: usize, gate: Gate) {
         self.send(Command::RunGate { buf, amps, gate });
+    }
+
+    /// Enqueues one *fused* kernel applying `gates` in order over the
+    /// leading `amps` amplitudes of the buffer: a single launch (one launch
+    /// overhead charged, one `kernel_launches` tick) whose body runs the
+    /// cache-blocked [`apply_all`](mq_statevec::apply::apply_all) sweep.
+    /// Amplitude work is still charged per gate. No-op for an empty list.
+    pub fn run_fused_gates_region(&self, buf: DeviceBuffer, amps: usize, gates: Vec<Gate>) {
+        if gates.is_empty() {
+            return;
+        }
+        self.send(Command::RunFusedGates { buf, amps, gates });
     }
 
     /// Enqueues an event; it signals when all prior commands have executed.
@@ -646,6 +663,22 @@ fn execute(
             }
             Ok(())
         }
+        Command::RunFusedGates { buf, amps, gates } => {
+            assert!(amps.is_power_of_two(), "kernel region must be 2^m amps");
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(buf, 0, amps)?;
+            let applied = mq_statevec::apply::apply_all(&mut arena.storage[range], &gates, 1);
+            let t = spec.fused_kernel_time(amps, gates.len());
+            stats.modeled += t;
+            stats.modeled_kernel += t;
+            if let Some(tele) = device.telemetry.read().as_ref() {
+                tele.add(Counter::KernelLaunches, 1);
+                if applied.passes_saved() > 0 {
+                    tele.add(Counter::ApplyPassesSaved, applied.passes_saved() as u64);
+                }
+            }
+            Ok(())
+        }
         Command::Sync(_) | Command::RecordEvent(_) | Command::WaitEvent(_) | Command::Shutdown => {
             unreachable!()
         }
@@ -725,6 +758,52 @@ mod tests {
         assert!(v[0].approx_eq(c64(r, 0.0), 1e-12));
         assert!(v[7].approx_eq(c64(r, 0.0), 1e-12));
         assert!(stats.modeled_kernel > Duration::ZERO);
+    }
+
+    #[test]
+    fn fused_gates_match_per_gate_and_charge_one_launch() {
+        let run = |fused: bool| {
+            let dev = tiny_device(1024);
+            let stream = dev.create_stream();
+            let buf = dev.alloc(8).unwrap();
+            let mut init = vec![Complex64::ZERO; 8];
+            init[0] = Complex64::ONE;
+            let src = PinnedBuffer::from_slice(&init);
+            stream.h2d(&src, 0, buf, 0, 8);
+            let gates = vec![Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)];
+            if fused {
+                stream.run_fused_gates_region(buf, 8, gates);
+            } else {
+                for g in gates {
+                    stream.run_gate(buf, g);
+                }
+            }
+            let out = PinnedBuffer::new(8);
+            stream.d2h(buf, 0, &out, 0, 8);
+            (stream.synchronize().unwrap(), out.to_vec())
+        };
+        let (per_gate, want) = run(false);
+        let (fused, got) = run(true);
+        for (a, b) in want.iter().zip(&got) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        // One batched command replaces three, saving two launch overheads
+        // on the modeled clock while the amplitude work stays identical.
+        assert_eq!(per_gate.commands, fused.commands + 2);
+        let saved = (per_gate.modeled_kernel - fused.modeled_kernel).as_secs_f64();
+        let want = 2.0 * DeviceSpec::pcie_gen3().kernel_launch_overhead;
+        // Whole-nanosecond rounding per command.
+        assert!((saved - want).abs() < 1e-8, "saved {saved} want {want}");
+    }
+
+    #[test]
+    fn empty_fused_gate_list_is_a_no_op() {
+        let dev = tiny_device(64);
+        let stream = dev.create_stream();
+        let buf = dev.alloc(8).unwrap();
+        stream.run_fused_gates_region(buf, 8, Vec::new());
+        let stats = stream.synchronize().unwrap();
+        assert_eq!(stats.commands, 0);
     }
 
     #[test]

@@ -305,6 +305,351 @@ pub fn apply_gate(state: &mut [Complex64], gate: &Gate, workers: usize) {
     }
 }
 
+/// Default tile width for [`apply_all`]: 2^15 amplitudes = 512 KiB of
+/// `Complex64` — sized so one tile plus scratch stays L2-resident.
+pub const DEFAULT_TILE_AMPS: usize = 1 << 15;
+
+/// Maximum distinct qubits a fused diagonal run may span; bounds the
+/// phase-table size at `2^DIAG_MAX_BITS` entries (16 KiB).
+const DIAG_MAX_BITS: usize = 10;
+
+/// Accounting from one [`apply_all`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyAllStats {
+    /// Gates applied.
+    pub gates: usize,
+    /// Full passes over the amplitude buffer actually made (one per
+    /// tiled super-run plus one per global-fallback gate).
+    pub passes: usize,
+}
+
+impl ApplyAllStats {
+    /// Buffer passes avoided relative to the one-pass-per-gate baseline.
+    pub fn passes_saved(&self) -> usize {
+        self.gates.saturating_sub(self.passes)
+    }
+}
+
+/// One fusable slice of the gate list, classified by how it touches a tile.
+enum Seg {
+    /// Consecutive diagonal gates folded into one phase table over their
+    /// union support (any qubit height — diagonals are elementwise). The
+    /// table is filled once per segment before the tiled sweep.
+    Diag {
+        gates: Vec<Gate>,
+        support: Vec<u32>,
+        table: Vec<Complex64>,
+    },
+    /// Consecutive X/SWAP gates with all qubits inside the tile, composed
+    /// into one index permutation `i -> pi(i) ^ xor_mask`.
+    Perm {
+        source_of: Vec<u32>,
+        xor_mask: usize,
+        gates: usize,
+    },
+    /// Other gates whose qubits all fit inside the tile; applied in order
+    /// tile-by-tile.
+    Local(Vec<Gate>),
+    /// A gate pairing amplitudes across tiles; falls back to the global
+    /// per-gate kernel.
+    Global(Gate),
+}
+
+/// Sorted union of `support` and the gate's qubits.
+fn merged_support(support: &[u32], gate: &Gate) -> Vec<u32> {
+    let mut s = support.to_vec();
+    for q in gate.qubits() {
+        if let Err(pos) = s.binary_search(&q) {
+            s.insert(pos, q);
+        }
+    }
+    s
+}
+
+/// Diagonal factor a gate contributes at (global) amplitude index `idx`.
+fn diag_factor(gate: &Gate, idx: usize) -> Complex64 {
+    if let Gate::Mcu {
+        controls,
+        target,
+        u,
+    } = gate
+    {
+        if controls.iter().all(|&c| idx >> c & 1 == 1) {
+            return if idx >> target & 1 == 1 {
+                u.0[3]
+            } else {
+                u.0[0]
+            };
+        }
+        return Complex64::ONE;
+    }
+    if let Some(m) = gate.mat2() {
+        let q = gate.qubits()[0];
+        return if idx >> q & 1 == 1 { m.0[3] } else { m.0[0] };
+    }
+    let m = gate.mat4().expect("diagonal gate has mat2, mat4 or is Mcu");
+    let qs = gate.qubits();
+    let k = ((idx >> qs[1] & 1) << 1) | (idx >> qs[0] & 1);
+    m.0[k * 4 + k]
+}
+
+/// Splits the gate list into fusable segments for a tile of `2^tile_bits`
+/// amplitudes.
+fn segment_gates(gates: &[Gate], tile_bits: u32) -> Vec<Seg> {
+    let mut segs: Vec<Seg> = Vec::new();
+    for g in gates {
+        let tile_local = g.max_qubit() < tile_bits;
+        if g.is_diagonal() {
+            if let Some(Seg::Diag { gates, support, .. }) = segs.last_mut() {
+                let merged = merged_support(support, g);
+                if merged.len() <= DIAG_MAX_BITS {
+                    *support = merged;
+                    gates.push(g.clone());
+                    continue;
+                }
+            }
+            segs.push(Seg::Diag {
+                support: merged_support(&[], g),
+                gates: vec![g.clone()],
+                table: Vec::new(),
+            });
+        } else if tile_local && matches!(g, Gate::X(_) | Gate::Swap(_, _)) {
+            if !matches!(segs.last(), Some(Seg::Perm { .. })) {
+                segs.push(Seg::Perm {
+                    source_of: (0..tile_bits).collect(),
+                    xor_mask: 0,
+                    gates: 0,
+                });
+            }
+            let Some(Seg::Perm {
+                source_of,
+                xor_mask,
+                gates,
+            }) = segs.last_mut()
+            else {
+                unreachable!()
+            };
+            // The composite map is `i -> pi(i) ^ mask` with `pi` defined by
+            // `source_of` (bit b of `pi(i)` is bit `source_of[b]` of `i`).
+            // Appending gate sigma updates the map to `i -> prev(sigma(i))`.
+            match g {
+                Gate::X(q) => {
+                    // pi(i ^ x) = pi(i) ^ pi(x): fold pi(x) into the mask.
+                    for (b, &src) in source_of.iter().enumerate() {
+                        if src == *q {
+                            *xor_mask ^= 1usize << b;
+                        }
+                    }
+                }
+                Gate::Swap(a, b) => {
+                    for src in source_of.iter_mut() {
+                        if *src == *a {
+                            *src = *b;
+                        } else if *src == *b {
+                            *src = *a;
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            *gates += 1;
+        } else if tile_local {
+            if let Some(Seg::Local(gates)) = segs.last_mut() {
+                gates.push(g.clone());
+            } else {
+                segs.push(Seg::Local(vec![g.clone()]));
+            }
+        } else {
+            segs.push(Seg::Global(g.clone()));
+        }
+    }
+    for seg in &mut segs {
+        if let Seg::Diag {
+            gates,
+            support,
+            table,
+        } = seg
+        {
+            *table = diag_table(gates, support);
+        }
+    }
+    segs
+}
+
+/// Builds the phase table for a diagonal run: entry `c` is the product of
+/// every gate's factor at the index formed by scattering `c`'s bits onto
+/// the support qubits.
+fn diag_table(gates: &[Gate], support: &[u32]) -> Vec<Complex64> {
+    let mut table = vec![Complex64::ONE; 1 << support.len()];
+    for (c, slot) in table.iter_mut().enumerate() {
+        let mut idx = 0usize;
+        for (j, &q) in support.iter().enumerate() {
+            idx |= (c >> j & 1) << q;
+        }
+        for g in gates {
+            *slot *= diag_factor(g, idx);
+        }
+    }
+    table
+}
+
+/// Runs `f(tile_base, tile, scratch)` over aligned `tile`-sized pieces of
+/// `state`, splitting whole tiles across up to `workers` scoped threads —
+/// the one thread scope a fused super-run pays per stage. `scratch` is a
+/// per-worker buffer of `tile` amplitudes, allocated only when requested.
+fn par_tiles<F>(state: &mut [Complex64], tile: usize, workers: usize, scratch: bool, f: F)
+where
+    F: Fn(usize, &mut [Complex64], &mut [Complex64]) + Sync,
+{
+    debug_assert_eq!(state.len() % tile, 0);
+    let ntiles = state.len() / tile;
+    let workers = workers.max(1).min(ntiles);
+    let scratch_len = if scratch { tile } else { 0 };
+    if workers == 1 || state.len() < PAR_THRESHOLD {
+        let mut scratch = vec![Complex64::ZERO; scratch_len];
+        for (t, chunk) in state.chunks_exact_mut(tile).enumerate() {
+            f(t * tile, chunk, &mut scratch);
+        }
+        return;
+    }
+    let per = ntiles.div_ceil(workers) * tile;
+    crossbeam::thread::scope(|s| {
+        let mut rest = state;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            s.spawn(move |_| {
+                let mut scratch = vec![Complex64::ZERO; scratch_len];
+                for (t, chunk) in head.chunks_exact_mut(tile).enumerate() {
+                    fref(base + t * tile, chunk, &mut scratch);
+                }
+            });
+            base += take;
+            rest = tail;
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+/// Applies one segment to one tile (`base` = the tile's first global
+/// amplitude index).
+fn apply_seg_to_tile(seg: &Seg, base: usize, tile: &mut [Complex64], scratch: &mut [Complex64]) {
+    match seg {
+        Seg::Diag { support, table, .. } => {
+            for (k, amp) in tile.iter_mut().enumerate() {
+                let idx = base + k;
+                let mut c = 0usize;
+                for (j, &q) in support.iter().enumerate() {
+                    c |= (idx >> q & 1) << j;
+                }
+                *amp *= table[c];
+            }
+        }
+        Seg::Perm {
+            source_of,
+            xor_mask,
+            ..
+        } => {
+            let identity = source_of.iter().enumerate().all(|(b, &s)| s == b as u32);
+            if identity {
+                // Pure X run: pair-swap in place, no scratch traffic.
+                if *xor_mask != 0 {
+                    for i in 0..tile.len() {
+                        let j = i ^ *xor_mask;
+                        if i < j {
+                            tile.swap(i, j);
+                        }
+                    }
+                }
+            } else {
+                for (i, slot) in scratch.iter_mut().enumerate() {
+                    let mut src = 0usize;
+                    for (b, &s) in source_of.iter().enumerate() {
+                        src |= (i >> s & 1) << b;
+                    }
+                    *slot = tile[src ^ *xor_mask];
+                }
+                tile.copy_from_slice(scratch);
+            }
+        }
+        Seg::Local(gates) => {
+            for g in gates {
+                apply_gate(tile, g, 1);
+            }
+        }
+        Seg::Global(_) => unreachable!("global segments never reach a tile"),
+    }
+}
+
+/// Applies every gate of a stage in order with cache blocking: the buffer
+/// is tiled into L2-sized blocks and each maximal run of tile-compatible
+/// segments (diagonal runs, X/SWAP permutations, tile-local gates) is
+/// applied tile-by-tile in **one** parallel sweep, so the run costs one
+/// pass over the amplitudes instead of one per gate. Gates pairing
+/// amplitudes across tiles fall back to the global per-gate kernels.
+pub fn apply_all(state: &mut [Complex64], gates: &[Gate], workers: usize) -> ApplyAllStats {
+    apply_all_tiled(state, gates, workers, DEFAULT_TILE_AMPS)
+}
+
+/// [`apply_all`] with an explicit tile width (clamped to the buffer).
+pub fn apply_all_tiled(
+    state: &mut [Complex64],
+    gates: &[Gate],
+    workers: usize,
+    tile_amps: usize,
+) -> ApplyAllStats {
+    let mut stats = ApplyAllStats {
+        gates: gates.len(),
+        passes: 0,
+    };
+    if gates.is_empty() || state.is_empty() {
+        return stats;
+    }
+    let tile = tile_amps.max(1).next_power_of_two().min(state.len());
+    let tile_bits = tile.trailing_zeros();
+    let segs = segment_gates(gates, tile_bits);
+
+    // Group maximal runs of tile-compatible segments into super-runs: one
+    // thread scope and one buffer pass each.
+    let mut i = 0;
+    while i < segs.len() {
+        match &segs[i] {
+            Seg::Global(g) => {
+                apply_gate(state, g, workers);
+                stats.passes += 1;
+                i += 1;
+            }
+            _ => {
+                let mut j = i;
+                while j < segs.len() && !matches!(segs[j], Seg::Global(_)) {
+                    j += 1;
+                }
+                let run = &segs[i..j];
+                let needs_scratch = run.iter().any(|s| {
+                    matches!(s, Seg::Perm { source_of, .. }
+                        if source_of.iter().enumerate().any(|(b, &q)| q != b as u32))
+                });
+                par_tiles(
+                    state,
+                    tile,
+                    workers,
+                    needs_scratch,
+                    |base, tile, scratch| {
+                        for seg in run {
+                            apply_seg_to_tile(seg, base, tile, scratch);
+                        }
+                    },
+                );
+                stats.passes += 1;
+                i = j;
+            }
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +776,128 @@ mod tests {
                 c.name()
             );
         }
+    }
+
+    fn random_state(n: u32, seed: u64) -> Vec<Complex64> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1usize << n)
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    /// apply_all must match the sequential per-gate reference for any gate
+    /// list, tile width and worker count.
+    fn check_apply_all(n: u32, gates: &[Gate], tile_amps: usize, workers: usize) {
+        let mut blocked = random_state(n, 7);
+        let mut reference = blocked.clone();
+        let stats = apply_all_tiled(&mut blocked, gates, workers, tile_amps);
+        for g in gates {
+            apply_gate(&mut reference, g, 1);
+        }
+        assert!(
+            max_amp_err(&blocked, &reference) < 1e-12,
+            "blocked apply diverged (tile={tile_amps}, workers={workers})"
+        );
+        assert_eq!(stats.gates, gates.len());
+        assert!(stats.passes <= gates.len().max(1));
+    }
+
+    #[test]
+    fn apply_all_matches_per_gate_reference() {
+        let gates = vec![
+            Gate::H(0),
+            Gate::T(0),
+            Gate::Cp(1, 2, 0.3),
+            Gate::Rz(5, 0.9), // diagonal above small tiles
+            Gate::X(1),
+            Gate::Swap(0, 2),
+            Gate::X(0),
+            Gate::Cx(3, 1),
+            Gate::H(5), // above 2^4 tiles: global fallback
+            Gate::Rzz(0, 5, 0.4),
+            Gate::ccx(0, 1, 2),
+        ];
+        for tile in [2usize, 16, 64, 1 << 15] {
+            for workers in [1usize, 3] {
+                check_apply_all(6, &gates, tile, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_all_matches_on_library_circuits() {
+        for c in library::standard_suite(6) {
+            for tile in [8usize, 64, 1 << 15] {
+                check_apply_all(6, c.gates(), tile, 2);
+            }
+        }
+        let c = library::random_circuit(7, 12, 9);
+        for tile in [16usize, 128] {
+            check_apply_all(7, c.gates(), tile, 3);
+        }
+    }
+
+    #[test]
+    fn apply_all_permutation_runs_compose() {
+        // Long X/SWAP-only runs exercise both the xor fast path and the
+        // scratch bit-permutation path.
+        let xs = vec![Gate::X(0), Gate::X(3), Gate::X(0), Gate::X(1)];
+        check_apply_all(5, &xs, 8, 1);
+        let mixed = vec![
+            Gate::Swap(0, 2),
+            Gate::X(1),
+            Gate::Swap(1, 3),
+            Gate::X(3),
+            Gate::Swap(0, 1),
+        ];
+        for tile in [16usize, 32] {
+            check_apply_all(5, &mixed, tile, 2);
+        }
+    }
+
+    #[test]
+    fn apply_all_counts_passes_saved() {
+        // Five tile-local gates fuse into one sweep: 1 pass, 4 saved.
+        let gates = vec![
+            Gate::H(0),
+            Gate::T(1),
+            Gate::Cz(0, 1),
+            Gate::X(2),
+            Gate::H(1),
+        ];
+        let mut s = random_state(4, 3);
+        let stats = apply_all(&mut s, &gates, 1);
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.passes_saved(), 4);
+
+        // A cross-tile gate splits the sweep and costs its own pass.
+        let gates = vec![Gate::H(0), Gate::H(3), Gate::T(0)];
+        let mut s = random_state(4, 3);
+        let stats = apply_all_tiled(&mut s, &gates, 1, 4);
+        assert_eq!(stats.passes, 3, "H(3) pairs across 2^2 tiles");
+        assert_eq!(stats.passes_saved(), 0);
+
+        // Diagonal gates above the tile width still fuse (elementwise).
+        let gates = vec![Gate::Rz(3, 0.2), Gate::Cp(0, 3, 0.5), Gate::T(1)];
+        let mut s = random_state(4, 3);
+        let stats = apply_all_tiled(&mut s, &gates, 1, 4);
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.passes_saved(), 2);
+    }
+
+    #[test]
+    fn apply_all_empty_and_degenerate() {
+        let mut s = random_state(3, 1);
+        let before = s.clone();
+        let stats = apply_all(&mut s, &[], 2);
+        assert_eq!(stats, ApplyAllStats::default());
+        assert!(max_amp_err(&s, &before) < 1e-15);
+        // Single-amplitude buffer (0 local qubits): only scalars possible,
+        // and an empty gate list must be a no-op.
+        let mut one = vec![Complex64::ONE];
+        assert_eq!(apply_all(&mut one, &[], 1).passes, 0);
     }
 
     #[test]

@@ -105,11 +105,17 @@ pub enum Counter {
     SpillBytesWritten,
     /// Compressed chunk bytes read back from spill files on disk.
     SpillBytesRead,
+    /// Gates eliminated by plan-level fusion (original minus fused gate
+    /// count, summed over stages).
+    GatesFused,
+    /// Full amplitude-buffer passes avoided by the blocked apply driver
+    /// (gates applied minus memory sweeps actually made).
+    ApplyPassesSaved,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 15] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -123,6 +129,8 @@ impl Counter {
         Counter::Evictions,
         Counter::SpillBytesWritten,
         Counter::SpillBytesRead,
+        Counter::GatesFused,
+        Counter::ApplyPassesSaved,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -141,6 +149,8 @@ impl Counter {
             Counter::Evictions => "evictions",
             Counter::SpillBytesWritten => "spill_bytes_written",
             Counter::SpillBytesRead => "spill_bytes_read",
+            Counter::GatesFused => "gates_fused",
+            Counter::ApplyPassesSaved => "apply_passes_saved",
         }
     }
 
@@ -159,6 +169,8 @@ impl Counter {
             Counter::Evictions => 10,
             Counter::SpillBytesWritten => 11,
             Counter::SpillBytesRead => 12,
+            Counter::GatesFused => 13,
+            Counter::ApplyPassesSaved => 14,
         }
     }
 }

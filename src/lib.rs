@@ -36,8 +36,8 @@ pub use mq_telemetry as telemetry;
 // works without knowing which member crate owns what.
 pub use memqsim_core::{
     Backend, BackendRun, CachePolicy, ChunkExecutor, ChunkStore, CompressedCpuBackend,
-    DenseCpuBackend, EngineError, HybridBackend, MemQSim, MemQSimConfig, MemQSimConfigBuilder,
-    RunReport, RunTelemetry, StoreCounters, StoreKind,
+    DenseCpuBackend, EngineError, FusionLevel, HybridBackend, MemQSim, MemQSimConfig,
+    MemQSimConfigBuilder, RunReport, RunTelemetry, StoreCounters, StoreKind,
 };
 pub use mq_compress::CodecSpec;
 pub use mq_device::DeviceSpec;

@@ -1,0 +1,123 @@
+//! Fusion parity: enabling plan-level fusion and the blocked apply driver
+//! must never change *what* is computed — only how many passes over the
+//! amplitudes it takes. Every fusion level is run against `FusionLevel::Off`
+//! on a lossless codec, so the final states must agree to float-product
+//! reassociation error (~1e-12), while the fused runs' reports show the
+//! passes actually saved.
+
+use memqsim_core::engine::{cpu, hybrid, Granularity, RunReport};
+use memqsim_core::{build_store, ChunkStore, FusionLevel, MemQSimConfig};
+use memqsim_suite::{
+    circuit::library, circuit::Circuit, num::metrics::max_amp_err, CodecSpec, DeviceSpec,
+};
+
+fn cfg(fusion: FusionLevel) -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits: 3,
+        max_high_qubits: 2,
+        codec: CodecSpec::Fpc,
+        workers: 1,
+        fusion,
+        ..Default::default()
+    }
+}
+
+fn run_cpu(
+    circuit: &Circuit,
+    config: &MemQSimConfig,
+    granularity: Granularity,
+) -> (RunReport, Vec<memqsim_suite::num::Complex64>) {
+    let store = build_store(circuit.n_qubits(), config).expect("store construction failed");
+    let report = cpu::run(&store, circuit, config, granularity).unwrap();
+    (report, store.to_dense().unwrap())
+}
+
+/// Amplitude-buffer passes per the run's own accounting: with `Off`, every
+/// applied gate and scalar is one pass over a group buffer; the blocked
+/// driver's savings are reported in `apply_passes_saved`.
+fn buffer_passes(r: &RunReport) -> usize {
+    r.gates_applied + r.scalars_applied - r.apply_passes_saved
+}
+
+#[test]
+fn fused_levels_match_off_across_suite_and_granularities() {
+    let mut any_fused = false;
+    let mut any_saved = false;
+    for circuit in library::standard_suite(7) {
+        for granularity in [Granularity::Staged, Granularity::PerGate] {
+            let (off, want) = run_cpu(&circuit, &cfg(FusionLevel::Off), granularity);
+            assert_eq!(off.gates_fused, 0);
+            assert_eq!(off.apply_passes_saved, 0);
+            for level in [FusionLevel::Runs1q, FusionLevel::Blocks2q] {
+                let (fused, got) = run_cpu(&circuit, &cfg(level), granularity);
+                let err = max_amp_err(&want, &got);
+                assert!(
+                    err < 1e-12,
+                    "{} {granularity:?} {level:?}: err {err}",
+                    circuit.name()
+                );
+                // Fusion only ever removes gates.
+                assert!(fused.gates_applied <= off.gates_applied);
+                any_fused |= fused.gates_fused > 0;
+                any_saved |= fused.apply_passes_saved > 0;
+            }
+        }
+    }
+    // The sweep must actually exercise both mechanisms somewhere.
+    assert!(any_fused, "no circuit in the suite fused any gates");
+    assert!(any_saved, "no circuit in the suite saved any passes");
+}
+
+#[test]
+fn qft12_blocks2q_saves_passes_and_matches_off() {
+    let circuit = library::qft(12);
+    let mk = |fusion| MemQSimConfig {
+        chunk_bits: 6,
+        ..cfg(fusion)
+    };
+    let (off, want) = run_cpu(&circuit, &mk(FusionLevel::Off), Granularity::Staged);
+    let (fused, got) = run_cpu(&circuit, &mk(FusionLevel::Blocks2q), Granularity::Staged);
+
+    let err = max_amp_err(&want, &got);
+    assert!(err < 1e-12, "err {err}");
+    assert!(fused.gates_fused > 0);
+    assert!(fused.apply_passes_saved > 0);
+
+    // The acceptance bar: at least 2x fewer buffer passes per chunk visit.
+    assert_eq!(off.chunk_visits, fused.chunk_visits);
+    let (p_off, p_fused) = (buffer_passes(&off), buffer_passes(&fused));
+    assert!(
+        p_fused * 2 <= p_off,
+        "passes {p_off} -> {p_fused}: less than 2x reduction"
+    );
+}
+
+#[test]
+fn hybrid_blocks2q_matches_cpu_off_and_batches_kernels() {
+    let circuit = library::random_circuit(8, 14, 11);
+    let (_, want) = run_cpu(&circuit, &cfg(FusionLevel::Off), Granularity::Staged);
+
+    let run_hybrid = |fusion| {
+        let config = cfg(fusion);
+        let store = build_store(circuit.n_qubits(), &config).expect("store construction failed");
+        let device = memqsim_suite::device::Device::new(DeviceSpec::tiny_test(1 << 16));
+        let report = hybrid::run(&store, &circuit, &config, &device, true).unwrap();
+        (report, store.to_dense().unwrap())
+    };
+
+    let (off, base) = run_hybrid(FusionLevel::Off);
+    let (fused, got) = run_hybrid(FusionLevel::Blocks2q);
+    assert!(max_amp_err(&want, &base) < 1e-12);
+    let err = max_amp_err(&want, &got);
+    assert!(err < 1e-12, "err {err}");
+
+    // Each device group becomes one batched kernel instead of one launch
+    // per gate, so modeled kernel launches must drop.
+    let launches = |r: &RunReport| r.telemetry.counter(memqsim_core::Counter::KernelLaunches);
+    assert!(
+        launches(&fused) < launches(&off),
+        "launches {} -> {}",
+        launches(&off),
+        launches(&fused)
+    );
+}
