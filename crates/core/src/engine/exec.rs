@@ -6,15 +6,25 @@
 //! residency cache, then stream every stage's chunk groups (residency-first
 //! when the cache is on) through some compute path, flush, and assemble a
 //! report. [`run_with_executor`] owns that skeleton once; the compute path
-//! is a [`ChunkExecutor`]:
+//! is a [`ChunkExecutor`] driven through a *streaming* stage protocol —
+//! [`begin_stage`](ChunkExecutor::begin_stage), one
+//! [`submit`](ChunkExecutor::submit) per chunk group, then
+//! [`end_stage`](ChunkExecutor::end_stage) as the stage barrier — so an
+//! executor may overlap the decompress → apply → recompress roles of
+//! different groups inside a stage:
 //!
 //! * [`CpuWorkerExecutor`](super::cpu::CpuWorkerExecutor) — "idle core"
 //!   workers decompress → apply → recompress each group (paper Fig. 2
-//!   step 5);
+//!   step 5), overlapped across a bounded in-flight window when
+//!   `cfg.pipeline_depth > 1`;
 //! * [`DevicePipelineExecutor`](super::hybrid::DevicePipelineExecutor) —
-//!   the three-role producer/device/completer pipeline (Fig. 2 steps 1–6).
+//!   the three-role producer/device/completer pipeline (Fig. 2 steps 1–6),
+//!   a [`StageBatchExecutor`] bridged by [`SerialAdapter`].
 //!
-//! Anything implementing the trait — including test mocks — gets config
+//! Batch-shaped compute paths (and test mocks) implement
+//! [`StageBatchExecutor`] — the old whole-stage callback — and ride the
+//! streaming driver through [`SerialAdapter`], which buffers submissions
+//! until the stage barrier. Anything implementing either trait gets config
 //! validation, plan building, cache setup, visit accounting, flush and
 //! [`RunReport`] assembly for free, which is the seam heterogeneous
 //! scheduling (routing stages per-executor) will plug into.
@@ -33,29 +43,57 @@ use mq_num::Complex64;
 use mq_telemetry::{Counter, Role, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Everything the driver hands an executor: the store being simulated, the
 /// offline plan, the active configuration and the run's telemetry handle.
-pub struct ExecContext<'a> {
+///
+/// All fields are owned/shared so an executor can clone the context (or
+/// individual fields) into worker threads that outlive any single trait
+/// call — the streaming protocol keeps a pipeline running across
+/// `submit`/`end_stage` boundaries.
+#[derive(Clone)]
+pub struct ExecContext {
     /// The chunked state the run mutates (any [`ChunkStore`] stack).
-    pub store: &'a dyn ChunkStore,
+    pub store: Arc<dyn ChunkStore>,
     /// The offline plan (stages, geometry) the driver streams.
-    pub plan: &'a Plan,
+    pub plan: Arc<Plan>,
     /// The active engine configuration.
-    pub cfg: &'a MemQSimConfig,
+    pub cfg: MemQSimConfig,
     /// The run's shared telemetry handle (already attached to the store).
-    pub telemetry: &'a Telemetry,
+    pub telemetry: Telemetry,
 }
 
-impl ExecContext<'_> {
+impl ExecContext {
     /// Amplitudes per chunk.
     pub fn chunk_amps(&self) -> usize {
         self.store.chunk_amps()
     }
+
+    /// The plan stage at `index` (the index every streaming call carries).
+    pub fn stage(&self, index: u32) -> &Stage {
+        &self.plan.stages[index as usize]
+    }
 }
 
-/// One stage's work order: the stage, its index, and its chunk groups in
-/// the order the driver wants them visited (cache-resident groups first).
+/// One chunk group of one stage, as handed to
+/// [`ChunkExecutor::submit`]. Groups within a stage touch disjoint chunk
+/// sets, so an executor may process in-flight groups in any order; the
+/// next stage begins only after [`ChunkExecutor::end_stage`].
+#[derive(Debug, Clone)]
+pub struct GroupWork {
+    /// Stage index within the plan (telemetry stage id).
+    pub stage: u32,
+    /// The group's position in the driver's visit order for this stage.
+    pub seq: usize,
+    /// The co-resident chunk indices of this group.
+    pub chunks: Vec<usize>,
+}
+
+/// One stage's whole work order, as handed to
+/// [`StageBatchExecutor::execute_stage`]: the stage, its index, and its
+/// chunk groups in the order the driver wants them visited
+/// (cache-resident groups first).
 pub struct StageWork<'a> {
     /// Stage index within the plan (telemetry stage id).
     pub index: u32,
@@ -88,29 +126,136 @@ pub struct ExecutorStats {
 
 /// A pluggable compute path for the chunk-streaming driver.
 ///
-/// Lifecycle: [`prepare`](Self::prepare) once, then
-/// [`execute_stage`](Self::execute_stage) per plan stage (stage boundaries
-/// are barriers — a stage may read chunks the previous stage wrote), then
+/// Lifecycle: [`prepare`](Self::prepare) once, then per plan stage
+/// [`begin_stage`](Self::begin_stage) → one [`submit`](Self::submit) per
+/// chunk group → [`end_stage`](Self::end_stage), then
 /// [`finish`](Self::finish) exactly once, *even if a stage failed*, so
 /// executors can drain pipelines and release buffers unconditionally.
+///
+/// `end_stage` is the stage barrier: every submitted group must be fully
+/// applied and stored before it returns (a stage may read chunks the
+/// previous stage wrote). Between `submit` calls an executor is free to
+/// keep groups in flight — that window is what lets a pipelined
+/// implementation overlap decompress, apply and recompress of different
+/// groups. When a `submit` fails, the driver skips the stage's `end_stage`
+/// and goes straight to `finish`, so `finish` must tolerate (and drain) an
+/// un-ended stage.
 pub trait ChunkExecutor {
     /// Display name, recorded in the report.
     fn name(&self) -> String;
 
     /// Allocates run-scoped resources (buffers, streams, threads).
-    fn prepare(&mut self, _ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+    fn prepare(&mut self, _ctx: &ExecContext) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    /// Opens stage `index`, which will receive `n_groups` submissions.
+    fn begin_stage(
+        &mut self,
+        _ctx: &ExecContext,
+        _index: u32,
+        _n_groups: usize,
+    ) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    /// Accepts one chunk group of the open stage. May block while the
+    /// executor's in-flight window is full (backpressure), and may return
+    /// an error detected on any *previously* submitted group.
+    fn submit(&mut self, ctx: &ExecContext, group: GroupWork) -> Result<(), EngineError>;
+
+    /// Stage barrier: drains every in-flight group of stage `index`,
+    /// surfacing the first error any of them hit.
+    fn end_stage(&mut self, ctx: &ExecContext, index: u32) -> Result<(), EngineError>;
+
+    /// Drains and releases resources, returning the executor's accounting.
+    fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError>;
+}
+
+/// A batch-shaped compute path: one callback per whole stage.
+///
+/// This is the pre-streaming `ChunkExecutor` shape, kept for executors
+/// (and test mocks) that process a stage as a unit — wrap one in
+/// [`SerialAdapter`] to drive it through the streaming core.
+pub trait StageBatchExecutor {
+    /// Display name, recorded in the report.
+    fn name(&self) -> String;
+
+    /// Allocates run-scoped resources (buffers, streams, threads).
+    fn prepare(&mut self, _ctx: &ExecContext) -> Result<(), EngineError> {
         Ok(())
     }
 
     /// Processes every chunk group of one stage, in the given order.
-    fn execute_stage(
-        &mut self,
-        ctx: &ExecContext<'_>,
-        work: &StageWork<'_>,
-    ) -> Result<(), EngineError>;
+    fn execute_stage(&mut self, ctx: &ExecContext, work: &StageWork<'_>)
+        -> Result<(), EngineError>;
 
     /// Drains and releases resources, returning the executor's accounting.
-    fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError>;
+    fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError>;
+}
+
+/// Bridges a [`StageBatchExecutor`] onto the streaming [`ChunkExecutor`]
+/// protocol: submissions buffer until the stage barrier, where the whole
+/// stage is delivered as one [`StageWork`]. The migration path for batch
+/// executors — semantics are exactly the pre-streaming driver loop.
+pub struct SerialAdapter<E> {
+    inner: E,
+    pending: Vec<Vec<usize>>,
+}
+
+impl<E> SerialAdapter<E> {
+    /// Wraps `inner` for the streaming driver.
+    pub fn new(inner: E) -> SerialAdapter<E> {
+        SerialAdapter {
+            inner,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: StageBatchExecutor> ChunkExecutor for SerialAdapter<E> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn prepare(&mut self, ctx: &ExecContext) -> Result<(), EngineError> {
+        self.inner.prepare(ctx)
+    }
+
+    fn begin_stage(
+        &mut self,
+        _ctx: &ExecContext,
+        _index: u32,
+        n_groups: usize,
+    ) -> Result<(), EngineError> {
+        self.pending.clear();
+        self.pending.reserve(n_groups);
+        Ok(())
+    }
+
+    fn submit(&mut self, _ctx: &ExecContext, group: GroupWork) -> Result<(), EngineError> {
+        self.pending.push(group.chunks);
+        Ok(())
+    }
+
+    fn end_stage(&mut self, ctx: &ExecContext, index: u32) -> Result<(), EngineError> {
+        let work = StageWork {
+            index,
+            stage: ctx.stage(index),
+            groups: std::mem::take(&mut self.pending),
+        };
+        self.inner.execute_stage(ctx, &work)
+    }
+
+    fn finish(&mut self, ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
+        self.pending.clear();
+        self.inner.finish(ctx)
+    }
 }
 
 /// Builds the plan for `circuit` under `cfg` at the given granularity,
@@ -183,7 +328,7 @@ fn fuse_plan_stages(plan: &mut Plan, level: FusionLevel, n_qubits: u32) -> usize
 /// ([`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`]) rather
 /// than panics.
 pub fn run_with_executor(
-    store: &dyn ChunkStore,
+    store: &Arc<dyn ChunkStore>,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     granularity: Granularity,
@@ -208,7 +353,7 @@ pub fn run_with_executor(
     // tier (and any device the executor attaches) feeds counters into it.
     let telemetry = Telemetry::new();
     store.attach_telemetry(telemetry.clone());
-    let _store_guard = StoreTelemetryGuard(store);
+    let _store_guard = StoreTelemetryGuard(&**store);
     // The hot-chunk residency cache, when configured, is already part of the
     // store stack (see `store::build_store`); the driver only exploits it by
     // ordering groups residency-first.
@@ -218,11 +363,12 @@ pub fn run_with_executor(
     if gates_fused > 0 {
         telemetry.add(Counter::GatesFused, gates_fused as u64);
     }
+    let plan = Arc::new(plan);
     let ctx = ExecContext {
-        store,
-        plan: &plan,
-        cfg,
-        telemetry: &telemetry,
+        store: Arc::clone(store),
+        plan: Arc::clone(&plan),
+        cfg: *cfg,
+        telemetry: telemetry.clone(),
     };
 
     let mut chunk_visits = 0usize;
@@ -230,7 +376,7 @@ pub fn run_with_executor(
     match executor.prepare(&ctx) {
         Err(e) => run_err = Some(e),
         Ok(()) => {
-            for (si, stage) in plan.stages.iter().enumerate() {
+            'stages: for (si, stage) in plan.stages.iter().enumerate() {
                 let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
                 if cache_enabled {
                     // Visit groups with the most cache-resident members
@@ -253,12 +399,23 @@ pub fn run_with_executor(
                     }
                 }
                 chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
-                let work = StageWork {
-                    index: si as u32,
-                    stage,
-                    groups,
-                };
-                if let Err(e) = executor.execute_stage(&ctx, &work) {
+                let si = si as u32;
+                if let Err(e) = executor.begin_stage(&ctx, si, groups.len()) {
+                    run_err = Some(e);
+                    break;
+                }
+                for (seq, chunks) in groups.into_iter().enumerate() {
+                    let group = GroupWork {
+                        stage: si,
+                        seq,
+                        chunks,
+                    };
+                    if let Err(e) = executor.submit(&ctx, group) {
+                        run_err = Some(e);
+                        break 'stages;
+                    }
+                }
+                if let Err(e) = executor.end_stage(&ctx, si) {
                     run_err = Some(e);
                     break;
                 }
@@ -319,12 +476,104 @@ pub(crate) struct ApplyCounters {
     pub(crate) scalars: AtomicUsize,
 }
 
+/// Decompresses `group`'s chunks into consecutive `chunk_amps`-sized slots
+/// of `buffer` (no telemetry span — callers hold the right role span).
+pub(crate) fn load_group(
+    store: &dyn ChunkStore,
+    group: &[usize],
+    buffer: &mut [Complex64],
+    chunk_amps: usize,
+) -> Result<(), EngineError> {
+    for (j, &chunk) in group.iter().enumerate() {
+        store.load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])?;
+    }
+    Ok(())
+}
+
+/// Recompresses `group`'s chunks from consecutive `chunk_amps`-sized slots
+/// of `buffer` (no telemetry span — callers hold the right role span).
+pub(crate) fn store_group(
+    store: &dyn ChunkStore,
+    group: &[usize],
+    buffer: &[Complex64],
+    chunk_amps: usize,
+) -> Result<(), EngineError> {
+    for (j, &chunk) in group.iter().enumerate() {
+        store.store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps])?;
+    }
+    Ok(())
+}
+
+/// Applies one stage's gates, specialized for the group based at
+/// `base_chunk`, to a decompressed group `buffer` — the single apply body
+/// behind the serial loop and the pipelined apply pool, so both paths
+/// count gates/scalars and save passes identically.
+pub(crate) fn apply_stage_to_group(
+    stage: &Stage,
+    chunk_bits: u32,
+    fusion: FusionLevel,
+    base_chunk: usize,
+    buffer: &mut [Complex64],
+    counters: &ApplyCounters,
+    telemetry: &Telemetry,
+) {
+    let gctx = GroupContext {
+        chunk_bits,
+        high: &stage.high_qubits,
+        base_chunk,
+    };
+    if fusion == FusionLevel::Off {
+        // Unfused baseline: one full buffer pass per gate, exactly as
+        // authored.
+        for gate in &stage.gates {
+            match specialize(gate, &gctx) {
+                Specialized::Skip => {}
+                Specialized::Scalar(s) => {
+                    for z in buffer.iter_mut() {
+                        *z *= s;
+                    }
+                    counters.scalars.fetch_add(1, Ordering::Relaxed);
+                }
+                Specialized::Apply(g) => {
+                    mq_statevec::apply::apply_gate(buffer, &g, 1);
+                    counters.gates.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    } else {
+        // Fused path: specialize the whole stage first (scalars fold
+        // into one factor), then run the cache-blocked sweep.
+        let mut gates = Vec::with_capacity(stage.gates.len());
+        let mut scalar = Complex64::ONE;
+        for gate in &stage.gates {
+            match specialize(gate, &gctx) {
+                Specialized::Skip => {}
+                Specialized::Scalar(s) => {
+                    scalar *= s;
+                    counters.scalars.fetch_add(1, Ordering::Relaxed);
+                }
+                Specialized::Apply(g) => gates.push(g),
+            }
+        }
+        if scalar != Complex64::ONE {
+            for z in buffer.iter_mut() {
+                *z *= scalar;
+            }
+        }
+        let stats = mq_statevec::apply::apply_all(buffer, &gates, 1);
+        counters.gates.fetch_add(stats.gates, Ordering::Relaxed);
+        if stats.passes_saved() > 0 {
+            telemetry.add(Counter::ApplyPassesSaved, stats.passes_saved() as u64);
+        }
+    }
+}
+
 /// Processes a slice of one stage's groups entirely on CPU workers:
 /// decompress → specialize+apply → recompress, distributed with `par_for`.
-/// The single implementation behind both the CPU executor and the hybrid
-/// executor's "idle core" share (paper Fig. 2 step 5).
+/// The single implementation behind the serial CPU executor path and the
+/// hybrid executor's "idle core" share (paper Fig. 2 step 5).
 pub(crate) fn process_groups_on_cpu(
-    ctx: &ExecContext<'_>,
+    ctx: &ExecContext,
     work: &StageWork<'_>,
     groups: &[Vec<usize>],
     counters: &ApplyCounters,
@@ -342,81 +591,30 @@ pub(crate) fn process_groups_on_cpu(
         // Decompress members into their buffer slots.
         {
             let _span = ctx.telemetry.stage_span(Role::Decompress, work.index);
-            for (j, &chunk) in group.iter().enumerate() {
-                if let Err(e) = ctx
-                    .store
-                    .load_chunk(chunk, &mut buffer[j * chunk_amps..(j + 1) * chunk_amps])
-                {
-                    *first_error.lock() = Some(e.into());
-                    return;
-                }
+            if let Err(e) = load_group(&*ctx.store, group, &mut buffer, chunk_amps) {
+                *first_error.lock() = Some(e);
+                return;
             }
         }
 
         // Apply all stage gates, specialized to this group.
-        let apply_span = ctx.telemetry.stage_span(Role::CpuApply, work.index);
-        let gctx = GroupContext {
-            chunk_bits,
-            high: &work.stage.high_qubits,
-            base_chunk: group[0],
-        };
-        if ctx.cfg.fusion == FusionLevel::Off {
-            // Unfused baseline: one full buffer pass per gate, exactly as
-            // authored.
-            for gate in &work.stage.gates {
-                match specialize(gate, &gctx) {
-                    Specialized::Skip => {}
-                    Specialized::Scalar(s) => {
-                        for z in buffer.iter_mut() {
-                            *z *= s;
-                        }
-                        counters.scalars.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Specialized::Apply(g) => {
-                        mq_statevec::apply::apply_gate(&mut buffer, &g, 1);
-                        counters.gates.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        } else {
-            // Fused path: specialize the whole stage first (scalars fold
-            // into one factor), then run the cache-blocked sweep.
-            let mut gates = Vec::with_capacity(work.stage.gates.len());
-            let mut scalar = Complex64::ONE;
-            for gate in &work.stage.gates {
-                match specialize(gate, &gctx) {
-                    Specialized::Skip => {}
-                    Specialized::Scalar(s) => {
-                        scalar *= s;
-                        counters.scalars.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Specialized::Apply(g) => gates.push(g),
-                }
-            }
-            if scalar != Complex64::ONE {
-                for z in buffer.iter_mut() {
-                    *z *= scalar;
-                }
-            }
-            let stats = mq_statevec::apply::apply_all(&mut buffer, &gates, 1);
-            counters.gates.fetch_add(stats.gates, Ordering::Relaxed);
-            if stats.passes_saved() > 0 {
-                ctx.telemetry
-                    .add(Counter::ApplyPassesSaved, stats.passes_saved() as u64);
-            }
+        {
+            let _span = ctx.telemetry.stage_span(Role::CpuApply, work.index);
+            apply_stage_to_group(
+                work.stage,
+                chunk_bits,
+                ctx.cfg.fusion,
+                group[0],
+                &mut buffer,
+                counters,
+                &ctx.telemetry,
+            );
         }
-        drop(apply_span);
 
         // Recompress.
         let _span = ctx.telemetry.stage_span(Role::Recompress, work.index);
-        for (j, &chunk) in group.iter().enumerate() {
-            if let Err(e) = ctx
-                .store
-                .store_chunk(chunk, &buffer[j * chunk_amps..(j + 1) * chunk_amps])
-            {
-                *first_error.lock() = Some(e.into());
-                return;
-            }
+        if let Err(e) = store_group(&*ctx.store, group, &buffer, chunk_amps) {
+            *first_error.lock() = Some(e);
         }
     });
     match first_error.into_inner() {
@@ -433,9 +631,10 @@ mod tests {
     use mq_compress::CodecSpec;
     use mq_telemetry::Counter;
 
-    /// A third, trivial executor: proves the `ChunkExecutor` seam is real by
-    /// driving the shared core with a mock that only round-trips chunks
-    /// (identity compute) while counting what the driver hands it.
+    /// A third, trivial executor: proves the batch seam is real by driving
+    /// the shared core with a mock that only round-trips chunks (identity
+    /// compute) while counting what the driver hands it — through
+    /// [`SerialAdapter`], the same bridge the hybrid engine uses.
     #[derive(Default)]
     struct CountingExecutor {
         prepared: usize,
@@ -445,19 +644,19 @@ mod tests {
         chunks_seen: usize,
     }
 
-    impl ChunkExecutor for CountingExecutor {
+    impl StageBatchExecutor for CountingExecutor {
         fn name(&self) -> String {
             "counting-mock".to_string()
         }
 
-        fn prepare(&mut self, _ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+        fn prepare(&mut self, _ctx: &ExecContext) -> Result<(), EngineError> {
             self.prepared += 1;
             Ok(())
         }
 
         fn execute_stage(
             &mut self,
-            ctx: &ExecContext<'_>,
+            ctx: &ExecContext,
             work: &StageWork<'_>,
         ) -> Result<(), EngineError> {
             self.stages_seen.push(work.index);
@@ -474,7 +673,7 @@ mod tests {
             Ok(())
         }
 
-        fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+        fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
             self.finished += 1;
             Ok(ExecutorStats {
                 groups_cpu: self.groups_seen,
@@ -488,9 +687,10 @@ mod tests {
         let cfg = testkit::cfg(3, CodecSpec::Fpc);
         let circuit = library::qft(7);
         let store = testkit::zero_store(7, 3, &cfg);
-        let mut mock = CountingExecutor::default();
+        let mut mock = SerialAdapter::new(CountingExecutor::default());
         let report =
             run_with_executor(&store, &circuit, &cfg, Granularity::Staged, &mut mock).unwrap();
+        let mock = mock.into_inner();
 
         // Lifecycle: prepare and finish exactly once, stages in plan order.
         assert_eq!(mock.prepared, 1);
@@ -528,25 +728,25 @@ mod tests {
         struct FailingExecutor {
             finished: bool,
         }
-        impl ChunkExecutor for FailingExecutor {
+        impl StageBatchExecutor for FailingExecutor {
             fn name(&self) -> String {
                 "failing-mock".to_string()
             }
             fn execute_stage(
                 &mut self,
-                _ctx: &ExecContext<'_>,
+                _ctx: &ExecContext,
                 _work: &StageWork<'_>,
             ) -> Result<(), EngineError> {
                 Err(EngineError::Config("boom".to_string()))
             }
-            fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+            fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
                 self.finished = true;
                 Ok(ExecutorStats::default())
             }
         }
         let cfg = testkit::cfg(3, CodecSpec::Fpc);
         let store = testkit::zero_store(6, 3, &cfg);
-        let mut exec = FailingExecutor { finished: false };
+        let mut exec = SerialAdapter::new(FailingExecutor { finished: false });
         let err = run_with_executor(
             &store,
             &library::ghz(6),
@@ -556,13 +756,90 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Config(_)));
-        assert!(exec.finished, "finish must run even when a stage fails");
+        assert!(
+            exec.into_inner().finished,
+            "finish must run even when a stage fails"
+        );
+    }
+
+    #[test]
+    fn streaming_protocol_delivers_groups_in_order_with_barriers() {
+        /// A native streaming executor that records the raw protocol: every
+        /// begin/submit/end call, in order, with its stage index.
+        #[derive(Default)]
+        struct ProtocolRecorder {
+            events: Vec<String>,
+            open_stage: Option<u32>,
+            announced: usize,
+            submitted: usize,
+        }
+        impl ChunkExecutor for ProtocolRecorder {
+            fn name(&self) -> String {
+                "protocol-recorder".to_string()
+            }
+            fn begin_stage(
+                &mut self,
+                _ctx: &ExecContext,
+                index: u32,
+                n_groups: usize,
+            ) -> Result<(), EngineError> {
+                assert_eq!(self.open_stage, None, "stages must not nest");
+                self.open_stage = Some(index);
+                self.announced = n_groups;
+                self.submitted = 0;
+                self.events.push(format!("begin {index}"));
+                Ok(())
+            }
+            fn submit(&mut self, ctx: &ExecContext, group: GroupWork) -> Result<(), EngineError> {
+                assert_eq!(self.open_stage, Some(group.stage), "submit outside stage");
+                assert_eq!(group.seq, self.submitted, "submissions arrive in order");
+                self.submitted += 1;
+                // Identity round-trip keeps the run observable end to end.
+                let chunk_amps = ctx.chunk_amps();
+                let mut buf = vec![Complex64::ZERO; chunk_amps];
+                for &chunk in &group.chunks {
+                    ctx.store.load_chunk(chunk, &mut buf)?;
+                    ctx.store.store_chunk(chunk, &buf)?;
+                }
+                Ok(())
+            }
+            fn end_stage(&mut self, _ctx: &ExecContext, index: u32) -> Result<(), EngineError> {
+                assert_eq!(self.open_stage.take(), Some(index));
+                assert_eq!(
+                    self.submitted, self.announced,
+                    "begin_stage announced a different group count"
+                );
+                self.events.push(format!("end {index}"));
+                Ok(())
+            }
+            fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
+                assert_eq!(self.open_stage, None, "finish with a stage still open");
+                Ok(ExecutorStats::default())
+            }
+        }
+
+        let cfg = testkit::cfg(3, CodecSpec::Fpc);
+        let store = testkit::zero_store(7, 3, &cfg);
+        let mut exec = ProtocolRecorder::default();
+        let report = run_with_executor(
+            &store,
+            &library::qft(7),
+            &cfg,
+            Granularity::Staged,
+            &mut exec,
+        )
+        .unwrap();
+        // Every stage opened and closed, in plan order.
+        let want: Vec<String> = (0..report.stages as u32)
+            .flat_map(|i| [format!("begin {i}"), format!("end {i}")])
+            .collect();
+        assert_eq!(exec.events, want);
     }
 
     #[test]
     fn geometry_mismatches_are_typed_errors_not_panics() {
         let cfg = testkit::cfg(3, CodecSpec::Fpc);
-        let mut mock = CountingExecutor::default();
+        let mut mock = SerialAdapter::new(CountingExecutor::default());
 
         // Store narrower than the circuit.
         let store = testkit::zero_store(6, 3, &cfg);
@@ -596,6 +873,6 @@ mod tests {
             other => panic!("expected ChunkMismatch, got {other:?}"),
         }
         // Neither failed run reached the executor.
-        assert_eq!(mock.prepared, 0);
+        assert_eq!(mock.into_inner().prepared, 0);
     }
 }

@@ -23,8 +23,8 @@
 
 use crate::config::{FusionLevel, MemQSimConfig};
 use crate::engine::exec::{
-    process_groups_on_cpu, run_with_executor, ApplyCounters, ChunkExecutor, ExecContext,
-    ExecutorStats, StageWork,
+    process_groups_on_cpu, run_with_executor, ApplyCounters, ExecContext, ExecutorStats,
+    SerialAdapter, StageBatchExecutor, StageWork,
 };
 use crate::engine::{EngineError, Granularity, RunReport};
 use crate::specialize::{specialize, GroupContext, Specialized};
@@ -36,6 +36,7 @@ use mq_num::Complex64;
 use mq_telemetry::Role;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One unit of pipeline work: a chunk group, staged and specialized.
@@ -59,7 +60,7 @@ enum ToCompleter {
     Drain,
 }
 
-/// [`ChunkExecutor`] running the paper's three-role pipeline against a
+/// [`StageBatchExecutor`] running the paper's three-role pipeline against a
 /// simulated device: a producer decompresses and specializes groups into
 /// pinned staging slots, a device issuer runs H2D → kernels → D2H, and a
 /// completer recompresses results — overlapped across `pipeline_buffers`
@@ -115,7 +116,7 @@ impl Drop for DevicePipelineExecutor<'_> {
     }
 }
 
-impl ChunkExecutor for DevicePipelineExecutor<'_> {
+impl StageBatchExecutor for DevicePipelineExecutor<'_> {
     fn name(&self) -> String {
         format!(
             "device-pipeline[{}]",
@@ -127,7 +128,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
         )
     }
 
-    fn prepare(&mut self, ctx: &ExecContext<'_>) -> Result<(), EngineError> {
+    fn prepare(&mut self, ctx: &ExecContext) -> Result<(), EngineError> {
         // The device feeds transfer/kernel counters into the run record.
         self.device.attach_telemetry(ctx.telemetry.clone());
         self.telemetry_attached = true;
@@ -156,7 +157,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
 
     fn execute_stage(
         &mut self,
-        ctx: &ExecContext<'_>,
+        ctx: &ExecContext,
         work: &StageWork<'_>,
     ) -> Result<(), EngineError> {
         let chunk_amps = ctx.chunk_amps();
@@ -178,8 +179,8 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
             return Ok(());
         }
 
-        let store = ctx.store;
-        let telemetry = ctx.telemetry;
+        let store = &ctx.store;
+        let telemetry = &ctx.telemetry;
         let pinned = &self.pinned;
         let dev_bufs = &self.dev_bufs;
         let copy_stream = self.copy_stream.as_ref().expect("prepared");
@@ -419,7 +420,7 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
         }
     }
 
-    fn finish(&mut self, _ctx: &ExecContext<'_>) -> Result<ExecutorStats, EngineError> {
+    fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
         // Drain the streams first so every device counter has landed.
         let mut device_stats = StreamStats::default();
         if let Some(copy_stream) = self.copy_stream.take() {
@@ -469,13 +470,16 @@ impl ChunkExecutor for DevicePipelineExecutor<'_> {
 /// Geometry mismatches between the store and `cfg`/`circuit` surface as
 /// [`EngineError::WidthMismatch`] / [`EngineError::ChunkMismatch`].
 pub fn run(
-    store: &dyn ChunkStore,
+    store: &Arc<dyn ChunkStore>,
     circuit: &Circuit,
     cfg: &MemQSimConfig,
     device: &Device,
     pipelined: bool,
 ) -> Result<RunReport, EngineError> {
-    let mut executor = DevicePipelineExecutor::new(device, pipelined);
+    // The device path is a batch-per-stage executor: its internal
+    // producer/issuer/completer threads already overlap within a stage, so
+    // it rides the serial adapter for the streaming driver protocol.
+    let mut executor = SerialAdapter::new(DevicePipelineExecutor::new(device, pipelined));
     run_with_executor(store, circuit, cfg, Granularity::Staged, &mut executor)
 }
 

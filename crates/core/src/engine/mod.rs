@@ -21,7 +21,8 @@ pub mod hybrid;
 pub mod report;
 
 pub use exec::{
-    build_plan, run_with_executor, ChunkExecutor, ExecContext, ExecutorStats, StageWork,
+    build_plan, run_with_executor, ChunkExecutor, ExecContext, ExecutorStats, GroupWork,
+    SerialAdapter, StageBatchExecutor, StageWork,
 };
 pub use report::RunReport;
 

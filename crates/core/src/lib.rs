@@ -55,15 +55,15 @@ mod testkit;
 pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
-pub use config::{FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind};
+pub use config::{FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind, WorkerSplit};
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
-    RunReport, StageWork,
+    GroupWork, RunReport, SerialAdapter, StageBatchExecutor, StageWork,
 };
 pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
 pub use store::{
-    build_store, build_store_from_amplitudes, CachePolicy, ChunkStore, CompressedStateVector,
-    CompressedTier, DenseStore, ResidencyCache, SpillStore, StoreCounters, TelemetryTier,
+    build_store, build_store_from_amplitudes, CachePolicy, ChunkStore, CompressedTier, DenseStore,
+    ResidencyCache, SpillStore, StoreCounters, TelemetryTier,
 };
 
 use mq_circuit::Circuit;

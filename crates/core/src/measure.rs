@@ -195,25 +195,25 @@ mod tests {
     use super::*;
     use crate::config::MemQSimConfig;
     use crate::engine::{cpu, Granularity};
-    use crate::store::CompressedStateVector;
+    use crate::store::{ChunkStore, CompressedTier};
     use mq_circuit::library;
     use mq_compress::CodecSpec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    fn run_to_store(circuit: &mq_circuit::Circuit, chunk_bits: u32) -> CompressedStateVector {
+    fn run_to_store(circuit: &mq_circuit::Circuit, chunk_bits: u32) -> Arc<dyn ChunkStore> {
         let cfg = MemQSimConfig {
             chunk_bits,
             max_high_qubits: 2,
             codec: CodecSpec::Sz { eb: 1e-12 },
             ..Default::default()
         };
-        let store = CompressedStateVector::zero_state(
+        let store: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
             circuit.n_qubits(),
             chunk_bits,
             Arc::from(cfg.codec.build()),
-        );
+        ));
         cpu::run(&store, circuit, &cfg, Granularity::Staged).unwrap();
         store
     }

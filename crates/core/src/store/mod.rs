@@ -45,12 +45,6 @@ use mq_num::{bits, Complex64};
 use mq_telemetry::Telemetry;
 use std::sync::Arc;
 
-/// Compatibility alias for the pre-refactor monolithic store. The codec +
-/// checksum base tier keeps the old name reachable; new code should name
-/// [`CompressedTier`] or, better, go through [`build_store`] and the
-/// [`ChunkStore`] trait.
-pub type CompressedStateVector = CompressedTier;
-
 /// FNV-1a 64-bit hash — the chunk integrity checksum.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;

@@ -4,7 +4,7 @@
 //! measurement must see dirty cached writes without an explicit flush.
 
 use memqsim_core::{
-    build_store, engine::cpu, measure, CachePolicy, ChunkStore, CompressedStateVector, Counter,
+    build_store, engine::cpu, measure, CachePolicy, ChunkStore, CompressedTier, Counter,
     Granularity, MemQSimConfig, ResidencyCache, RunReport,
 };
 use mq_circuit::unitary::run_dense;
@@ -95,7 +95,7 @@ fn corruption_is_detected_on_miss_and_bypassed_on_hit() {
     let amps: Vec<Complex64> = (0..64)
         .map(|i| Complex64::new(0.1 * i as f64, -0.05 * i as f64))
         .collect();
-    let inner: Arc<dyn ChunkStore> = Arc::new(CompressedStateVector::from_amplitudes(
+    let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::from_amplitudes(
         &amps,
         3,
         Arc::from(CodecSpec::Fpc.build()),
@@ -135,7 +135,7 @@ fn corruption_is_detected_on_miss_and_bypassed_on_hit() {
 
 #[test]
 fn dirty_cached_writes_are_visible_to_measurement_without_flush() {
-    let inner: Arc<dyn ChunkStore> = Arc::new(CompressedStateVector::zero_state(
+    let inner: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(
         6,
         2,
         Arc::from(CodecSpec::Fpc.build()),

@@ -1,7 +1,7 @@
 //! Property-based integration tests: codec guarantees and chunked-engine
 //! equivalence over randomized inputs.
 
-use memqsim_core::{ChunkStore, CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{ChunkStore, CompressedTier, Granularity, MemQSimConfig};
 use mq_circuit::unitary::run_dense;
 use mq_circuit::{Circuit, Gate};
 use mq_compress::{Codec, CodecSpec};
@@ -57,7 +57,7 @@ proptest! {
         chunk_bits in 1u32..=6,
     ) {
         let amps: Vec<Complex64> = reim.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
-        let store = CompressedStateVector::from_amplitudes(
+        let store = CompressedTier::from_amplitudes(
             &amps,
             chunk_bits,
             Arc::from(CodecSpec::Fpc.build()),
@@ -114,7 +114,8 @@ proptest! {
             workers: 1,
             ..Default::default()
         };
-        let store = CompressedStateVector::zero_state(6, chunk_bits.min(6), Arc::from(cfg.codec.build()));
+        let store: Arc<dyn ChunkStore> =
+            Arc::new(CompressedTier::zero_state(6, chunk_bits.min(6), Arc::from(cfg.codec.build())));
         memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged).unwrap();
         let got = store.to_dense().unwrap();
         let want = run_dense(&circuit, 0);
@@ -137,9 +138,11 @@ proptest! {
             workers: 1,
             ..Default::default()
         };
-        let a = CompressedStateVector::zero_state(5, 2, Arc::from(cfg.codec.build()));
+        let a: Arc<dyn ChunkStore> =
+            Arc::new(CompressedTier::zero_state(5, 2, Arc::from(cfg.codec.build())));
         memqsim_core::engine::cpu::run(&a, &circuit, &cfg, Granularity::Staged).unwrap();
-        let b = CompressedStateVector::zero_state(5, 2, Arc::from(cfg.codec.build()));
+        let b: Arc<dyn ChunkStore> =
+            Arc::new(CompressedTier::zero_state(5, 2, Arc::from(cfg.codec.build())));
         memqsim_core::engine::cpu::run(&b, &circuit, &cfg, Granularity::PerGate).unwrap();
         let err = max_amp_err(&a.to_dense().unwrap(), &b.to_dense().unwrap());
         prop_assert!(err < 1e-12);
@@ -184,7 +187,8 @@ proptest! {
             reorder: true,
             ..Default::default()
         };
-        let store = CompressedStateVector::zero_state(6, chunk_bits.min(6), Arc::from(cfg.codec.build()));
+        let store: Arc<dyn ChunkStore> =
+            Arc::new(CompressedTier::zero_state(6, chunk_bits.min(6), Arc::from(cfg.codec.build())));
         memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged).unwrap();
         let err = max_amp_err(&store.to_dense().unwrap(), &want);
         prop_assert!(err < 1e-10, "reordered engine drifted by {}", err);

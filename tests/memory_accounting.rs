@@ -2,7 +2,7 @@
 //! behaviour across workload classes, and the qubit-extension mechanism
 //! behind the paper's "+5 qubits".
 
-use memqsim_core::{ChunkStore, CompressedStateVector, Granularity, MemQSimConfig};
+use memqsim_core::{ChunkStore, CompressedTier, Granularity, MemQSimConfig};
 use mq_circuit::{library, Circuit};
 use mq_compress::CodecSpec;
 use std::sync::Arc;
@@ -11,7 +11,7 @@ fn run(
     circuit: &Circuit,
     chunk_bits: u32,
     codec: CodecSpec,
-) -> (CompressedStateVector, memqsim_core::engine::RunReport) {
+) -> (Arc<CompressedTier>, memqsim_core::engine::RunReport) {
     let cfg = MemQSimConfig {
         chunk_bits,
         max_high_qubits: 2,
@@ -19,12 +19,13 @@ fn run(
         workers: 1,
         ..Default::default()
     };
-    let store = CompressedStateVector::zero_state(
+    let store = Arc::new(CompressedTier::zero_state(
         circuit.n_qubits(),
         cfg.effective_chunk_bits(circuit.n_qubits()),
         Arc::from(codec.build()),
-    );
-    let report = memqsim_core::engine::cpu::run(&store, circuit, &cfg, Granularity::Staged)
+    ));
+    let engine_store: Arc<dyn ChunkStore> = store.clone();
+    let report = memqsim_core::engine::cpu::run(&engine_store, circuit, &cfg, Granularity::Staged)
         .expect("run failed");
     (store, report)
 }
@@ -162,10 +163,15 @@ fn engine_surfaces_corruption_as_engine_error() {
         workers: 1,
         ..Default::default()
     };
-    let store = CompressedStateVector::zero_state(8, 4, Arc::from(cfg.codec.build()));
+    let store = Arc::new(CompressedTier::zero_state(
+        8,
+        4,
+        Arc::from(cfg.codec.build()),
+    ));
     store.debug_corrupt_chunk(7);
+    let engine_store: Arc<dyn ChunkStore> = store;
     let result =
-        memqsim_core::engine::cpu::run(&store, &library::qft(8), &cfg, Granularity::Staged);
+        memqsim_core::engine::cpu::run(&engine_store, &library::qft(8), &cfg, Granularity::Staged);
     assert!(matches!(result, Err(EngineError::Codec(_))), "{result:?}");
 }
 
@@ -182,7 +188,7 @@ fn adaptive_codec_runs_the_engine_and_beats_fixed_rle_on_mixed_states() {
         ..Default::default()
     };
     let adaptive: Arc<dyn Codec> = Arc::new(AdaptiveCodec::lossy(1e-11));
-    let store = CompressedStateVector::zero_state(10, 5, adaptive);
+    let store: Arc<dyn ChunkStore> = Arc::new(CompressedTier::zero_state(10, 5, adaptive));
     memqsim_core::engine::cpu::run(&store, &circuit, &cfg, Granularity::Staged).unwrap();
     let got = store.to_dense().unwrap();
     let want = mq_circuit::unitary::run_dense(&circuit, 0);
