@@ -9,8 +9,13 @@
 //! (`--fast` restricts to 20 qubits to keep the run under a few seconds).
 
 use mq_bench::{fmt_secs, write_results_json, Args, Table};
-use mq_device::{run_transfer_experiment, Device, DeviceSpec, TransferStrategy};
+use mq_compress::{Codec, CodecSpec};
+use mq_device::{
+    run_compressed_transfer_experiment, run_transfer_experiment, Device, DeviceSpec,
+    TransferStrategy,
+};
 use mq_telemetry::{Counter, Telemetry};
+use std::sync::Arc;
 
 fn main() {
     let args = Args::capture();
@@ -109,6 +114,54 @@ fn main() {
         }
     }
 
+    // Beyond the paper's three strategies: the compressed-transfer row —
+    // ship the codec payload and decode it with the modeled device-side
+    // kernel instead of moving raw amplitudes.
+    println!("## Compressed transfer (device-side codec)\n");
+    let mut comp_table = Table::new(&[
+        "qubits",
+        "codec",
+        "raw bytes",
+        "payload bytes",
+        "cut",
+        "H2D+decode",
+        "D2H+encode",
+        "wall",
+    ]);
+    let mut comp_ok = true;
+    let mut comp_entries = Vec::new();
+    for &q in &qubit_rows {
+        for spec in [CodecSpec::ZeroRle, CodecSpec::Fpc] {
+            let codec: Arc<dyn Codec> = Arc::from(spec.build());
+            let piece = 1usize << q.min(22); // chunked pieces, full vector total
+            let r = run_compressed_transfer_experiment(&device, q, piece, &codec)
+                .expect("compressed transfer experiment failed");
+            comp_ok &= r.bytes_cut() >= 3.0;
+            comp_table.row(&[
+                q.to_string(),
+                r.codec.clone(),
+                r.raw_bytes.to_string(),
+                r.payload_bytes_h2d.to_string(),
+                format!("{:.1}x", r.bytes_cut()),
+                fmt_secs(r.effective_h2d().as_secs_f64()),
+                fmt_secs(r.effective_d2h().as_secs_f64()),
+                format!("{:.1} ms", r.real_total.as_secs_f64() * 1e3),
+            ]);
+            comp_entries.push(format!(
+                "    {{\"qubits\": {q}, \"codec\": \"{}\", \"raw_bytes\": {}, \
+                 \"payload_bytes_h2d\": {}, \"cut\": {:.4}, \"h2d_plus_decode_s\": {}, \
+                 \"d2h_plus_encode_s\": {}}}",
+                r.codec,
+                r.raw_bytes,
+                r.payload_bytes_h2d,
+                r.bytes_cut(),
+                r.effective_h2d().as_secs_f64(),
+                r.effective_d2h().as_secs_f64()
+            ));
+        }
+    }
+    println!("{comp_table}");
+
     println!("## Claim checks\n");
     let mut ok = true;
     for &(q, strategy, h2d, d2h) in &results {
@@ -160,6 +213,11 @@ fn main() {
         if ordering_ok { "[OK]" } else { "[FAIL]" }
     );
     ok &= ordering_ok;
+    println!(
+        "- C3: compressed transfer moves >= 3x fewer link bytes than raw on every codec {}",
+        if comp_ok { "[OK]" } else { "[FAIL]" }
+    );
+    ok &= comp_ok;
 
     let entries = telemetry_entries
         .iter()
@@ -175,9 +233,11 @@ fn main() {
         .join(",\n");
     let json = format!(
         "{{\n  \"experiment\": \"table1\",\n  \"checks\": {{\"claims\": {}, \
-         \"counters\": {counters_ok}, \"ordering\": {ordering_ok}}},\n  \
-         \"entries\": [\n{entries}\n  ]\n}}",
-        ok && counters_ok && ordering_ok
+         \"counters\": {counters_ok}, \"ordering\": {ordering_ok}, \
+         \"compressed_cut\": {comp_ok}}},\n  \
+         \"entries\": [\n{entries}\n  ],\n  \"compressed\": [\n{}\n  ]\n}}",
+        ok && counters_ok && ordering_ok,
+        comp_entries.join(",\n")
     );
     match write_results_json("telemetry_table1", &json) {
         Ok(path) => println!("\nTelemetry written to {}.", path.display()),

@@ -42,6 +42,21 @@ pub enum FusionLevel {
     Blocks2q,
 }
 
+/// How chunks cross the CPU↔GPU link in the hybrid engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Decompress on the host and ship raw amplitudes (the paper's
+    /// strategies and the default).
+    #[default]
+    Raw,
+    /// Ship the *compressed* payload and run the codec as staged device
+    /// kernels (`DecodeChunk` / `EncodeChunk`): link bytes drop by the
+    /// codec ratio at the cost of modeled decode/encode-kernel time.
+    /// Payloads pass straight between the compressed store and the device,
+    /// so the final state stays bit-identical to [`TransferMode::Raw`].
+    Compressed,
+}
+
 /// Per-role thread counts for the pipelined CPU executor
 /// ([`CpuWorkerExecutor`](crate::engine::cpu::CpuWorkerExecutor) with
 /// `pipeline_depth > 1`): decoder pool → apply pool → encoder pool.
@@ -140,6 +155,9 @@ pub struct MemQSimConfig {
     /// Plan-level per-stage gate fusion (fewer gates, fewer buffer passes
     /// per chunk visit); `Off` reproduces the unfused per-gate apply path.
     pub fusion: FusionLevel,
+    /// How chunks cross the CPU↔GPU link in the hybrid engine (raw
+    /// amplitudes, or compressed payloads decoded on the device).
+    pub transfer_mode: TransferMode,
 }
 
 impl Default for MemQSimConfig {
@@ -159,6 +177,7 @@ impl Default for MemQSimConfig {
             cache_policy: CachePolicy::WriteBack,
             store_kind: StoreKind::Compressed,
             fusion: FusionLevel::Off,
+            transfer_mode: TransferMode::Raw,
         }
     }
 }
@@ -324,6 +343,12 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// How chunks cross the CPU↔GPU link in the hybrid engine.
+    pub fn transfer_mode(mut self, transfer_mode: TransferMode) -> Self {
+        self.cfg.transfer_mode = transfer_mode;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -407,6 +432,7 @@ mod tests {
                 resident_budget: 1 << 24,
             })
             .fusion(FusionLevel::Blocks2q)
+            .transfer_mode(TransferMode::Compressed)
             .build()
             .unwrap();
         assert_eq!(
@@ -428,6 +454,7 @@ mod tests {
                     resident_budget: 1 << 24,
                 },
                 fusion: FusionLevel::Blocks2q,
+                transfer_mode: TransferMode::Compressed,
             }
         );
     }

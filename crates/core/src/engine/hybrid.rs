@@ -21,7 +21,7 @@
 //! flush, report) lives in [`exec::run_with_executor`](super::exec); this
 //! module contributes only the [`DevicePipelineExecutor`] compute path.
 
-use crate::config::{FusionLevel, MemQSimConfig};
+use crate::config::{FusionLevel, MemQSimConfig, TransferMode};
 use crate::engine::exec::{
     process_groups_on_cpu, run_with_executor, ApplyCounters, ExecContext, ExecutorStats,
     SerialAdapter, StageBatchExecutor, StageWork,
@@ -31,7 +31,8 @@ use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::ChunkStore;
 use crossbeam::channel::{bounded, RecvTimeoutError};
 use mq_circuit::{Circuit, Gate};
-use mq_device::{Device, DeviceBuffer, PinnedBuffer, Stream, StreamStats};
+use mq_compress::{decompress_complex, Codec, CodecError};
+use mq_device::{Device, DeviceBuffer, PayloadCell, PinnedBuffer, Stream, StreamStats};
 use mq_num::Complex64;
 use mq_telemetry::Role;
 use parking_lot::Mutex;
@@ -47,6 +48,58 @@ struct Work {
     stage: u32,
     gates: Vec<Gate>,
     scalar: Complex64,
+    /// Compressed transfer: per-chunk codec payloads shipped to the
+    /// device-side decoder in place of the staged raw copy. `None` = raw
+    /// staging path (always, under [`TransferMode::Raw`]; per group, when
+    /// a tier refused to hand out payloads).
+    payloads: Option<Vec<Vec<u8>>>,
+    /// Write-back payload cells, filled by the issuer's device-side encode
+    /// commands in compressed mode; empty on the raw path.
+    cells: Vec<PayloadCell>,
+}
+
+/// Tries to fetch every chunk of `group` as a compressed payload. `None`
+/// when any tier refuses (e.g. an active residency cache): the caller
+/// falls back to raw staging for the whole group, so a group's transfer
+/// mode is always uniform.
+fn fetch_payloads(
+    store: &Arc<dyn ChunkStore>,
+    group: &[usize],
+) -> Result<Option<Vec<Vec<u8>>>, CodecError> {
+    let mut payloads = Vec::with_capacity(group.len());
+    for &chunk in group {
+        match store.load_chunk_payload(chunk)? {
+            Some(p) => payloads.push(p),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(payloads))
+}
+
+/// Commits a compressed group's device-encoded payloads back to the store.
+/// The group scalar was already folded in by the device encode kernel, so
+/// the payloads land verbatim; a tier that refuses a payload gets a host
+/// decode + raw store instead.
+fn complete_compressed(
+    store: &Arc<dyn ChunkStore>,
+    work: &Work,
+    chunk_amps: usize,
+    codec: &Arc<dyn Codec>,
+) -> Result<(), EngineError> {
+    let mut scratch = Vec::new();
+    for (cell, &chunk) in work.cells.iter().zip(&work.group) {
+        let payload = cell.take().ok_or_else(|| {
+            EngineError::Codec(CodecError::Io(format!(
+                "device encode produced no payload for chunk {chunk}"
+            )))
+        })?;
+        if !store.store_chunk_payload(chunk, payload.clone())? {
+            scratch.resize(chunk_amps, Complex64::ZERO);
+            decompress_complex(codec.as_ref(), &payload, &mut scratch)?;
+            store.store_chunk(chunk, &scratch)?;
+        }
+    }
+    Ok(())
 }
 
 enum ToDevice {
@@ -79,6 +132,11 @@ pub struct DevicePipelineExecutor<'d> {
     // download) so the next group's H2D overlaps this group's kernels and
     // the previous group's D2H — the standard CUDA double-buffering shape.
     extra_streams: Option<(Stream, Stream)>,
+    /// `Some` under [`TransferMode::Compressed`]: the device-side codec,
+    /// built from the same [`CodecSpec`](mq_compress::CodecSpec) as the
+    /// store's — specs build stateless codecs, so payloads are
+    /// byte-compatible across the two instances.
+    codec: Option<Arc<dyn Codec>>,
     counters: ApplyCounters,
     groups_cpu: usize,
     groups_device: usize,
@@ -99,6 +157,7 @@ impl<'d> DevicePipelineExecutor<'d> {
             dev_bufs: Vec::new(),
             copy_stream: None,
             extra_streams: None,
+            codec: None,
             counters: ApplyCounters::default(),
             groups_cpu: 0,
             groups_device: 0,
@@ -152,6 +211,11 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         } else {
             None
         };
+        self.codec = if ctx.cfg.transfer_mode == TransferMode::Compressed {
+            Some(Arc::from(ctx.cfg.codec.build()))
+        } else {
+            None
+        };
         Ok(())
     }
 
@@ -189,6 +253,9 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         let scalar_counter = &self.counters.scalars;
         let slots = self.slots;
         let pipelined = self.pipelined;
+        let issuer_codec = self.codec.clone();
+        let completer_codec = self.codec.clone();
+        let compressed_mode = self.codec.is_some();
         let si = work.index;
         let stage = work.stage;
         let chunk_bits = ctx.plan.chunk_bits;
@@ -218,10 +285,42 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                                 break;
                             }
                         }
-                        ToDevice::Work(work) => {
+                        ToDevice::Work(mut work) => {
                             let span = issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
                             let pb = &pinned[work.slot];
                             let db = dev_bufs[work.slot];
+                            // Compressed transfer: the payloads go over the
+                            // link as-is and a device-side codec kernel
+                            // inflates them; on the way back, an encode
+                            // kernel folds in the group scalar and the
+                            // payload cells carry the bytes home.
+                            let payloads = work.payloads.take();
+                            let device_codec = payloads.is_some();
+                            let upload = |s: &Stream| match payloads {
+                                Some(ps) => {
+                                    let codec = issuer_codec.as_ref().expect("codec prepared");
+                                    for (j, p) in ps.into_iter().enumerate() {
+                                        s.decode_chunk(p, codec, db, j * chunk_amps, chunk_amps);
+                                    }
+                                }
+                                None => s.h2d(pb, 0, db, 0, work.amps),
+                            };
+                            let download = |s: &Stream, work: &mut Work| {
+                                if device_codec {
+                                    let codec = issuer_codec.as_ref().expect("codec prepared");
+                                    for j in 0..work.group.len() {
+                                        work.cells.push(s.encode_chunk(
+                                            db,
+                                            j * chunk_amps,
+                                            chunk_amps,
+                                            work.scalar,
+                                            codec,
+                                        ));
+                                    }
+                                } else {
+                                    s.d2h(db, 0, pb, 0, work.amps);
+                                }
+                            };
                             let event = match extra_streams {
                                 // Multi-stream: uploads, kernels and downloads
                                 // each get their own in-order stream, linked by
@@ -230,7 +329,7 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                                 // step (3): kernels run "asynchronously during
                                 // the CPU-GPU data transfer".
                                 Some((compute, down)) => {
-                                    copy_stream.h2d(pb, 0, db, 0, work.amps);
+                                    upload(copy_stream);
                                     let uploaded = copy_stream.record_event();
                                     compute.wait_event(&uploaded);
                                     if fuse_kernels {
@@ -246,11 +345,11 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                                     }
                                     let kernels_done = compute.record_event();
                                     down.wait_event(&kernels_done);
-                                    down.d2h(db, 0, pb, 0, work.amps);
+                                    download(down, &mut work);
                                     down.record_event()
                                 }
                                 None => {
-                                    copy_stream.h2d(pb, 0, db, 0, work.amps);
+                                    upload(copy_stream);
                                     if fuse_kernels {
                                         // One batched kernel over the leading
                                         // `amps` region of the slot buffer.
@@ -266,7 +365,7 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                                             copy_stream.run_gate_region(db, work.amps, g.clone());
                                         }
                                     }
-                                    copy_stream.d2h(db, 0, pb, 0, work.amps);
+                                    download(copy_stream, &mut work);
                                     copy_stream.record_event()
                                 }
                             };
@@ -303,25 +402,36 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                             event.wait();
                             let _span =
                                 completer_telemetry.stage_span(Role::Recompress, work.stage);
-                            let mut failed = None;
-                            pinned[work.slot].write(|data| {
-                                if work.scalar != Complex64::ONE {
-                                    for z in &mut data[..work.amps] {
-                                        *z *= work.scalar;
+                            if work.cells.is_empty() {
+                                // Raw path: scalar-fold on the host, then
+                                // recompress chunk by chunk.
+                                let mut failed = None;
+                                pinned[work.slot].write(|data| {
+                                    if work.scalar != Complex64::ONE {
+                                        for z in &mut data[..work.amps] {
+                                            *z *= work.scalar;
+                                        }
                                     }
-                                }
-                                for (j, &chunk) in work.group.iter().enumerate() {
-                                    if let Err(e) = store.store_chunk(
-                                        chunk,
-                                        &data[j * chunk_amps..(j + 1) * chunk_amps],
-                                    ) {
-                                        failed = Some(e);
-                                        return;
+                                    for (j, &chunk) in work.group.iter().enumerate() {
+                                        if let Err(e) = store.store_chunk(
+                                            chunk,
+                                            &data[j * chunk_amps..(j + 1) * chunk_amps],
+                                        ) {
+                                            failed = Some(e);
+                                            return;
+                                        }
                                     }
+                                });
+                                if let Some(e) = failed {
+                                    completer_error.lock().get_or_insert(e.into());
                                 }
-                            });
-                            if let Some(e) = failed {
-                                completer_error.lock().get_or_insert(e.into());
+                            } else if let Err(e) = complete_compressed(
+                                store,
+                                &work,
+                                chunk_amps,
+                                completer_codec.as_ref().expect("codec prepared"),
+                            ) {
+                                completer_error.lock().get_or_insert(e);
                             }
                             stage_groups_device_ref.fetch_add(1, Ordering::Relaxed);
                             let _ = pool_tx.send(work.slot);
@@ -349,19 +459,33 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                     }
                 };
                 let amps = group.len() * chunk_amps;
+                let mut payloads = None;
                 let mut failed = None;
                 {
                     let _span = telemetry.stage_span(Role::Decompress, si);
-                    pinned[slot].write(|data| {
-                        for (j, &chunk) in group.iter().enumerate() {
-                            if let Err(e) = store
-                                .load_chunk(chunk, &mut data[j * chunk_amps..(j + 1) * chunk_amps])
-                            {
-                                failed = Some(e);
-                                return;
-                            }
+                    // Compressed transfer skips the host decode entirely:
+                    // the stored payloads ship as-is. A refusing tier
+                    // (e.g. an active residency cache) drops the whole
+                    // group back to raw staging.
+                    if compressed_mode {
+                        match fetch_payloads(store, group) {
+                            Ok(ps) => payloads = ps,
+                            Err(e) => failed = Some(e),
                         }
-                    });
+                    }
+                    if failed.is_none() && payloads.is_none() {
+                        pinned[slot].write(|data| {
+                            for (j, &chunk) in group.iter().enumerate() {
+                                if let Err(e) = store.load_chunk(
+                                    chunk,
+                                    &mut data[j * chunk_amps..(j + 1) * chunk_amps],
+                                ) {
+                                    failed = Some(e);
+                                    return;
+                                }
+                            }
+                        });
+                    }
                 }
                 if let Some(e) = failed {
                     *error.lock() = Some(e.into());
@@ -393,6 +517,8 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                     stage: si,
                     gates,
                     scalar,
+                    payloads,
+                    cells: Vec::new(),
                 };
                 if to_device_tx.send(ToDevice::Work(work)).is_err() {
                     break 'groups;
@@ -435,11 +561,15 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                 device_stats.modeled_d2h += s.modeled_d2h;
                 device_stats.modeled_kernel += s.modeled_kernel;
                 device_stats.modeled_scatter += s.modeled_scatter;
+                device_stats.modeled_decode += s.modeled_decode;
+                device_stats.modeled_encode += s.modeled_encode;
                 device_stats.modeled_wait += s.modeled_wait;
                 device_stats.real += s.real;
                 device_stats.commands += s.commands;
                 device_stats.bytes_h2d += s.bytes_h2d;
                 device_stats.bytes_d2h += s.bytes_d2h;
+                device_stats.bytes_h2d_compressed += s.bytes_h2d_compressed;
+                device_stats.bytes_d2h_compressed += s.bytes_d2h_compressed;
             }
         }
         for db in self.dev_bufs.drain(..) {
@@ -655,6 +785,137 @@ mod tests {
         );
         // Cache bytes are accounted against the resident footprint.
         assert!(cached_r.peak_resident_bytes >= cached_r.peak_compressed_bytes);
+    }
+}
+
+#[cfg(test)]
+mod compressed_transfer_tests {
+    use super::*;
+    use crate::testkit;
+    use mq_circuit::library;
+    use mq_circuit::unitary::run_dense;
+    use mq_compress::CodecSpec;
+    use mq_device::DeviceSpec;
+    use mq_num::metrics::max_amp_err;
+    use mq_telemetry::Counter;
+
+    fn cfg(codec: CodecSpec, mode: TransferMode) -> MemQSimConfig {
+        MemQSimConfig {
+            transfer_mode: mode,
+            ..testkit::cfg(3, codec)
+        }
+    }
+
+    fn run_mode(
+        circuit: &Circuit,
+        codec: CodecSpec,
+        mode: TransferMode,
+        pipelined: bool,
+    ) -> (Vec<Complex64>, RunReport) {
+        let config = cfg(codec, mode);
+        let store = testkit::zero_store(circuit.n_qubits(), 3, &config);
+        let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+        let report = run(&store, circuit, &config, &dev, pipelined).unwrap();
+        (store.to_dense().unwrap(), report)
+    }
+
+    #[test]
+    fn compressed_mode_is_bit_identical_to_raw() {
+        // Device-side encode applies the group scalar before compressing,
+        // so the stored payloads match the raw path byte for byte — even
+        // under a lossy codec the final states are identical, not just
+        // close.
+        for codec in [CodecSpec::Fpc, CodecSpec::Sz { eb: 1e-9 }] {
+            for circuit in library::standard_suite(7) {
+                let (raw, _) = run_mode(&circuit, codec, TransferMode::Raw, true);
+                let (compressed, _) = run_mode(&circuit, codec, TransferMode::Compressed, true);
+                assert_eq!(raw, compressed, "{} under {codec}", circuit.name());
+                assert!(max_amp_err(&compressed, &run_dense(&circuit, 0)) < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_mode_matches_accounting_and_cuts_link_bytes() {
+        let circuit = library::qft(7);
+        let (_, raw) = run_mode(&circuit, CodecSpec::Fpc, TransferMode::Raw, true);
+        let (_, comp) = run_mode(&circuit, CodecSpec::Fpc, TransferMode::Compressed, true);
+        // Same work happened: gate, scalar, visit, stage and group
+        // accounting are identical between the modes.
+        assert_eq!(raw.gates_applied, comp.gates_applied);
+        assert_eq!(raw.scalars_applied, comp.scalars_applied);
+        assert_eq!(raw.chunk_visits, comp.chunk_visits);
+        assert_eq!(raw.stages, comp.stages);
+        assert_eq!(raw.groups_device, comp.groups_device);
+        // But only the compressed bytes crossed the link, and the codec
+        // kernels were charged on-stream.
+        assert!(
+            comp.device.bytes_h2d < raw.device.bytes_h2d,
+            "compressed {} vs raw {}",
+            comp.device.bytes_h2d,
+            raw.device.bytes_h2d
+        );
+        assert_eq!(comp.device.bytes_h2d, comp.device.bytes_h2d_compressed);
+        assert_eq!(comp.device.bytes_d2h, comp.device.bytes_d2h_compressed);
+        assert!(comp.device.modeled_decode > Duration::ZERO);
+        assert!(comp.device.modeled_encode > Duration::ZERO);
+        assert_eq!(raw.device.bytes_h2d_compressed, 0);
+        assert_eq!(raw.device.modeled_decode, Duration::ZERO);
+        // The run record carries the same numbers as counters.
+        assert_eq!(
+            comp.telemetry.counter(Counter::BytesH2dCompressed),
+            comp.device.bytes_h2d_compressed as u64
+        );
+        assert_eq!(
+            comp.telemetry.counter(Counter::DeviceDecodeTime),
+            comp.device.modeled_decode.as_nanos() as u64
+        );
+        // No host codec traffic on the device half of the stage: the
+        // compressed run decodes strictly less on the host.
+        assert!(
+            comp.telemetry.counter(Counter::BytesDecompressed)
+                < raw.telemetry.counter(Counter::BytesDecompressed)
+        );
+    }
+
+    #[test]
+    fn compressed_mode_works_serial_dual_stream_and_cpu_share() {
+        let circuit = library::qft(7);
+        let want = run_dense(&circuit, 0);
+        for (pipelined, dual_stream, cpu_share) in
+            [(false, false, 0.0), (true, true, 0.0), (true, false, 0.5)]
+        {
+            let config = MemQSimConfig {
+                dual_stream,
+                cpu_share,
+                ..cfg(CodecSpec::Fpc, TransferMode::Compressed)
+            };
+            let store = testkit::zero_store(7, 3, &config);
+            let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+            run(&store, &circuit, &config, &dev, pipelined).unwrap();
+            let err = max_amp_err(&store.to_dense().unwrap(), &want);
+            assert!(
+                err < 1e-10,
+                "pipelined={pipelined} dual={dual_stream} share={cpu_share}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn active_cache_falls_back_to_raw_staging() {
+        // A residency cache refuses payload passthrough, so the run stays
+        // correct but ships raw bytes (and still hits the cache).
+        let circuit = library::qft(7);
+        let config = MemQSimConfig {
+            cache_bytes: 8 * (1 << 3) * 16,
+            ..cfg(CodecSpec::Fpc, TransferMode::Compressed)
+        };
+        let store = testkit::zero_store(7, 3, &config);
+        let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
+        let report = run(&store, &circuit, &config, &dev, true).unwrap();
+        assert_eq!(report.device.bytes_h2d_compressed, 0);
+        assert!(report.telemetry.counter(Counter::CacheHits) > 0);
+        assert!(max_amp_err(&store.to_dense().unwrap(), &run_dense(&circuit, 0)) < 1e-10);
     }
 }
 

@@ -55,7 +55,9 @@ mod testkit;
 pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
-pub use config::{FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind, WorkerSplit};
+pub use config::{
+    FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind, TransferMode, WorkerSplit,
+};
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
     GroupWork, RunReport, SerialAdapter, StageBatchExecutor, StageWork,

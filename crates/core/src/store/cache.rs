@@ -370,6 +370,29 @@ impl ChunkStore for ResidencyCache {
         Ok(())
     }
 
+    /// Opts out of payload passthrough when the cache is active: a resident
+    /// copy may be newer than the inner store's bytes, so handing out the
+    /// inner payload could resurrect stale data. Callers fall back to
+    /// [`load_chunk`](ChunkStore::load_chunk), which serves the resident
+    /// copy. A passthrough cache (capacity 0) delegates.
+    fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.capacity == 0 {
+            return self.inner.load_chunk_payload(i);
+        }
+        Ok(None)
+    }
+
+    /// Mirror of [`load_chunk_payload`](ChunkStore::load_chunk_payload):
+    /// an active cache refuses payloads (committing one under a resident
+    /// entry would be shadowed by it), so callers decode on the host and
+    /// [`store_chunk`](ChunkStore::store_chunk) instead.
+    fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
+        if self.capacity == 0 {
+            return self.inner.store_chunk_payload(i, payload);
+        }
+        Ok(false)
+    }
+
     /// Writes every dirty resident chunk back to the inner store (entries
     /// stay resident, now clean), then flushes the inner store.
     fn flush(&self) -> Result<(), CodecError> {

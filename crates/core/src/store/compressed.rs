@@ -95,12 +95,20 @@ impl CompressedTier {
         &self.codec
     }
 
-    /// Compresses `amps` and commits the result to slot `i`. The signed-
-    /// delta byte update and the stats recording happen while still
-    /// serialized on the slot, so `peak_bytes` cannot transiently overshoot
-    /// by the old chunk's length.
+    /// Compresses `amps` and commits the result to slot `i`.
     fn write_slot(&self, i: usize, amps: &[Complex64]) {
         let bytes = compress_complex(self.codec.as_ref(), amps);
+        let new_len = bytes.len();
+        self.commit_slot(i, bytes);
+        self.bytes_compressed
+            .fetch_add(new_len as u64, Ordering::Relaxed);
+    }
+
+    /// Commits already-compressed `bytes` to slot `i`. The signed-delta
+    /// byte update and the stats recording happen while still serialized
+    /// on the slot, so `peak_bytes` cannot transiently overshoot by the
+    /// old chunk's length.
+    fn commit_slot(&self, i: usize, bytes: Vec<u8>) {
         let new_len = bytes.len();
         let checksum = fnv1a(&bytes);
         let guard = &mut *self.chunks[i].lock();
@@ -114,9 +122,7 @@ impl CompressedTier {
             self.current_bytes.fetch_sub(d, Ordering::Relaxed) - d
         };
         self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
-        self.stats.lock().record(amps.len() * 16, new_len);
-        self.bytes_compressed
-            .fetch_add(new_len as u64, Ordering::Relaxed);
+        self.stats.lock().record(self.chunk_amps() * 16, new_len);
     }
 }
 
@@ -154,6 +160,29 @@ impl ChunkStore for CompressedTier {
         expect_chunk_len(self.chunk_amps(), amps.len())?;
         self.write_slot(i, amps);
         Ok(())
+    }
+
+    /// Hands out chunk `i`'s compressed bytes verbatim (checksum-verified),
+    /// counting a visit but no host decompression — the codec work happens
+    /// wherever the payload is shipped.
+    fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        let guard = self.chunks[i].lock();
+        if fnv1a(&guard.bytes) != guard.checksum {
+            return Err(CodecError::Corrupt(format!(
+                "chunk {i} failed its integrity checksum"
+            )));
+        }
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(guard.bytes.clone()))
+    }
+
+    /// Accepts an externally produced payload (same codec) as chunk `i`'s
+    /// new contents. Byte/peak/stats accounting matches
+    /// [`store_chunk`](ChunkStore::store_chunk), but `bytes_compressed`
+    /// does not tick — no host compression happened.
+    fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
+        self.commit_slot(i, payload);
+        Ok(true)
     }
 
     fn flush(&self) -> Result<(), CodecError> {
@@ -374,6 +403,44 @@ mod tests {
         // Within tolerance: no-op.
         let again = store.renormalize(1e-6).unwrap();
         assert!((again - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_passthrough_round_trips() {
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::Fpc.build());
+        let amps: Vec<Complex64> = (0..64).map(|i| c64(i as f64 * 0.5, -(i as f64))).collect();
+        let store = CompressedTier::from_amplitudes(&amps, 3, codec.clone());
+        let visits_before = store.counters().chunk_visits;
+        let compressed_before = store.counters().bytes_compressed;
+
+        // Loading a payload hands out exactly the codec bytes, counts a
+        // visit, and charges no host decompression.
+        let payload = store.load_chunk_payload(2).unwrap().unwrap();
+        assert_eq!(payload, compress_complex(codec.as_ref(), &amps[16..24]));
+        assert_eq!(store.counters().chunk_visits, visits_before + 1);
+        assert_eq!(store.counters().bytes_decompressed, 0);
+
+        // Storing an externally compressed payload commits it verbatim and
+        // leaves bytes_compressed untouched (the codec ran elsewhere).
+        let replacement: Vec<Complex64> = (0..8).map(|k| c64(0.25, k as f64)).collect();
+        let new_payload = compress_complex(codec.as_ref(), &replacement);
+        assert!(store.store_chunk_payload(5, new_payload).unwrap());
+        assert_eq!(store.counters().bytes_compressed, compressed_before);
+        let mut back = vec![Complex64::ZERO; 8];
+        store.load_chunk(5, &mut back).unwrap();
+        assert_eq!(back, replacement);
+        assert!(store.state_bytes() > 0);
+    }
+
+    #[test]
+    fn payload_load_checks_integrity() {
+        let store = CompressedTier::zero_state(8, 4, sz(1e-12));
+        store.debug_corrupt_chunk(1);
+        assert!(matches!(
+            store.load_chunk_payload(1),
+            Err(CodecError::Corrupt(_))
+        ));
+        assert!(store.load_chunk_payload(0).unwrap().is_some());
     }
 
     #[test]

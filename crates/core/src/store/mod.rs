@@ -130,6 +130,32 @@ pub trait ChunkStore: Send + Sync {
     /// precondition as [`load_chunk`](ChunkStore::load_chunk)).
     fn store_chunk(&self, i: usize, amps: &[Complex64]) -> Result<(), CodecError>;
 
+    /// Reads chunk `i`'s *compressed payload* without decoding it, for
+    /// transfer modes that ship payloads to a device-side codec. Counts as
+    /// a chunk visit like [`load_chunk`](ChunkStore::load_chunk), but no
+    /// host decompression happens (and none is charged).
+    ///
+    /// `Ok(None)` means this tier stack cannot hand out a payload — no
+    /// codec underneath, or a residency middleware may hold a copy newer
+    /// than the stored bytes. Callers must then fall back to
+    /// [`load_chunk`](ChunkStore::load_chunk).
+    fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        let _ = i;
+        Ok(None)
+    }
+
+    /// Stores a compressed `payload` — produced by *this store's codec*
+    /// over exactly [`chunk_amps`](ChunkStore::chunk_amps) amplitudes — as
+    /// the new contents of chunk `i`, with no host codec round trip.
+    ///
+    /// Returns `Ok(false)` if the tier cannot accept payloads; callers must
+    /// then decode on the host and [`store_chunk`](ChunkStore::store_chunk)
+    /// instead.
+    fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
+        let _ = (i, payload);
+        Ok(false)
+    }
+
     /// Forces deferred work (dirty cache write-backs) down to the base
     /// representation, so external views of the stored bytes are coherent.
     fn flush(&self) -> Result<(), CodecError>;
@@ -301,6 +327,14 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 
     fn store_chunk(&self, i: usize, amps: &[Complex64]) -> Result<(), CodecError> {
         (**self).store_chunk(i, amps)
+    }
+
+    fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        (**self).load_chunk_payload(i)
+    }
+
+    fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
+        (**self).store_chunk_payload(i, payload)
     }
 
     fn flush(&self) -> Result<(), CodecError> {

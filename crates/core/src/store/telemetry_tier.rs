@@ -112,6 +112,18 @@ impl ChunkStore for TelemetryTier {
         result
     }
 
+    fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        let result = self.inner.load_chunk_payload(i);
+        self.sync();
+        result
+    }
+
+    fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
+        let result = self.inner.store_chunk_payload(i, payload);
+        self.sync();
+        result
+    }
+
     fn flush(&self) -> Result<(), CodecError> {
         let result = self.inner.flush();
         self.sync();

@@ -25,6 +25,9 @@ pub enum DeviceError {
     },
     /// The stream worker has shut down (e.g. it panicked).
     StreamClosed,
+    /// A device codec kernel failed to decode a compressed payload
+    /// (corruption or codec bug surfaced on-stream).
+    Codec(String),
 }
 
 impl fmt::Display for DeviceError {
@@ -47,6 +50,7 @@ impl fmt::Display for DeviceError {
                 "device access [{offset}, {offset}+{len}) outside buffer of {buffer_len} amps"
             ),
             DeviceError::StreamClosed => write!(f, "device stream is closed"),
+            DeviceError::Codec(m) => write!(f, "device codec kernel failed: {m}"),
         }
     }
 }

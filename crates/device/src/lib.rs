@@ -13,8 +13,11 @@
 //!   gate kernels, events, synchronize. Every command does its real data
 //!   movement *and* is charged a deterministic modeled duration, so
 //!   experiments report a reproducible simulated clock alongside wall time.
-//! * [`transfer`] — the three Table 1 transfer strategies as a reusable
-//!   experiment.
+//! * [`transfer`] — the Table 1 transfer strategies (plus the compressed
+//!   variant the paper left open) as reusable experiments.
+//! * [`codec_backend`] — the device-side
+//!   [`CompressionBackend`](mq_compress::CompressionBackend): chunks cross
+//!   the link *compressed* and staged decode/encode kernels run on-stream.
 //!
 //! What this deliberately does not model: SM-level parallelism, caches,
 //! warp scheduling. MEMQSIM's claims live at the data-management layer —
@@ -48,14 +51,19 @@
 //! assert!((bell[3].norm_sqr() - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod codec_backend;
 pub mod error;
 pub mod memory;
 pub mod model;
 pub mod stream;
 pub mod transfer;
 
+pub use codec_backend::DeviceCodecBackend;
 pub use error::DeviceError;
 pub use memory::{DeviceBuffer, PinnedBuffer};
 pub use model::DeviceSpec;
-pub use stream::{Device, Event, EventRecord, ScatterMap, Stream, StreamStats};
-pub use transfer::{run_transfer_experiment, TransferReport, TransferStrategy};
+pub use stream::{Device, Event, EventRecord, PayloadCell, ScatterMap, Stream, StreamStats};
+pub use transfer::{
+    run_compressed_transfer_experiment, run_transfer_experiment, CompressedTransferReport,
+    TransferReport, TransferStrategy,
+};

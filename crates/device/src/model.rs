@@ -7,6 +7,8 @@
 //! numbers are dominated by (a) per-API-call launch overhead and (b) PCIe
 //! bandwidth asymmetry, both of which are explicit parameters here.
 
+use mq_num::Complex64;
+use std::mem::size_of;
 use std::time::Duration;
 
 /// Static description of a simulated GPU.
@@ -30,6 +32,22 @@ pub struct DeviceSpec {
     pub kernel_amp_throughput: f64,
     /// Scatter/gather kernel throughput, amplitudes/second.
     pub scatter_amp_throughput: f64,
+    /// Kernel stages one codec pass dispatches. GPU codecs decompose into a
+    /// short fixed pipeline of dependent launches (the wgpu Chimp compressor
+    /// runs `compute_s` → `calculate_indexes` → `final_compress`), each
+    /// paying [`kernel_launch_overhead`](Self::kernel_launch_overhead).
+    pub codec_stage_launches: usize,
+    /// Device decode-kernel throughput over *uncompressed* bytes produced,
+    /// bytes/second.
+    pub decode_byte_throughput: f64,
+    /// Device encode-kernel throughput over *uncompressed* bytes consumed,
+    /// bytes/second.
+    pub encode_byte_throughput: f64,
+    /// Largest uncompressed buffer one codec dispatch may bind; bigger
+    /// chunks split into ⌈bytes / batch⌉ dispatches, each paying the full
+    /// stage-launch train (mirrors max-buffer-binding batch splitting in
+    /// real GPU codecs).
+    pub codec_max_batch_bytes: usize,
 }
 
 impl DeviceSpec {
@@ -45,7 +63,7 @@ impl DeviceSpec {
         DeviceSpec {
             name: "sim-pcie-gen3".to_string(),
             // 16 GiB card.
-            memory_amps: (16usize << 30) / 16,
+            memory_amps: (16usize << 30) / size_of::<Complex64>(),
             h2d_bandwidth: 6.0e9,
             d2h_bandwidth: 2.2e9,
             h2d_call_overhead: 2.5e-6,
@@ -53,6 +71,10 @@ impl DeviceSpec {
             kernel_launch_overhead: 5.0e-6,
             kernel_amp_throughput: 2.0e10,
             scatter_amp_throughput: 1.4e10,
+            codec_stage_launches: 3,
+            decode_byte_throughput: 2.4e10,
+            encode_byte_throughput: 1.6e10,
+            codec_max_batch_bytes: 128 << 20,
         }
     }
 
@@ -68,17 +90,24 @@ impl DeviceSpec {
 
     /// Device memory capacity in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.memory_amps * 16
+        self.memory_amps * size_of::<Complex64>()
     }
 
     /// Modeled duration of a bulk copy of `amps` amplitudes.
     pub fn bulk_copy_time(&self, amps: usize, h2d: bool) -> Duration {
+        self.bulk_copy_time_bytes(amps * size_of::<Complex64>(), h2d)
+    }
+
+    /// Modeled duration of a bulk copy of `bytes` raw bytes — the charge for
+    /// compressed-payload transfers, whose size is not a whole number of
+    /// amplitudes.
+    pub fn bulk_copy_time_bytes(&self, bytes: usize, h2d: bool) -> Duration {
         let (bw, ovh) = if h2d {
             (self.h2d_bandwidth, self.h2d_call_overhead)
         } else {
             (self.d2h_bandwidth, self.d2h_call_overhead)
         };
-        secs_to_duration(ovh + (amps as f64 * 16.0) / bw)
+        secs_to_duration(ovh + bytes as f64 / bw)
     }
 
     /// Modeled duration of `amps` individual per-element async copies.
@@ -88,7 +117,7 @@ impl DeviceSpec {
         } else {
             (self.d2h_bandwidth, self.d2h_call_overhead)
         };
-        secs_to_duration(amps as f64 * (ovh + 16.0 / bw))
+        secs_to_duration(amps as f64 * (ovh + size_of::<Complex64>() as f64 / bw))
     }
 
     /// Modeled duration of a gate kernel over `amps` amplitudes.
@@ -109,6 +138,27 @@ impl DeviceSpec {
     /// Modeled duration of a scatter/gather kernel over `amps` amplitudes.
     pub fn scatter_time(&self, amps: usize) -> Duration {
         secs_to_duration(self.kernel_launch_overhead + amps as f64 / self.scatter_amp_throughput)
+    }
+
+    /// Modeled duration of a device decode pass producing `raw_bytes` of
+    /// amplitudes: per-batch stage-launch overhead plus per-byte throughput.
+    pub fn decode_kernel_time(&self, raw_bytes: usize) -> Duration {
+        self.codec_kernel_time(raw_bytes, self.decode_byte_throughput)
+    }
+
+    /// Modeled duration of a device encode pass consuming `raw_bytes` of
+    /// amplitudes — the write-back mirror of
+    /// [`decode_kernel_time`](Self::decode_kernel_time).
+    pub fn encode_kernel_time(&self, raw_bytes: usize) -> Duration {
+        self.codec_kernel_time(raw_bytes, self.encode_byte_throughput)
+    }
+
+    fn codec_kernel_time(&self, raw_bytes: usize, throughput: f64) -> Duration {
+        let batches = raw_bytes.max(1).div_ceil(self.codec_max_batch_bytes).max(1);
+        let launches = batches * self.codec_stage_launches.max(1);
+        secs_to_duration(
+            launches as f64 * self.kernel_launch_overhead + raw_bytes as f64 / throughput,
+        )
     }
 }
 
@@ -200,5 +250,44 @@ mod tests {
         assert_eq!(spec.memory_amps, 1024);
         assert_eq!(spec.memory_bytes(), 16384);
         assert!(DeviceSpec::pcie_gen3().memory_bytes() == 16 << 30);
+    }
+
+    #[test]
+    fn codec_kernel_charges_stage_launch_train() {
+        let spec = DeviceSpec::pcie_gen3();
+        // A chunk-sized decode: one batch, `codec_stage_launches` launches.
+        let raw = 4096usize;
+        let want = spec.codec_stage_launches as f64 * spec.kernel_launch_overhead
+            + raw as f64 / spec.decode_byte_throughput;
+        // Durations are rounded to whole nanoseconds.
+        assert!((spec.decode_kernel_time(raw).as_secs_f64() - want).abs() < 2e-9);
+        // Encode is symmetric but on its own (slower) throughput.
+        assert!(spec.encode_kernel_time(raw) > spec.decode_kernel_time(raw));
+    }
+
+    #[test]
+    fn codec_kernel_splits_oversized_buffers_into_batches() {
+        let spec = DeviceSpec::pcie_gen3();
+        let one_batch = spec.codec_max_batch_bytes;
+        let t1 = spec.decode_kernel_time(one_batch).as_secs_f64();
+        let t3 = spec.decode_kernel_time(3 * one_batch).as_secs_f64();
+        // Three batches pay three stage-launch trains, not one.
+        let launch_train = spec.codec_stage_launches as f64 * spec.kernel_launch_overhead;
+        let extra_launches = t3 - 3.0 * (t1 - launch_train) - launch_train;
+        assert!(
+            (extra_launches - 2.0 * launch_train).abs() < 1e-7,
+            "extra {extra_launches}"
+        );
+    }
+
+    #[test]
+    fn byte_copy_matches_amp_copy() {
+        let spec = DeviceSpec::pcie_gen3();
+        assert_eq!(
+            spec.bulk_copy_time(1 << 20, true),
+            spec.bulk_copy_time_bytes((1 << 20) * size_of::<Complex64>(), true)
+        );
+        // Compressed payloads cost less link time than their raw chunks.
+        assert!(spec.bulk_copy_time_bytes(1 << 20, true) < spec.bulk_copy_time(1 << 20, true));
     }
 }

@@ -16,6 +16,7 @@ use crate::memory::{Arena, DeviceBuffer, PinnedBuffer};
 use crate::model::DeviceSpec;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mq_circuit::Gate;
+use mq_compress::{compress_complex, decompress_complex, Codec};
 use mq_num::Complex64;
 use mq_telemetry::{Counter, Telemetry};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -159,6 +160,10 @@ pub struct StreamStats {
     pub modeled_kernel: Duration,
     /// Modeled time in scatter/gather kernels.
     pub modeled_scatter: Duration,
+    /// Modeled time in device decode kernels (`DecodeChunk`).
+    pub modeled_decode: Duration,
+    /// Modeled time in device encode kernels (`EncodeChunk`).
+    pub modeled_encode: Duration,
     /// Modeled idle time spent waiting on cross-stream events.
     pub modeled_wait: Duration,
     /// Real execution time of all commands.
@@ -169,6 +174,10 @@ pub struct StreamStats {
     pub bytes_h2d: usize,
     /// Bytes moved device-to-host.
     pub bytes_d2h: usize,
+    /// Subset of `bytes_h2d` that crossed the link as compressed payloads.
+    pub bytes_h2d_compressed: usize,
+    /// Subset of `bytes_d2h` that crossed the link as compressed payloads.
+    pub bytes_d2h_compressed: usize,
 }
 
 /// A recorded event: the stream's clocks at the moment the event executed.
@@ -215,6 +224,28 @@ impl Event {
     }
 }
 
+/// Handle to the payload an enqueued [`Stream::encode_chunk`] will produce.
+///
+/// The stream worker fills the cell when the encode command executes; pair
+/// it with [`Stream::record_event`] (or `synchronize`) to know when the
+/// payload is ready. Stays empty if the command was skipped by a sticky
+/// error.
+#[derive(Clone, Debug, Default)]
+pub struct PayloadCell {
+    inner: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl PayloadCell {
+    /// Takes the payload out of the cell, leaving it empty.
+    pub fn take(&self) -> Option<Vec<u8>> {
+        self.inner.lock().take()
+    }
+
+    fn fill(&self, payload: Vec<u8>) {
+        *self.inner.lock() = Some(payload);
+    }
+}
+
 #[allow(clippy::large_enum_variant)] // commands are moved once, never stored
 enum Command {
     CopyH2d {
@@ -256,6 +287,21 @@ enum Command {
         buf: DeviceBuffer,
         amps: usize,
         gates: Vec<Gate>,
+    },
+    DecodeChunk {
+        payload: Vec<u8>,
+        codec: Arc<dyn Codec>,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        amps: usize,
+    },
+    EncodeChunk {
+        src: DeviceBuffer,
+        src_off: usize,
+        amps: usize,
+        scalar: Complex64,
+        codec: Arc<dyn Codec>,
+        out: PayloadCell,
     },
     RecordEvent(Event),
     WaitEvent(Event),
@@ -427,6 +473,58 @@ impl Stream {
         self.send(Command::RunFusedGates { buf, amps, gates });
     }
 
+    /// Enqueues a compressed upload: ships `payload` over the H2D link and
+    /// decodes it on the device into `amps` amplitudes at
+    /// `dst[dst_off..dst_off + amps]`.
+    ///
+    /// The link is charged for the *compressed* bytes only (that is the
+    /// whole point of the strategy); the decode pays the staged codec-kernel
+    /// model ([`DeviceSpec::decode_kernel_time`]) on this stream's clock.
+    pub fn decode_chunk(
+        &self,
+        payload: Vec<u8>,
+        codec: &Arc<dyn Codec>,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        amps: usize,
+    ) {
+        self.send(Command::DecodeChunk {
+            payload,
+            codec: Arc::clone(codec),
+            dst,
+            dst_off,
+            amps,
+        });
+    }
+
+    /// Enqueues the write-back mirror of [`Stream::decode_chunk`]: scales
+    /// `amps` amplitudes at `src[src_off..]` by `scalar`, encodes them with
+    /// `codec` on the device ([`DeviceSpec::encode_kernel_time`]) and ships
+    /// the compressed payload over the D2H link into the returned cell.
+    ///
+    /// The payload is byte-identical to a host-side
+    /// `compress_complex(codec, scaled_amps)`, so it can go straight back
+    /// into a compressed chunk store with no further codec round trip.
+    pub fn encode_chunk(
+        &self,
+        src: DeviceBuffer,
+        src_off: usize,
+        amps: usize,
+        scalar: Complex64,
+        codec: &Arc<dyn Codec>,
+    ) -> PayloadCell {
+        let out = PayloadCell::default();
+        self.send(Command::EncodeChunk {
+            src,
+            src_off,
+            amps,
+            scalar,
+            codec: Arc::clone(codec),
+            out: out.clone(),
+        });
+        out
+    }
+
     /// Enqueues an event; it signals when all prior commands have executed.
     pub fn record_event(&self) -> Event {
         let e = Event::new();
@@ -540,9 +638,10 @@ fn execute(
             };
             stats.modeled += t;
             stats.modeled_h2d += t;
-            stats.bytes_h2d += len * 16;
+            let bytes = len * std::mem::size_of::<Complex64>();
+            stats.bytes_h2d += bytes;
             if let Some(tele) = device.telemetry.read().as_ref() {
-                tele.add(Counter::BytesH2d, (len * 16) as u64);
+                tele.add(Counter::BytesH2d, bytes as u64);
             }
             Ok(())
         }
@@ -572,9 +671,10 @@ fn execute(
             };
             stats.modeled += t;
             stats.modeled_d2h += t;
-            stats.bytes_d2h += len * 16;
+            let bytes = len * std::mem::size_of::<Complex64>();
+            stats.bytes_d2h += bytes;
             if let Some(tele) = device.telemetry.read().as_ref() {
-                tele.add(Counter::BytesD2h, (len * 16) as u64);
+                tele.add(Counter::BytesD2h, bytes as u64);
             }
             Ok(())
         }
@@ -679,6 +779,65 @@ fn execute(
             }
             Ok(())
         }
+        Command::DecodeChunk {
+            payload,
+            codec,
+            dst,
+            dst_off,
+            amps,
+        } => {
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(dst, dst_off, amps)?;
+            decompress_complex(codec.as_ref(), &payload, &mut arena.storage[range])
+                .map_err(|e| DeviceError::Codec(e.to_string()))?;
+            let raw_bytes = amps * std::mem::size_of::<Complex64>();
+            let copy = spec.bulk_copy_time_bytes(payload.len(), true);
+            let decode = spec.decode_kernel_time(raw_bytes);
+            stats.modeled += copy + decode;
+            stats.modeled_h2d += copy;
+            stats.modeled_decode += decode;
+            stats.bytes_h2d += payload.len();
+            stats.bytes_h2d_compressed += payload.len();
+            if let Some(tele) = device.telemetry.read().as_ref() {
+                tele.add(Counter::BytesH2d, payload.len() as u64);
+                tele.add(Counter::BytesH2dCompressed, payload.len() as u64);
+                tele.add(Counter::DeviceDecodeTime, decode.as_nanos() as u64);
+            }
+            Ok(())
+        }
+        Command::EncodeChunk {
+            src,
+            src_off,
+            amps,
+            scalar,
+            codec,
+            out,
+        } => {
+            let mut arena = device.arena.lock();
+            let range = arena.resolve(src, src_off, amps)?;
+            let region = &mut arena.storage[range];
+            if scalar != Complex64::ONE {
+                for a in region.iter_mut() {
+                    *a *= scalar;
+                }
+            }
+            let payload = compress_complex(codec.as_ref(), region);
+            let raw_bytes = amps * std::mem::size_of::<Complex64>();
+            let encode = spec.encode_kernel_time(raw_bytes);
+            let copy = spec.bulk_copy_time_bytes(payload.len(), false);
+            stats.modeled += encode + copy;
+            stats.modeled_encode += encode;
+            stats.modeled_d2h += copy;
+            stats.bytes_d2h += payload.len();
+            stats.bytes_d2h_compressed += payload.len();
+            if let Some(tele) = device.telemetry.read().as_ref() {
+                tele.add(Counter::BytesD2h, payload.len() as u64);
+                tele.add(Counter::BytesD2hCompressed, payload.len() as u64);
+                tele.add(Counter::DeviceEncodeTime, encode.as_nanos() as u64);
+            }
+            out.fill(payload);
+            Ok(())
+        }
         Command::Sync(_) | Command::RecordEvent(_) | Command::WaitEvent(_) | Command::Shutdown => {
             unreachable!()
         }
@@ -714,8 +873,8 @@ mod tests {
         let stats = stream.synchronize().unwrap();
         assert_eq!(dst.to_vec(), src.to_vec());
         assert_eq!(stats.commands, 2);
-        assert_eq!(stats.bytes_h2d, 256 * 16);
-        assert_eq!(stats.bytes_d2h, 256 * 16);
+        assert_eq!(stats.bytes_h2d, 256 * std::mem::size_of::<Complex64>());
+        assert_eq!(stats.bytes_d2h, 256 * std::mem::size_of::<Complex64>());
         assert!(stats.modeled > Duration::ZERO);
     }
 
@@ -931,6 +1090,81 @@ mod tests {
         let stats = stream.synchronize().unwrap();
         assert_eq!(stats.commands, 0);
         assert_eq!(stats.modeled, Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod codec_command_tests {
+    use super::*;
+    use mq_compress::CodecSpec;
+    use mq_num::complex::c64;
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n).map(|i| c64(i as f64, -(i as f64) * 0.5)).collect()
+    }
+
+    #[test]
+    fn decode_chunk_round_trips_and_charges_compressed_bytes() {
+        let dev = Device::new(DeviceSpec::tiny_test(1024));
+        let stream = dev.create_stream();
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::Fpc.build());
+        let amps = ramp(256);
+        let payload = compress_complex(codec.as_ref(), &amps);
+        let payload_len = payload.len();
+        let buf = dev.alloc(256).unwrap();
+        stream.decode_chunk(payload, &codec, buf, 0, 256);
+        let out = PinnedBuffer::new(256);
+        stream.d2h(buf, 0, &out, 0, 256);
+        let stats = stream.synchronize().unwrap();
+        assert_eq!(out.to_vec(), amps);
+        // The H2D link carried only the compressed payload.
+        assert_eq!(stats.bytes_h2d, payload_len);
+        assert_eq!(stats.bytes_h2d_compressed, payload_len);
+        assert!(payload_len < 256 * std::mem::size_of::<Complex64>());
+        assert!(stats.modeled_decode > Duration::ZERO);
+        assert_eq!(
+            stats.modeled_decode,
+            dev.spec()
+                .decode_kernel_time(256 * std::mem::size_of::<Complex64>())
+        );
+    }
+
+    #[test]
+    fn encode_chunk_mirrors_host_compression_and_applies_scalar() {
+        let dev = Device::new(DeviceSpec::tiny_test(1024));
+        let stream = dev.create_stream();
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::ZeroRle.build());
+        let amps = ramp(128);
+        let buf = dev.alloc(128).unwrap();
+        let src = PinnedBuffer::from_slice(&amps);
+        stream.h2d(&src, 0, buf, 0, 128);
+        let scalar = c64(0.0, 1.0);
+        let cell = stream.encode_chunk(buf, 0, 128, scalar, &codec);
+        let stats = stream.synchronize().unwrap();
+        let payload = cell.take().expect("payload produced");
+        // Byte-identical to compressing the host-scaled amplitudes.
+        let scaled: Vec<Complex64> = amps.iter().map(|&a| a * scalar).collect();
+        assert_eq!(payload, compress_complex(codec.as_ref(), &scaled));
+        assert_eq!(stats.bytes_d2h, payload.len());
+        assert_eq!(stats.bytes_d2h_compressed, payload.len());
+        assert!(stats.modeled_encode > Duration::ZERO);
+        // The cell is emptied by take().
+        assert!(cell.take().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_sticky_codec_error() {
+        let dev = Device::new(DeviceSpec::tiny_test(1024));
+        let stream = dev.create_stream();
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::Fpc.build());
+        let mut payload = compress_complex(codec.as_ref(), &ramp(64));
+        payload.truncate(payload.len() / 2);
+        let buf = dev.alloc(64).unwrap();
+        stream.decode_chunk(payload, &codec, buf, 0, 64);
+        match stream.synchronize() {
+            Err(DeviceError::Codec(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }
 

@@ -111,11 +111,24 @@ pub enum Counter {
     /// Full amplitude-buffer passes avoided by the blocked apply driver
     /// (gates applied minus memory sweeps actually made).
     ApplyPassesSaved,
+    /// Compressed payload bytes shipped host-to-device in
+    /// `TransferMode::Compressed` runs (the raw-equivalent traffic is what
+    /// `BytesH2d` would have carried).
+    BytesH2dCompressed,
+    /// Compressed payload bytes shipped device-to-host (the encode/write-back
+    /// direction of compressed transfers).
+    BytesD2hCompressed,
+    /// Modeled nanoseconds spent in device-side decode kernels
+    /// (`Command::DecodeChunk`).
+    DeviceDecodeTime,
+    /// Modeled nanoseconds spent in device-side encode kernels
+    /// (`Command::EncodeChunk`).
+    DeviceEncodeTime,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -131,6 +144,10 @@ impl Counter {
         Counter::SpillBytesRead,
         Counter::GatesFused,
         Counter::ApplyPassesSaved,
+        Counter::BytesH2dCompressed,
+        Counter::BytesD2hCompressed,
+        Counter::DeviceDecodeTime,
+        Counter::DeviceEncodeTime,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -151,6 +168,10 @@ impl Counter {
             Counter::SpillBytesRead => "spill_bytes_read",
             Counter::GatesFused => "gates_fused",
             Counter::ApplyPassesSaved => "apply_passes_saved",
+            Counter::BytesH2dCompressed => "bytes_h2d_compressed",
+            Counter::BytesD2hCompressed => "bytes_d2h_compressed",
+            Counter::DeviceDecodeTime => "device_decode_time_ns",
+            Counter::DeviceEncodeTime => "device_encode_time_ns",
         }
     }
 
@@ -171,6 +192,10 @@ impl Counter {
             Counter::SpillBytesRead => 12,
             Counter::GatesFused => 13,
             Counter::ApplyPassesSaved => 14,
+            Counter::BytesH2dCompressed => 15,
+            Counter::BytesD2hCompressed => 16,
+            Counter::DeviceDecodeTime => 17,
+            Counter::DeviceEncodeTime => 18,
         }
     }
 }

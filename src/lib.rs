@@ -38,7 +38,7 @@ pub use memqsim_core::{
     Backend, BackendRun, CachePolicy, ChunkExecutor, ChunkStore, CompressedCpuBackend,
     DenseCpuBackend, EngineError, FusionLevel, HybridBackend, MemQSim, MemQSimConfig,
     MemQSimConfigBuilder, RunReport, RunTelemetry, StageBatchExecutor, StoreCounters, StoreKind,
-    WorkerSplit,
+    TransferMode, WorkerSplit,
 };
 pub use mq_compress::CodecSpec;
 pub use mq_device::DeviceSpec;

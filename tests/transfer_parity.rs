@@ -1,0 +1,151 @@
+//! Transfer-mode parity: `TransferMode::Compressed` must be an accounting-
+//! and bit-level no-op relative to `TransferMode::Raw` — only the link
+//! traffic and the codec location change.
+//!
+//! The device-side encode kernel folds the group scalar into the
+//! amplitudes *before* compressing, so the payloads it writes back are
+//! byte-identical to what the raw path's host recompression would have
+//! produced — which makes the final states equal exactly, even under a
+//! lossy codec.
+
+use memqsim_core::engine::hybrid;
+use memqsim_core::{build_store, ChunkStore, MemQSimConfig, RunReport, TransferMode};
+use mq_circuit::{library, Circuit};
+use mq_compress::{compress_complex, CodecSpec, CompressionBackend, HostCodecBackend};
+use mq_device::{Device, DeviceCodecBackend, DeviceSpec};
+use mq_num::Complex64;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn config(codec: CodecSpec, mode: TransferMode) -> MemQSimConfig {
+    MemQSimConfig {
+        chunk_bits: 3,
+        max_high_qubits: 2,
+        codec,
+        workers: 1,
+        transfer_mode: mode,
+        ..Default::default()
+    }
+}
+
+fn run_mode(
+    circuit: &Circuit,
+    codec: CodecSpec,
+    mode: TransferMode,
+    pipelined: bool,
+) -> (Vec<Complex64>, RunReport) {
+    let cfg = config(codec, mode);
+    let store = build_store(circuit.n_qubits(), &cfg).expect("store");
+    let device = Device::new(DeviceSpec::tiny_test(1 << 12));
+    let report = hybrid::run(&store, circuit, &cfg, &device, pipelined).expect("run");
+    (store.to_dense().expect("dense"), report)
+}
+
+/// Every workload, both pipeline granularities, a lossless and a lossy
+/// codec: compressed transfers give bit-identical states and identical
+/// work accounting.
+#[test]
+fn compressed_transfers_are_a_semantic_noop() {
+    for codec in [CodecSpec::Fpc, CodecSpec::Sz { eb: 1e-8 }] {
+        for pipelined in [true, false] {
+            for circuit in library::standard_suite(7) {
+                let (raw_state, raw) = run_mode(&circuit, codec, TransferMode::Raw, pipelined);
+                let (comp_state, comp) =
+                    run_mode(&circuit, codec, TransferMode::Compressed, pipelined);
+                let tag = format!("{} {codec} pipelined={pipelined}", circuit.name());
+                assert_eq!(raw_state, comp_state, "state diverged: {tag}");
+                assert_eq!(raw.gates_applied, comp.gates_applied, "{tag}");
+                assert_eq!(raw.scalars_applied, comp.scalars_applied, "{tag}");
+                assert_eq!(raw.chunk_visits, comp.chunk_visits, "{tag}");
+                assert_eq!(raw.stages, comp.stages, "{tag}");
+                assert_eq!(raw.groups_device, comp.groups_device, "{tag}");
+                assert_eq!(raw.groups_cpu, comp.groups_cpu, "{tag}");
+            }
+        }
+    }
+}
+
+/// The compressed run really did skip the staged raw copies: strictly
+/// fewer link bytes and strictly less host decompression, with the codec
+/// kernels charged on the stream clock.
+#[test]
+fn compressed_transfers_cut_traffic_without_changing_results() {
+    let circuit = library::qft(7);
+    let (_, raw) = run_mode(&circuit, CodecSpec::Fpc, TransferMode::Raw, true);
+    let (_, comp) = run_mode(&circuit, CodecSpec::Fpc, TransferMode::Compressed, true);
+    assert!(comp.device.bytes_h2d < raw.device.bytes_h2d);
+    assert_eq!(comp.device.bytes_h2d, comp.device.bytes_h2d_compressed);
+    assert!(comp.device.modeled_decode > std::time::Duration::ZERO);
+    assert!(comp.device.modeled_encode > std::time::Duration::ZERO);
+    assert!(
+        comp.telemetry
+            .counter(mq_telemetry::Counter::DeviceDecodeTime)
+            > 0,
+        "decode kernel time must land in the run telemetry"
+    );
+}
+
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        6 => -1.0f64..1.0,
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(f64::MIN_POSITIVE),        // smallest normal
+        1 => Just(f64::MIN_POSITIVE / 8.0),  // subnormal
+        1 => Just(1e300f64),
+        1 => Just(-1e300f64),
+        1 => Just(1e-300f64),
+        // SZ bin-edge straddlers: values a hair around multiples of the
+        // 1e-8 error bound, where quantization rounds either way.
+        1 => (-64i64..64).prop_map(|k| k as f64 * 1e-8 + 4.9e-9),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Host-encoded payloads decode identically through the device codec
+    /// path, and device-encoded payloads are byte-identical to host ones —
+    /// the two backends are interchangeable on adversarial amplitudes.
+    #[test]
+    fn device_codec_backend_round_trips_adversarial_amplitudes(
+        reim in prop::collection::vec((adversarial_f64(), adversarial_f64()), 16..=16),
+    ) {
+        let amps: Vec<Complex64> =
+            reim.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let device = Device::new(DeviceSpec::tiny_test(1 << 10));
+        for spec in [
+            CodecSpec::ZeroRle,
+            CodecSpec::Fpc,
+            CodecSpec::ShuffleLzss,
+            CodecSpec::Sz { eb: 1e-8 },
+        ] {
+            let codec = Arc::from(spec.build());
+            let host = HostCodecBackend::new(Arc::clone(&codec));
+            let dev = DeviceCodecBackend::new(&device, Arc::clone(&codec));
+
+            let host_payload = host.encode(&amps).unwrap();
+            let dev_payload = dev.encode(&amps).unwrap();
+            prop_assert_eq!(&host_payload, &dev_payload, "payloads differ under {}", spec);
+
+            let mut via_device = vec![Complex64::ZERO; amps.len()];
+            dev.decode(&host_payload, &mut via_device).unwrap();
+            let mut via_host = vec![Complex64::ZERO; amps.len()];
+            host.decode(&host_payload, &mut via_host).unwrap();
+            prop_assert_eq!(&via_device, &via_host, "decodes differ under {}", spec);
+
+            // Lossless codecs must round-trip the adversarial bits exactly.
+            if codec.is_lossless() {
+                prop_assert_eq!(
+                    compress_complex(codec.as_ref(), &via_device),
+                    host_payload,
+                    "re-encode not stable under {}", spec
+                );
+                for (a, b) in amps.iter().zip(&via_device) {
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+        }
+    }
+}
