@@ -57,6 +57,27 @@ pub enum TransferMode {
     Compressed,
 }
 
+/// How [`run_with_executor`](crate::engine::exec::run_with_executor)
+/// scatters each stage's chunk groups across an N-device fleet. Groups
+/// within a stage touch disjoint chunk sets, so every policy produces a
+/// bit-identical final state — policies only move modeled time and
+/// device-arena locality around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Rank groups by their base chunk and split the ranking into N
+    /// contiguous ranges, so a chunk range keeps hitting the same device's
+    /// arena across stages (the default).
+    #[default]
+    ChunkAffinity,
+    /// Deal groups out in submission order: group `seq` goes to device
+    /// `seq % N`.
+    RoundRobin,
+    /// Greedy least-loaded: each group goes to the device with the fewest
+    /// chunks assigned so far (load carries across stages), absorbing
+    /// heterogeneous group sizes.
+    LoadBalanced,
+}
+
 /// Per-role thread counts for the pipelined CPU executor
 /// ([`CpuWorkerExecutor`](crate::engine::cpu::CpuWorkerExecutor) with
 /// `pipeline_depth > 1`): decoder pool → apply pool → encoder pool.
@@ -158,6 +179,14 @@ pub struct MemQSimConfig {
     /// How chunks cross the CPU↔GPU link in the hybrid engine (raw
     /// amplitudes, or compressed payloads decoded on the device).
     pub transfer_mode: TransferMode,
+    /// Number of simulated devices the hybrid engine shards chunk groups
+    /// across (1 = the classic single-GPU path). Each device gets its own
+    /// stream, arena, staging buffers, and per-device stats; the modeled
+    /// run time becomes the makespan (max over devices).
+    pub devices: usize,
+    /// How stage groups are scattered across the device fleet; ignored at
+    /// `devices == 1`.
+    pub shard_policy: ShardPolicy,
 }
 
 impl Default for MemQSimConfig {
@@ -178,6 +207,8 @@ impl Default for MemQSimConfig {
             store_kind: StoreKind::Compressed,
             fusion: FusionLevel::Off,
             transfer_mode: TransferMode::Raw,
+            devices: 1,
+            shard_policy: ShardPolicy::ChunkAffinity,
         }
     }
 }
@@ -239,6 +270,9 @@ impl MemQSimConfig {
         }
         if self.workers == 0 {
             return Err("workers must be >= 1".into());
+        }
+        if self.devices == 0 {
+            return Err("devices must be >= 1".into());
         }
         Ok(())
     }
@@ -349,6 +383,19 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// Number of simulated devices the hybrid engine shards across
+    /// (1 = single-GPU).
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.cfg.devices = devices;
+        self
+    }
+
+    /// How stage groups are scattered across the device fleet.
+    pub fn shard_policy(mut self, shard_policy: ShardPolicy) -> Self {
+        self.cfg.shard_policy = shard_policy;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -407,6 +454,10 @@ mod tests {
                 workers: 0,
                 ..Default::default()
             },
+            MemQSimConfig {
+                devices: 0,
+                ..Default::default()
+            },
         ];
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?}");
@@ -433,6 +484,8 @@ mod tests {
             })
             .fusion(FusionLevel::Blocks2q)
             .transfer_mode(TransferMode::Compressed)
+            .devices(4)
+            .shard_policy(ShardPolicy::RoundRobin)
             .build()
             .unwrap();
         assert_eq!(
@@ -455,6 +508,8 @@ mod tests {
                 },
                 fusion: FusionLevel::Blocks2q,
                 transfer_mode: TransferMode::Compressed,
+                devices: 4,
+                shard_policy: ShardPolicy::RoundRobin,
             }
         );
     }
@@ -488,6 +543,8 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.contains("worker_split"), "{err}");
+        let err = MemQSimConfig::builder().devices(0).build().unwrap_err();
+        assert!(err.contains("devices"), "{err}");
     }
 
     #[test]

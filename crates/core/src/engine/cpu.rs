@@ -363,6 +363,7 @@ impl ChunkExecutor for CpuWorkerExecutor {
                     index,
                     stage: ctx.stage(index),
                     groups: std::mem::take(&mut self.pending),
+                    shards: Vec::new(),
                 };
                 let group_amps = work.stage.group_size() * ctx.chunk_amps();
                 self.peak_buffer_bytes = self

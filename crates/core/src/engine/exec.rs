@@ -29,7 +29,7 @@
 //! [`RunReport`] assembly for free, which is the seam heterogeneous
 //! scheduling (routing stages per-executor) will plug into.
 
-use crate::config::{FusionLevel, MemQSimConfig};
+use crate::config::{FusionLevel, MemQSimConfig, ShardPolicy};
 use crate::engine::report::RunReport;
 use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
@@ -88,6 +88,10 @@ pub struct GroupWork {
     pub seq: usize,
     /// The co-resident chunk indices of this group.
     pub chunks: Vec<usize>,
+    /// The device index this group is sharded to (always 0 for
+    /// single-device configurations; see
+    /// [`ShardPolicy`]).
+    pub shard: usize,
 }
 
 /// One stage's whole work order, as handed to
@@ -101,6 +105,9 @@ pub struct StageWork<'a> {
     pub stage: &'a Stage,
     /// Ordered chunk groups; each inner vector is one co-resident group.
     pub groups: Vec<Vec<usize>>,
+    /// Per-group device assignment, aligned with `groups` (all zeros for
+    /// single-device configurations).
+    pub shards: Vec<usize>,
 }
 
 /// Executor-side accounting folded into the final [`RunReport`].
@@ -120,8 +127,13 @@ pub struct ExecutorStats {
     pub pinned_bytes: usize,
     /// Device working-buffer bytes held for the run.
     pub device_buffer_bytes: usize,
-    /// Device-side stream accounting (zero when no device was involved).
+    /// Device-side stream accounting. For an N-device fleet this is the
+    /// aggregate: `modeled` is the makespan (max over devices), every
+    /// other field sums. Zero when no device was involved.
     pub device: StreamStats,
+    /// Per-device stream accounting, one entry per fleet device (empty
+    /// when no device was involved).
+    pub per_device: Vec<StreamStats>,
 }
 
 /// A pluggable compute path for the chunk-streaming driver.
@@ -201,6 +213,7 @@ pub trait StageBatchExecutor {
 pub struct SerialAdapter<E> {
     inner: E,
     pending: Vec<Vec<usize>>,
+    pending_shards: Vec<usize>,
 }
 
 impl<E> SerialAdapter<E> {
@@ -209,6 +222,7 @@ impl<E> SerialAdapter<E> {
         SerialAdapter {
             inner,
             pending: Vec::new(),
+            pending_shards: Vec::new(),
         }
     }
 
@@ -235,11 +249,14 @@ impl<E: StageBatchExecutor> ChunkExecutor for SerialAdapter<E> {
     ) -> Result<(), EngineError> {
         self.pending.clear();
         self.pending.reserve(n_groups);
+        self.pending_shards.clear();
+        self.pending_shards.reserve(n_groups);
         Ok(())
     }
 
     fn submit(&mut self, _ctx: &ExecContext, group: GroupWork) -> Result<(), EngineError> {
         self.pending.push(group.chunks);
+        self.pending_shards.push(group.shard);
         Ok(())
     }
 
@@ -248,12 +265,14 @@ impl<E: StageBatchExecutor> ChunkExecutor for SerialAdapter<E> {
             index,
             stage: ctx.stage(index),
             groups: std::mem::take(&mut self.pending),
+            shards: std::mem::take(&mut self.pending_shards),
         };
         self.inner.execute_stage(ctx, &work)
     }
 
     fn finish(&mut self, ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
         self.pending.clear();
+        self.pending_shards.clear();
         self.inner.finish(ctx)
     }
 }
@@ -320,6 +339,57 @@ fn fuse_plan_stages(plan: &mut Plan, level: FusionLevel, n_qubits: u32) -> usize
     fused_away
 }
 
+/// Assigns one stage's groups to devices under `policy`. `load` is the
+/// per-device chunk count carried across stages (only `LoadBalanced` reads
+/// it; every policy updates it so telemetry can report imbalance).
+///
+/// Groups within a stage touch disjoint chunk sets, so any assignment is
+/// bit-exact; policies only trade modeled makespan against arena locality.
+fn assign_shards(
+    policy: ShardPolicy,
+    n_devices: usize,
+    groups: &[Vec<usize>],
+    load: &mut [usize],
+) -> Vec<usize> {
+    if n_devices <= 1 || groups.is_empty() {
+        for (i, g) in groups.iter().enumerate() {
+            load[i % n_devices.max(1)] += g.len();
+        }
+        return vec![0; groups.len()];
+    }
+    let shards: Vec<usize> = match policy {
+        ShardPolicy::ChunkAffinity => {
+            // Rank groups by base chunk, then split the ranking into N
+            // contiguous ranges: device d owns the d-th range of the chunk
+            // space, so the same chunks land on the same device's arena in
+            // every stage (the stage's group *bases* shift with its high
+            // qubits, but ranking keeps the ranges balanced regardless).
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&i| groups[i].first().copied().unwrap_or(0));
+            let mut shards = vec![0usize; groups.len()];
+            for (rank, &gi) in order.iter().enumerate() {
+                shards[gi] = rank * n_devices / groups.len();
+            }
+            shards
+        }
+        ShardPolicy::RoundRobin => (0..groups.len()).map(|seq| seq % n_devices).collect(),
+        ShardPolicy::LoadBalanced => groups
+            .iter()
+            .map(|g| {
+                let d = (0..n_devices).min_by_key(|&d| load[d]).unwrap_or(0);
+                load[d] += g.len();
+                d
+            })
+            .collect(),
+    };
+    if policy != ShardPolicy::LoadBalanced {
+        for (gi, &d) in shards.iter().enumerate() {
+            load[d] += groups[gi].len();
+        }
+    }
+    shards
+}
+
 /// Runs `circuit` against `store`, streaming every stage's chunk groups
 /// through `executor`. This is the one engine driver: `cpu::run` and
 /// `hybrid::run` are thin constructors over it.
@@ -371,6 +441,8 @@ pub fn run_with_executor(
         telemetry: telemetry.clone(),
     };
 
+    let n_devices = cfg.devices.max(1);
+    let mut device_load = vec![0usize; n_devices];
     let mut chunk_visits = 0usize;
     let mut run_err: Option<EngineError> = None;
     match executor.prepare(&ctx) {
@@ -399,16 +471,18 @@ pub fn run_with_executor(
                     }
                 }
                 chunk_visits += groups.iter().map(Vec::len).sum::<usize>();
+                let shards = assign_shards(cfg.shard_policy, n_devices, &groups, &mut device_load);
                 let si = si as u32;
                 if let Err(e) = executor.begin_stage(&ctx, si, groups.len()) {
                     run_err = Some(e);
                     break;
                 }
-                for (seq, chunks) in groups.into_iter().enumerate() {
+                for (seq, (chunks, shard)) in groups.into_iter().zip(shards).enumerate() {
                     let group = GroupWork {
                         stage: si,
                         seq,
                         chunks,
+                        shard,
                     };
                     if let Err(e) = executor.submit(&ctx, group) {
                         run_err = Some(e);
@@ -450,6 +524,7 @@ pub fn run_with_executor(
         cpu_apply,
         compress,
         device: stats.device,
+        per_device: stats.per_device,
         stages: plan.stages.len(),
         chunk_visits,
         gates_applied: stats.gates_applied,

@@ -17,6 +17,14 @@
 //! step 1 of group `k+1` overlaps steps 2–4 of group `k`. Stage boundaries
 //! are barriers (a stage may read chunks the previous stage wrote).
 //!
+//! With `cfg.devices > 1` the whole issuer/completer pair is instantiated
+//! once **per device**: each fleet member owns its own staging slots,
+//! device buffers and streams, and the producer routes every group to the
+//! device the driver's [`ShardPolicy`](crate::config::ShardPolicy) chose.
+//! Groups within a stage touch disjoint chunk sets, so fleet runs are
+//! bit-identical to single-device runs; only the modeled makespan (max
+//! over devices) shrinks.
+//!
 //! The streaming skeleton (validation, plan, cache, ordering, accounting,
 //! flush, report) lives in [`exec::run_with_executor`](super::exec); this
 //! module contributes only the [`DevicePipelineExecutor`] compute path.
@@ -34,7 +42,7 @@ use mq_circuit::{Circuit, Gate};
 use mq_compress::{decompress_complex, Codec, CodecError};
 use mq_device::{Device, DeviceBuffer, PayloadCell, PinnedBuffer, Stream, StreamStats};
 use mq_num::Complex64;
-use mq_telemetry::Role;
+use mq_telemetry::{DeviceLane, Role};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,9 +67,10 @@ struct Work {
 }
 
 /// Tries to fetch every chunk of `group` as a compressed payload. `None`
-/// when any tier refuses (e.g. an active residency cache): the caller
-/// falls back to raw staging for the whole group, so a group's transfer
-/// mode is always uniform.
+/// when any tier refuses (e.g. a dense or spill tier with no codec): the
+/// caller falls back to raw staging for the whole group, so a group's
+/// transfer mode is always uniform. An active residency cache serves
+/// payloads encode-through (dirty residents are written back first).
 fn fetch_payloads(
     store: &Arc<dyn ChunkStore>,
     group: &[usize],
@@ -113,18 +122,10 @@ enum ToCompleter {
     Drain,
 }
 
-/// [`StageBatchExecutor`] running the paper's three-role pipeline against a
-/// simulated device: a producer decompresses and specializes groups into
-/// pinned staging slots, a device issuer runs H2D → kernels → D2H, and a
-/// completer recompresses results — overlapped across `pipeline_buffers`
-/// in-flight slots when `pipelined`, fully drained after every group when
-/// not (the Fig. 2 ablation baseline). A `cpu_share` fraction of each
-/// stage's groups bypasses the device entirely (step 5, "idle cores").
-pub struct DevicePipelineExecutor<'d> {
-    device: &'d Device,
-    pipelined: bool,
-    slots: usize,
-    max_group_amps: usize,
+/// One fleet member's run-scoped resources: its staging slots, device
+/// buffers and streams. A lane's slots are private to its device, so the
+/// per-device pipelines never contend for staging memory.
+struct Lane {
     pinned: Vec<PinnedBuffer>,
     dev_bufs: Vec<DeviceBuffer>,
     copy_stream: Option<Stream>,
@@ -132,6 +133,47 @@ pub struct DevicePipelineExecutor<'d> {
     // download) so the next group's H2D overlaps this group's kernels and
     // the previous group's D2H — the standard CUDA double-buffering shape.
     extra_streams: Option<(Stream, Stream)>,
+}
+
+/// Folds `s` into `into` for streams that share a clock epoch: the merged
+/// end time is the latest stream's (`modeled = max`), while category busy
+/// times, bytes and command counts add. The same shape serves both merges
+/// this executor performs — a device's own streams, and the fleet's
+/// per-device totals into the makespan aggregate.
+fn merge_stream_stats(into: &mut StreamStats, s: &StreamStats) {
+    into.modeled = into.modeled.max(s.modeled);
+    into.modeled_h2d += s.modeled_h2d;
+    into.modeled_d2h += s.modeled_d2h;
+    into.modeled_kernel += s.modeled_kernel;
+    into.modeled_scatter += s.modeled_scatter;
+    into.modeled_decode += s.modeled_decode;
+    into.modeled_encode += s.modeled_encode;
+    into.modeled_wait += s.modeled_wait;
+    into.real += s.real;
+    into.commands += s.commands;
+    into.bytes_h2d += s.bytes_h2d;
+    into.bytes_d2h += s.bytes_d2h;
+    into.bytes_h2d_compressed += s.bytes_h2d_compressed;
+    into.bytes_d2h_compressed += s.bytes_d2h_compressed;
+}
+
+/// [`StageBatchExecutor`] running the paper's three-role pipeline against a
+/// simulated device fleet: a producer decompresses and specializes groups
+/// into pinned staging slots, a per-device issuer runs H2D → kernels → D2H,
+/// and a per-device completer recompresses results — overlapped across
+/// `pipeline_buffers` in-flight slots per device when `pipelined`, fully
+/// drained after every group when not (the Fig. 2 ablation baseline). A
+/// `cpu_share` fraction of each stage's groups bypasses the fleet entirely
+/// (step 5, "idle cores"); the rest land on the device the driver's
+/// [`ShardPolicy`](crate::config::ShardPolicy) picked.
+pub struct DevicePipelineExecutor<'d> {
+    devices: &'d [Device],
+    pipelined: bool,
+    slots: usize,
+    max_group_amps: usize,
+    lanes: Vec<Lane>,
+    /// Groups executed per device, for the telemetry lanes.
+    lane_groups: Vec<AtomicUsize>,
     /// `Some` under [`TransferMode::Compressed`]: the device-side codec,
     /// built from the same [`CodecSpec`](mq_compress::CodecSpec) as the
     /// store's — specs build stateless codecs, so payloads are
@@ -145,18 +187,27 @@ pub struct DevicePipelineExecutor<'d> {
 }
 
 impl<'d> DevicePipelineExecutor<'d> {
-    /// Creates an executor over `device`; `pipelined = false` drains the
-    /// pipeline after every group (the serial ablation).
+    /// Creates a single-device executor over `device`; `pipelined = false`
+    /// drains the pipeline after every group (the serial ablation).
     pub fn new(device: &'d Device, pipelined: bool) -> DevicePipelineExecutor<'d> {
+        DevicePipelineExecutor::new_fleet(std::slice::from_ref(device), pipelined)
+    }
+
+    /// Creates an executor over an N-device fleet. Every device gets its
+    /// own staging slots, streams and issuer/completer pipeline; the driver
+    /// routes groups by [`GroupWork::shard`](crate::engine::exec::GroupWork).
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    pub fn new_fleet(devices: &'d [Device], pipelined: bool) -> DevicePipelineExecutor<'d> {
+        assert!(!devices.is_empty(), "a fleet needs at least one device");
         DevicePipelineExecutor {
-            device,
+            devices,
             pipelined,
             slots: 0,
             max_group_amps: 0,
-            pinned: Vec::new(),
-            dev_bufs: Vec::new(),
-            copy_stream: None,
-            extra_streams: None,
+            lanes: Vec::new(),
+            lane_groups: (0..devices.len()).map(|_| AtomicUsize::new(0)).collect(),
             codec: None,
             counters: ApplyCounters::default(),
             groups_cpu: 0,
@@ -170,47 +221,61 @@ impl<'d> DevicePipelineExecutor<'d> {
 impl Drop for DevicePipelineExecutor<'_> {
     fn drop(&mut self) {
         if self.telemetry_attached {
-            self.device.detach_telemetry();
+            for device in self.devices {
+                device.detach_telemetry();
+            }
         }
     }
 }
 
 impl StageBatchExecutor for DevicePipelineExecutor<'_> {
     fn name(&self) -> String {
-        format!(
-            "device-pipeline[{}]",
-            if self.pipelined {
-                "pipelined"
-            } else {
-                "serial"
-            }
-        )
+        let mode = if self.pipelined {
+            "pipelined"
+        } else {
+            "serial"
+        };
+        if self.devices.len() == 1 {
+            format!("device-pipeline[{mode}]")
+        } else {
+            format!("device-fleet[{mode} x{}]", self.devices.len())
+        }
     }
 
     fn prepare(&mut self, ctx: &ExecContext) -> Result<(), EngineError> {
-        // The device feeds transfer/kernel counters into the run record.
-        self.device.attach_telemetry(ctx.telemetry.clone());
+        // Every fleet member feeds transfer/kernel counters into the same
+        // run record (lanes split them back out per device at `finish`).
+        for device in self.devices {
+            device.attach_telemetry(ctx.telemetry.clone());
+        }
         self.telemetry_attached = true;
 
         self.max_group_amps = ctx.chunk_amps() << ctx.cfg.max_high_qubits;
         self.slots = ctx.cfg.pipeline_buffers.max(1);
 
-        // Staging: `slots` pinned host buffers + matching device buffers.
-        // Allocated one by one into `self` so a mid-way OOM still releases
-        // the successful allocations in `finish`.
-        self.pinned = (0..self.slots)
-            .map(|_| PinnedBuffer::new(self.max_group_amps))
-            .collect();
-        for _ in 0..self.slots {
-            self.dev_bufs.push(self.device.alloc(self.max_group_amps)?);
+        // Staging per device: `slots` pinned host buffers + matching device
+        // buffers on that device's own arena. Allocated one by one into
+        // `self` so a mid-way OOM still releases the successful allocations
+        // in `finish`.
+        for (di, device) in self.devices.iter().enumerate() {
+            self.lanes.push(Lane {
+                pinned: (0..self.slots)
+                    .map(|_| PinnedBuffer::new(self.max_group_amps))
+                    .collect(),
+                dev_bufs: Vec::new(),
+                copy_stream: Some(device.create_stream()),
+                extra_streams: if ctx.cfg.dual_stream {
+                    Some((device.create_stream(), device.create_stream()))
+                } else {
+                    None
+                },
+            });
+            for _ in 0..self.slots {
+                let buf = device.alloc(self.max_group_amps)?;
+                self.lanes[di].dev_bufs.push(buf);
+            }
         }
 
-        self.copy_stream = Some(self.device.create_stream());
-        self.extra_streams = if ctx.cfg.dual_stream {
-            Some((self.device.create_stream(), self.device.create_stream()))
-        } else {
-            None
-        };
         self.codec = if ctx.cfg.transfer_mode == TransferMode::Compressed {
             Some(Arc::from(ctx.cfg.codec.build()))
         } else {
@@ -226,7 +291,9 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
     ) -> Result<(), EngineError> {
         let chunk_amps = ctx.chunk_amps();
         let n_cpu = ((work.groups.len() as f64) * ctx.cfg.cpu_share).round() as usize;
-        let (cpu_groups, dev_groups) = work.groups.split_at(n_cpu.min(work.groups.len()));
+        let n_cpu = n_cpu.min(work.groups.len());
+        let (cpu_groups, dev_groups) = work.groups.split_at(n_cpu);
+        let dev_shards = &work.shards[n_cpu..];
 
         // Step 5: idle-core CPU share, processed before device issue so
         // both halves of the stage stay within the stage barrier.
@@ -245,16 +312,14 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
 
         let store = &ctx.store;
         let telemetry = &ctx.telemetry;
-        let pinned = &self.pinned;
-        let dev_bufs = &self.dev_bufs;
-        let copy_stream = self.copy_stream.as_ref().expect("prepared");
-        let extra_streams = self.extra_streams.as_ref();
+        let lanes = &self.lanes;
+        let lane_groups = &self.lane_groups;
+        let n_dev = self.devices.len();
         let gate_counter = &self.counters.gates;
         let scalar_counter = &self.counters.scalars;
         let slots = self.slots;
         let pipelined = self.pipelined;
-        let issuer_codec = self.codec.clone();
-        let completer_codec = self.codec.clone();
+        let codec = self.codec.clone();
         let compressed_mode = self.codec.is_some();
         let si = work.index;
         let stage = work.stage;
@@ -267,188 +332,222 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         let error: Mutex<Option<EngineError>> = Mutex::new(None);
 
         crossbeam::thread::scope(|scope| {
-            let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
-            let (to_completer_tx, to_completer_rx) = bounded::<ToCompleter>(slots);
-            let (pool_tx, pool_rx) = bounded::<usize>(slots);
-            let (drain_ack_tx, drain_ack_rx) = bounded::<()>(1);
-            for i in 0..slots {
-                pool_tx.send(i).expect("pool has capacity");
+            // One issuer/completer pair — and one private slot pool — per
+            // fleet device; the producer below routes each group to the
+            // device its shard names.
+            let mut to_device_txs = Vec::with_capacity(n_dev);
+            let mut pool_rxs = Vec::with_capacity(n_dev);
+            let mut drain_ack_rxs = Vec::with_capacity(n_dev);
+            for di in 0..n_dev {
+                let (to_device_tx, to_device_rx) = bounded::<ToDevice>(slots);
+                let (to_completer_tx, to_completer_rx) = bounded::<ToCompleter>(slots);
+                let (pool_tx, pool_rx) = bounded::<usize>(slots);
+                let (drain_ack_tx, drain_ack_rx) = bounded::<()>(1);
+                for i in 0..slots {
+                    pool_tx.send(i).expect("pool has capacity");
+                }
+                to_device_txs.push(to_device_tx);
+                pool_rxs.push(pool_rx);
+                drain_ack_rxs.push(drain_ack_rx);
+
+                // --- device issuer (one per device) -------------------------
+                let issuer_telemetry = telemetry.clone();
+                let issuer_codec = codec.clone();
+                scope.spawn(move |_| {
+                    let lane = &lanes[di];
+                    let pinned = &lane.pinned;
+                    let dev_bufs = &lane.dev_bufs;
+                    let copy_stream = lane.copy_stream.as_ref().expect("prepared");
+                    let extra_streams = lane.extra_streams.as_ref();
+                    while let Ok(msg) = to_device_rx.recv() {
+                        match msg {
+                            ToDevice::Drain => {
+                                if to_completer_tx.send(ToCompleter::Drain).is_err() {
+                                    break;
+                                }
+                            }
+                            ToDevice::Work(mut work) => {
+                                let span =
+                                    issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
+                                let pb = &pinned[work.slot];
+                                let db = dev_bufs[work.slot];
+                                // Compressed transfer: the payloads go over the
+                                // link as-is and a device-side codec kernel
+                                // inflates them; on the way back, an encode
+                                // kernel folds in the group scalar and the
+                                // payload cells carry the bytes home.
+                                let payloads = work.payloads.take();
+                                let device_codec = payloads.is_some();
+                                let upload = |s: &Stream| match payloads {
+                                    Some(ps) => {
+                                        let codec = issuer_codec.as_ref().expect("codec prepared");
+                                        for (j, p) in ps.into_iter().enumerate() {
+                                            s.decode_chunk(
+                                                p,
+                                                codec,
+                                                db,
+                                                j * chunk_amps,
+                                                chunk_amps,
+                                            );
+                                        }
+                                    }
+                                    None => s.h2d(pb, 0, db, 0, work.amps),
+                                };
+                                let download = |s: &Stream, work: &mut Work| {
+                                    if device_codec {
+                                        let codec = issuer_codec.as_ref().expect("codec prepared");
+                                        for j in 0..work.group.len() {
+                                            work.cells.push(s.encode_chunk(
+                                                db,
+                                                j * chunk_amps,
+                                                chunk_amps,
+                                                work.scalar,
+                                                codec,
+                                            ));
+                                        }
+                                    } else {
+                                        s.d2h(db, 0, pb, 0, work.amps);
+                                    }
+                                };
+                                let event = match extra_streams {
+                                    // Multi-stream: uploads, kernels and downloads
+                                    // each get their own in-order stream, linked by
+                                    // events, so group k+1's H2D overlaps group k's
+                                    // kernels and group k-1's D2H — the paper's
+                                    // step (3): kernels run "asynchronously during
+                                    // the CPU-GPU data transfer".
+                                    Some((compute, down)) => {
+                                        upload(copy_stream);
+                                        let uploaded = copy_stream.record_event();
+                                        compute.wait_event(&uploaded);
+                                        if fuse_kernels {
+                                            compute.run_fused_gates_region(
+                                                db,
+                                                work.amps,
+                                                work.gates.clone(),
+                                            );
+                                        } else {
+                                            for g in &work.gates {
+                                                compute.run_gate_region(db, work.amps, g.clone());
+                                            }
+                                        }
+                                        let kernels_done = compute.record_event();
+                                        down.wait_event(&kernels_done);
+                                        download(down, &mut work);
+                                        down.record_event()
+                                    }
+                                    None => {
+                                        upload(copy_stream);
+                                        if fuse_kernels {
+                                            // One batched kernel over the leading
+                                            // `amps` region of the slot buffer.
+                                            copy_stream.run_fused_gates_region(
+                                                db,
+                                                work.amps,
+                                                work.gates.clone(),
+                                            );
+                                        } else {
+                                            for g in &work.gates {
+                                                // The kernel operates on the leading
+                                                // `amps` region of the slot buffer.
+                                                copy_stream.run_gate_region(
+                                                    db,
+                                                    work.amps,
+                                                    g.clone(),
+                                                );
+                                            }
+                                        }
+                                        download(copy_stream, &mut work);
+                                        copy_stream.record_event()
+                                    }
+                                };
+                                // Close before the send: a full channel is
+                                // backpressure wait, not device-issue work.
+                                drop(span);
+                                if to_completer_tx
+                                    .send(ToCompleter::Work(work, event))
+                                    .is_err()
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+
+                // --- completer / recompressor (one per device) --------------
+                let stage_groups_device_ref = &stage_groups_device;
+                let completer_telemetry = telemetry.clone();
+                let completer_codec = codec.clone();
+                let completer_error = &error;
+                scope.spawn(move |_| {
+                    let pinned = &lanes[di].pinned;
+                    while let Ok(msg) = to_completer_rx.recv() {
+                        match msg {
+                            ToCompleter::Drain => {
+                                if drain_ack_tx.send(()).is_err() {
+                                    break;
+                                }
+                            }
+                            ToCompleter::Work(work, event) => {
+                                // Waiting on the device is idle time, not
+                                // recompress work; the span opens only once
+                                // results are back.
+                                event.wait();
+                                let _span =
+                                    completer_telemetry.stage_span(Role::Recompress, work.stage);
+                                if work.cells.is_empty() {
+                                    // Raw path: scalar-fold on the host, then
+                                    // recompress chunk by chunk.
+                                    let mut failed = None;
+                                    pinned[work.slot].write(|data| {
+                                        if work.scalar != Complex64::ONE {
+                                            for z in &mut data[..work.amps] {
+                                                *z *= work.scalar;
+                                            }
+                                        }
+                                        for (j, &chunk) in work.group.iter().enumerate() {
+                                            if let Err(e) = store.store_chunk(
+                                                chunk,
+                                                &data[j * chunk_amps..(j + 1) * chunk_amps],
+                                            ) {
+                                                failed = Some(e);
+                                                return;
+                                            }
+                                        }
+                                    });
+                                    if let Some(e) = failed {
+                                        completer_error.lock().get_or_insert(e.into());
+                                    }
+                                } else if let Err(e) = complete_compressed(
+                                    store,
+                                    &work,
+                                    chunk_amps,
+                                    completer_codec.as_ref().expect("codec prepared"),
+                                ) {
+                                    completer_error.lock().get_or_insert(e);
+                                }
+                                stage_groups_device_ref.fetch_add(1, Ordering::Relaxed);
+                                lane_groups[di].fetch_add(1, Ordering::Relaxed);
+                                let _ = pool_tx.send(work.slot);
+                            }
+                        }
+                    }
+                });
             }
 
-            // --- device issuer ----------------------------------------------
-            let issuer_telemetry = telemetry.clone();
-            scope.spawn(move |_| {
-                while let Ok(msg) = to_device_rx.recv() {
-                    match msg {
-                        ToDevice::Drain => {
-                            if to_completer_tx.send(ToCompleter::Drain).is_err() {
-                                break;
-                            }
-                        }
-                        ToDevice::Work(mut work) => {
-                            let span = issuer_telemetry.stage_span(Role::DeviceIssue, work.stage);
-                            let pb = &pinned[work.slot];
-                            let db = dev_bufs[work.slot];
-                            // Compressed transfer: the payloads go over the
-                            // link as-is and a device-side codec kernel
-                            // inflates them; on the way back, an encode
-                            // kernel folds in the group scalar and the
-                            // payload cells carry the bytes home.
-                            let payloads = work.payloads.take();
-                            let device_codec = payloads.is_some();
-                            let upload = |s: &Stream| match payloads {
-                                Some(ps) => {
-                                    let codec = issuer_codec.as_ref().expect("codec prepared");
-                                    for (j, p) in ps.into_iter().enumerate() {
-                                        s.decode_chunk(p, codec, db, j * chunk_amps, chunk_amps);
-                                    }
-                                }
-                                None => s.h2d(pb, 0, db, 0, work.amps),
-                            };
-                            let download = |s: &Stream, work: &mut Work| {
-                                if device_codec {
-                                    let codec = issuer_codec.as_ref().expect("codec prepared");
-                                    for j in 0..work.group.len() {
-                                        work.cells.push(s.encode_chunk(
-                                            db,
-                                            j * chunk_amps,
-                                            chunk_amps,
-                                            work.scalar,
-                                            codec,
-                                        ));
-                                    }
-                                } else {
-                                    s.d2h(db, 0, pb, 0, work.amps);
-                                }
-                            };
-                            let event = match extra_streams {
-                                // Multi-stream: uploads, kernels and downloads
-                                // each get their own in-order stream, linked by
-                                // events, so group k+1's H2D overlaps group k's
-                                // kernels and group k-1's D2H — the paper's
-                                // step (3): kernels run "asynchronously during
-                                // the CPU-GPU data transfer".
-                                Some((compute, down)) => {
-                                    upload(copy_stream);
-                                    let uploaded = copy_stream.record_event();
-                                    compute.wait_event(&uploaded);
-                                    if fuse_kernels {
-                                        compute.run_fused_gates_region(
-                                            db,
-                                            work.amps,
-                                            work.gates.clone(),
-                                        );
-                                    } else {
-                                        for g in &work.gates {
-                                            compute.run_gate_region(db, work.amps, g.clone());
-                                        }
-                                    }
-                                    let kernels_done = compute.record_event();
-                                    down.wait_event(&kernels_done);
-                                    download(down, &mut work);
-                                    down.record_event()
-                                }
-                                None => {
-                                    upload(copy_stream);
-                                    if fuse_kernels {
-                                        // One batched kernel over the leading
-                                        // `amps` region of the slot buffer.
-                                        copy_stream.run_fused_gates_region(
-                                            db,
-                                            work.amps,
-                                            work.gates.clone(),
-                                        );
-                                    } else {
-                                        for g in &work.gates {
-                                            // The kernel operates on the leading
-                                            // `amps` region of the slot buffer.
-                                            copy_stream.run_gate_region(db, work.amps, g.clone());
-                                        }
-                                    }
-                                    download(copy_stream, &mut work);
-                                    copy_stream.record_event()
-                                }
-                            };
-                            // Close before the send: a full channel is
-                            // backpressure wait, not device-issue work.
-                            drop(span);
-                            if to_completer_tx
-                                .send(ToCompleter::Work(work, event))
-                                .is_err()
-                            {
-                                break;
-                            }
-                        }
-                    }
-                }
-            });
-
-            // --- completer / recompressor -----------------------------------
-            let stage_groups_device_ref = &stage_groups_device;
-            let completer_telemetry = telemetry.clone();
-            let completer_error = &error;
-            scope.spawn(move |_| {
-                while let Ok(msg) = to_completer_rx.recv() {
-                    match msg {
-                        ToCompleter::Drain => {
-                            if drain_ack_tx.send(()).is_err() {
-                                break;
-                            }
-                        }
-                        ToCompleter::Work(work, event) => {
-                            // Waiting on the device is idle time, not
-                            // recompress work; the span opens only once
-                            // results are back.
-                            event.wait();
-                            let _span =
-                                completer_telemetry.stage_span(Role::Recompress, work.stage);
-                            if work.cells.is_empty() {
-                                // Raw path: scalar-fold on the host, then
-                                // recompress chunk by chunk.
-                                let mut failed = None;
-                                pinned[work.slot].write(|data| {
-                                    if work.scalar != Complex64::ONE {
-                                        for z in &mut data[..work.amps] {
-                                            *z *= work.scalar;
-                                        }
-                                    }
-                                    for (j, &chunk) in work.group.iter().enumerate() {
-                                        if let Err(e) = store.store_chunk(
-                                            chunk,
-                                            &data[j * chunk_amps..(j + 1) * chunk_amps],
-                                        ) {
-                                            failed = Some(e);
-                                            return;
-                                        }
-                                    }
-                                });
-                                if let Some(e) = failed {
-                                    completer_error.lock().get_or_insert(e.into());
-                                }
-                            } else if let Err(e) = complete_compressed(
-                                store,
-                                &work,
-                                chunk_amps,
-                                completer_codec.as_ref().expect("codec prepared"),
-                            ) {
-                                completer_error.lock().get_or_insert(e);
-                            }
-                            stage_groups_device_ref.fetch_add(1, Ordering::Relaxed);
-                            let _ = pool_tx.send(work.slot);
-                        }
-                    }
-                }
-            });
-
             // --- producer (this thread): decompress + specialize ------------
-            'groups: for group in dev_groups {
+            'groups: for (group, &shard) in dev_groups.iter().zip(dev_shards) {
                 if error.lock().is_some() {
                     break 'groups;
                 }
-                // Acquire a staging slot (poll so a dead completer cannot
-                // wedge the producer).
+                // The driver's shard policy names the device; guard against
+                // a config/fleet mismatch rather than indexing out of range.
+                let di = shard % n_dev;
+                // Acquire a staging slot from that device's pool (poll so a
+                // dead completer cannot wedge the producer).
                 let slot = loop {
-                    match pool_rx.recv_timeout(Duration::from_millis(50)) {
+                    match pool_rxs[di].recv_timeout(Duration::from_millis(50)) {
                         Ok(s) => break s,
                         Err(RecvTimeoutError::Timeout) => {
                             if error.lock().is_some() {
@@ -465,7 +564,7 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                     let _span = telemetry.stage_span(Role::Decompress, si);
                     // Compressed transfer skips the host decode entirely:
                     // the stored payloads ship as-is. A refusing tier
-                    // (e.g. an active residency cache) drops the whole
+                    // (e.g. a codec-less dense store) drops the whole
                     // group back to raw staging.
                     if compressed_mode {
                         match fetch_payloads(store, group) {
@@ -474,7 +573,7 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                         }
                     }
                     if failed.is_none() && payloads.is_none() {
-                        pinned[slot].write(|data| {
+                        lanes[di].pinned[slot].write(|data| {
                             for (j, &chunk) in group.iter().enumerate() {
                                 if let Err(e) = store.load_chunk(
                                     chunk,
@@ -520,22 +619,24 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
                     payloads,
                     cells: Vec::new(),
                 };
-                if to_device_tx.send(ToDevice::Work(work)).is_err() {
+                if to_device_txs[di].send(ToDevice::Work(work)).is_err() {
                     break 'groups;
                 }
                 if !pipelined {
-                    // Serial ablation: drain the pipeline after every group.
-                    if to_device_tx.send(ToDevice::Drain).is_err() {
+                    // Serial ablation: drain that device's pipeline after
+                    // every group (only one lane is ever in flight, so the
+                    // no-role-overlap invariant survives the fleet).
+                    if to_device_txs[di].send(ToDevice::Drain).is_err() {
                         break 'groups;
                     }
-                    if drain_ack_rx.recv().is_err() {
+                    if drain_ack_rxs[di].recv().is_err() {
                         break 'groups;
                     }
                 }
             }
-            // Stage barrier: dropping the sender winds the pipeline down and
-            // the scope join waits for both roles to finish.
-            drop(to_device_tx);
+            // Stage barrier: dropping the senders winds every lane down and
+            // the scope join waits for all roles to finish.
+            drop(to_device_txs);
         })
         .expect("pipeline thread panicked");
 
@@ -546,40 +647,57 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         }
     }
 
-    fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
-        // Drain the streams first so every device counter has landed.
-        let mut device_stats = StreamStats::default();
-        if let Some(copy_stream) = self.copy_stream.take() {
-            device_stats = copy_stream.synchronize()?;
-        }
-        if let Some((compute, down)) = self.extra_streams.take() {
-            for s in [compute.synchronize()?, down.synchronize()?] {
-                // Streams share the device epoch: the device is done when the
-                // last stream is; category busy-times add.
-                device_stats.modeled = device_stats.modeled.max(s.modeled);
-                device_stats.modeled_h2d += s.modeled_h2d;
-                device_stats.modeled_d2h += s.modeled_d2h;
-                device_stats.modeled_kernel += s.modeled_kernel;
-                device_stats.modeled_scatter += s.modeled_scatter;
-                device_stats.modeled_decode += s.modeled_decode;
-                device_stats.modeled_encode += s.modeled_encode;
-                device_stats.modeled_wait += s.modeled_wait;
-                device_stats.real += s.real;
-                device_stats.commands += s.commands;
-                device_stats.bytes_h2d += s.bytes_h2d;
-                device_stats.bytes_d2h += s.bytes_d2h;
-                device_stats.bytes_h2d_compressed += s.bytes_h2d_compressed;
-                device_stats.bytes_d2h_compressed += s.bytes_d2h_compressed;
+    fn finish(&mut self, ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
+        // Drain every lane's streams first so all device counters have
+        // landed, then free its buffers; each lane yields one StreamStats.
+        let mut per_device = Vec::with_capacity(self.lanes.len());
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            let mut lane_stats = StreamStats::default();
+            if let Some(copy_stream) = lane.copy_stream.take() {
+                lane_stats = copy_stream.synchronize()?;
             }
-        }
-        for db in self.dev_bufs.drain(..) {
-            self.device.free(db)?;
+            if let Some((compute, down)) = lane.extra_streams.take() {
+                for s in [compute.synchronize()?, down.synchronize()?] {
+                    // Streams share their device's epoch: the device is done
+                    // when the last stream is; category busy-times add.
+                    merge_stream_stats(&mut lane_stats, &s);
+                }
+            }
+            for db in lane.dev_bufs.drain(..) {
+                self.devices[i].free(db)?;
+            }
+            per_device.push(lane_stats);
         }
         if self.telemetry_attached {
-            self.device.detach_telemetry();
+            for device in self.devices {
+                device.detach_telemetry();
+            }
             self.telemetry_attached = false;
         }
-        let staging_bytes = self.slots * self.max_group_amps * std::mem::size_of::<Complex64>();
+        // Fleet aggregate: devices run concurrently, so `modeled` is the
+        // makespan (max over lanes) while every other field sums.
+        let mut device_stats = StreamStats::default();
+        for s in &per_device {
+            merge_stream_stats(&mut device_stats, s);
+        }
+        ctx.telemetry.set_device_lanes(
+            per_device
+                .iter()
+                .enumerate()
+                .map(|(i, s)| DeviceLane {
+                    device: i,
+                    groups: self.lane_groups[i].load(Ordering::Relaxed) as u64,
+                    bytes_h2d: s.bytes_h2d as u64,
+                    bytes_d2h: s.bytes_d2h as u64,
+                    kernel_time_ns: s.modeled_kernel.as_nanos() as u64,
+                    modeled_ns: s.modeled.as_nanos() as u64,
+                })
+                .collect(),
+        );
+        let staging_bytes = self.devices.len()
+            * self.slots
+            * self.max_group_amps
+            * std::mem::size_of::<Complex64>();
         Ok(ExecutorStats {
             gates_applied: *self.counters.gates.get_mut(),
             scalars_applied: *self.counters.scalars.get_mut(),
@@ -589,6 +707,7 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
             pinned_bytes: staging_bytes,
             device_buffer_bytes: staging_bytes,
             device: device_stats,
+            per_device,
         })
     }
 }
@@ -606,11 +725,28 @@ pub fn run(
     device: &Device,
     pipelined: bool,
 ) -> Result<RunReport, EngineError> {
+    run_fleet(store, circuit, cfg, std::slice::from_ref(device), pipelined)
+}
+
+/// Runs `circuit` across an N-device fleet. Groups within a stage touch
+/// disjoint chunk sets, so the result is bit-identical to [`run`] on one
+/// device; only the modeled makespan shrinks. `cfg.devices` is overridden
+/// by `devices.len()` so the driver's shard assignment always matches the
+/// fleet that actually executes.
+pub fn run_fleet(
+    store: &Arc<dyn ChunkStore>,
+    circuit: &Circuit,
+    cfg: &MemQSimConfig,
+    devices: &[Device],
+    pipelined: bool,
+) -> Result<RunReport, EngineError> {
+    let mut cfg = *cfg;
+    cfg.devices = devices.len().max(1);
     // The device path is a batch-per-stage executor: its internal
     // producer/issuer/completer threads already overlap within a stage, so
     // it rides the serial adapter for the streaming driver protocol.
-    let mut executor = SerialAdapter::new(DevicePipelineExecutor::new(device, pipelined));
-    run_with_executor(store, circuit, cfg, Granularity::Staged, &mut executor)
+    let mut executor = SerialAdapter::new(DevicePipelineExecutor::new_fleet(devices, pipelined));
+    run_with_executor(store, circuit, &cfg, Granularity::Staged, &mut executor)
 }
 
 #[cfg(test)]
@@ -619,7 +755,7 @@ mod tests {
     use crate::testkit::{self, run_hybrid_and_compare};
     use mq_circuit::library;
     use mq_compress::CodecSpec;
-    use mq_device::DeviceSpec;
+    use mq_device::{DeviceSpec, DeviceTopology};
     use mq_telemetry::Counter;
 
     fn cfg(chunk_bits: u32) -> MemQSimConfig {
@@ -731,6 +867,119 @@ mod tests {
         assert!(!r.telemetry.has_role_overlap());
         assert_eq!(r.telemetry.overlap(), Duration::ZERO);
         assert_eq!(r.executor, "device-pipeline[serial]");
+    }
+
+    fn run_fleet_n(
+        c: &mq_circuit::Circuit,
+        n: usize,
+        pipelined: bool,
+    ) -> (Vec<Complex64>, RunReport) {
+        let config = cfg(3);
+        let store = testkit::zero_store(c.n_qubits(), 3, &config);
+        let fleet = DeviceTopology::homogeneous(n, DeviceSpec::tiny_test(1 << 12)).build();
+        let report = run_fleet(&store, c, &config, &fleet, pipelined).unwrap();
+        (store.to_dense().unwrap(), report)
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_to_single_device() {
+        // Groups within a stage touch disjoint chunk sets, so scattering
+        // them across devices cannot change a single bit of the state.
+        let c = library::qft(7);
+        let (one, r1) = run_fleet_n(&c, 1, true);
+        for n in [2usize, 4] {
+            let (state, r) = run_fleet_n(&c, n, true);
+            assert_eq!(one, state, "{n} devices");
+            assert_eq!(r.executor, format!("device-fleet[pipelined x{n}]"));
+            assert_eq!(r.per_device.len(), n);
+            assert_eq!(r.gates_applied, r1.gates_applied);
+            assert_eq!(r.chunk_visits, r1.chunk_visits);
+        }
+        assert_eq!(r1.executor, "device-pipeline[pipelined]");
+        assert_eq!(r1.per_device.len(), 1);
+    }
+
+    #[test]
+    fn fleet_aggregate_is_makespan_plus_sums() {
+        let c = library::qft(7);
+        let (_, r) = run_fleet_n(&c, 3, true);
+        let lanes = &r.per_device;
+        assert_eq!(lanes.len(), 3);
+        let makespan = lanes.iter().map(|s| s.modeled).max().unwrap();
+        assert_eq!(r.device.modeled, makespan);
+        assert_eq!(
+            r.device.bytes_h2d,
+            lanes.iter().map(|s| s.bytes_h2d).sum::<usize>()
+        );
+        assert_eq!(
+            r.device.commands,
+            lanes.iter().map(|s| s.commands).sum::<usize>()
+        );
+        assert_eq!(
+            r.device.modeled_kernel,
+            lanes.iter().map(|s| s.modeled_kernel).sum()
+        );
+        // Every lane took some work on this workload, and the per-lane
+        // telemetry mirrors the stream accounting.
+        let tl = r.telemetry.device_lanes();
+        assert_eq!(tl.len(), 3);
+        let total_groups: u64 = tl.iter().map(|l| l.groups).sum();
+        assert_eq!(total_groups as usize, r.groups_device);
+        for (i, lane) in tl.iter().enumerate() {
+            assert_eq!(lane.device, i);
+            assert!(lane.groups > 0, "lane {i} starved");
+            assert_eq!(lane.bytes_h2d as usize, lanes[i].bytes_h2d);
+            assert_eq!(lane.modeled_ns as u128, lanes[i].modeled.as_nanos());
+        }
+        assert!(r.telemetry.load_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn fleet_shrinks_modeled_makespan() {
+        // The same group set spread over 4 devices must finish (in modeled
+        // time) well ahead of one device grinding through all of it.
+        let c = library::qft(8);
+        let (_, r1) = run_fleet_n(&c, 1, true);
+        let (_, r4) = run_fleet_n(&c, 4, true);
+        assert!(
+            r4.device.modeled < r1.device.modeled,
+            "4-dev {:?} !< 1-dev {:?}",
+            r4.device.modeled,
+            r1.device.modeled
+        );
+    }
+
+    #[test]
+    fn fleet_serial_ablation_keeps_role_exclusivity() {
+        // The serial ablation drains the targeted lane after every group,
+        // so even with multiple devices only one role is ever active.
+        let c = library::qft(7);
+        let (one, _) = run_fleet_n(&c, 1, false);
+        let (state, r) = run_fleet_n(&c, 2, false);
+        assert_eq!(one, state);
+        assert_eq!(r.executor, "device-fleet[serial x2]");
+        assert!(!r.telemetry.has_role_overlap());
+    }
+
+    #[test]
+    fn fleet_respects_every_shard_policy() {
+        let c = library::random_circuit(7, 6, 7);
+        let base = cfg(3);
+        let (reference, _) = run_fleet_n(&c, 1, true);
+        for policy in [
+            crate::config::ShardPolicy::ChunkAffinity,
+            crate::config::ShardPolicy::RoundRobin,
+            crate::config::ShardPolicy::LoadBalanced,
+        ] {
+            let config = MemQSimConfig {
+                shard_policy: policy,
+                ..base
+            };
+            let store = testkit::zero_store(7, 3, &config);
+            let fleet = DeviceTopology::homogeneous(3, DeviceSpec::tiny_test(1 << 12)).build();
+            run_fleet(&store, &c, &config, &fleet, true).unwrap();
+            assert_eq!(store.to_dense().unwrap(), reference, "{policy:?}");
+        }
     }
 
     #[test]
@@ -902,9 +1151,10 @@ mod compressed_transfer_tests {
     }
 
     #[test]
-    fn active_cache_falls_back_to_raw_staging() {
-        // A residency cache refuses payload passthrough, so the run stays
-        // correct but ships raw bytes (and still hits the cache).
+    fn active_cache_serves_payloads() {
+        // A residency cache serves payloads encode-through (dirty residents
+        // written back first), so compressed transfer survives a nonzero
+        // cache budget instead of degrading to whole-group raw staging.
         let circuit = library::qft(7);
         let config = MemQSimConfig {
             cache_bytes: 8 * (1 << 3) * 16,
@@ -913,8 +1163,13 @@ mod compressed_transfer_tests {
         let store = testkit::zero_store(7, 3, &config);
         let dev = Device::new(DeviceSpec::tiny_test(1 << 12));
         let report = run(&store, &circuit, &config, &dev, true).unwrap();
-        assert_eq!(report.device.bytes_h2d_compressed, 0);
-        assert!(report.telemetry.counter(Counter::CacheHits) > 0);
+        assert!(report.device.bytes_h2d_compressed > 0);
+        let hits = report.telemetry.counter(Counter::CacheHits);
+        let misses = report.telemetry.counter(Counter::CacheMisses);
+        assert_eq!(
+            hits + misses,
+            report.telemetry.counter(Counter::ChunkVisits)
+        );
         assert!(max_amp_err(&store.to_dense().unwrap(), &run_dense(&circuit, 0)) < 1e-10);
     }
 }

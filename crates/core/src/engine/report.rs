@@ -30,8 +30,13 @@ pub struct RunReport {
     /// Cumulative time in chunk recompression.
     pub compress: Duration,
     /// Device-side accounting (modeled H2D/kernel/D2H and real time);
-    /// all-zero for executors that never touch a device.
+    /// all-zero for executors that never touch a device. For an N-device
+    /// fleet this is the aggregate: `modeled` is the makespan (max over
+    /// devices), every other field sums across [`per_device`](Self::per_device).
     pub device: StreamStats,
+    /// Per-device stream accounting, one entry per fleet device (empty for
+    /// executors that never touch a device).
+    pub per_device: Vec<StreamStats>,
     /// Number of stages executed.
     pub stages: usize,
     /// Total chunk visits (decompress+recompress rounds).

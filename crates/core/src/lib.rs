@@ -56,13 +56,14 @@ pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
 pub use config::{
-    FusionLevel, MemQSimConfig, MemQSimConfigBuilder, StoreKind, TransferMode, WorkerSplit,
+    FusionLevel, MemQSimConfig, MemQSimConfigBuilder, ShardPolicy, StoreKind, TransferMode,
+    WorkerSplit,
 };
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
     GroupWork, RunReport, SerialAdapter, StageBatchExecutor, StageWork,
 };
-pub use mq_telemetry::{Counter, Role, RunTelemetry, SpanRecord, Telemetry};
+pub use mq_telemetry::{Counter, DeviceLane, Role, RunTelemetry, SpanRecord, Telemetry};
 pub use store::{
     build_store, build_store_from_amplitudes, CachePolicy, ChunkStore, CompressedTier, DenseStore,
     ResidencyCache, SpillStore, StoreCounters, TelemetryTier,
@@ -125,16 +126,18 @@ impl MemQSim {
     }
 
     /// Simulates `circuit` through the full hybrid CPU/device pipeline on a
-    /// freshly created simulated device. Returns the final chunked state
-    /// and the pipeline report (device modeled clocks, per-phase timing).
+    /// freshly created simulated device fleet (`cfg.devices` homogeneous
+    /// copies of `device_spec`; 1 by default). Returns the final chunked
+    /// state and the pipeline report (device modeled clocks, per-phase
+    /// timing, per-device lanes).
     pub fn simulate_hybrid(
         &self,
         circuit: &Circuit,
         device_spec: mq_device::DeviceSpec,
     ) -> Result<(Arc<dyn ChunkStore>, RunReport), EngineError> {
         let store = build_store(circuit.n_qubits(), &self.cfg)?;
-        let device = mq_device::Device::new(device_spec);
-        let report = engine::hybrid::run(&store, circuit, &self.cfg, &device, true)?;
+        let fleet = mq_device::DeviceTopology::homogeneous(self.cfg.devices, device_spec).build();
+        let report = engine::hybrid::run_fleet(&store, circuit, &self.cfg, &fleet, true)?;
         Ok((store, report))
     }
 }

@@ -370,27 +370,76 @@ impl ChunkStore for ResidencyCache {
         Ok(())
     }
 
-    /// Opts out of payload passthrough when the cache is active: a resident
-    /// copy may be newer than the inner store's bytes, so handing out the
-    /// inner payload could resurrect stale data. Callers fall back to
-    /// [`load_chunk`](ChunkStore::load_chunk), which serves the resident
-    /// copy. A passthrough cache (capacity 0) delegates.
+    /// Serves a codec payload *through* the cache: a dirty resident copy is
+    /// written back first (encode-through), so the inner store's bytes are
+    /// never stale when they ship. Served payloads count as cache hits when
+    /// the chunk was resident (the resident copy vouched for freshness) and
+    /// misses otherwise, preserving `hits + misses == chunk_visits`; an
+    /// inner refusal counts nothing — the caller falls back to
+    /// [`load_chunk`](ChunkStore::load_chunk), which does its own counting.
     fn load_chunk_payload(&self, i: usize) -> Result<Option<Vec<u8>>, CodecError> {
         if self.capacity == 0 {
             return self.inner.load_chunk_payload(i);
         }
-        Ok(None)
+        let mut was_resident = false;
+        let dirty = {
+            let mut cache = self.state.lock();
+            cache.tick += 1;
+            let tick = cache.tick;
+            match cache.map.get_mut(&i) {
+                Some(e) => {
+                    e.tick = tick;
+                    was_resident = true;
+                    e.dirty.then(|| (e.amps.clone(), e.gen))
+                }
+                None => None,
+            }
+        };
+        if let Some((amps, gen)) = dirty {
+            self.writeback(i, &amps, gen)?;
+        }
+        let payload = self.inner.load_chunk_payload(i)?;
+        if payload.is_some() {
+            if was_resident {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(payload)
     }
 
-    /// Mirror of [`load_chunk_payload`](ChunkStore::load_chunk_payload):
-    /// an active cache refuses payloads (committing one under a resident
-    /// entry would be shadowed by it), so callers decode on the host and
-    /// [`store_chunk`](ChunkStore::store_chunk) instead.
+    /// Commits a codec payload through to the inner store and, on
+    /// acceptance, invalidates any resident copy (its decompressed bytes
+    /// are stale the moment the payload lands) and bumps the chunk's write
+    /// version so a racing decode cannot re-admit the old content. Counts
+    /// nothing: the matching [`load_chunk_payload`] already booked this
+    /// chunk's visit. An inner refusal leaves the cache untouched.
+    ///
+    /// [`load_chunk_payload`]: ChunkStore::load_chunk_payload
     fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
         if self.capacity == 0 {
             return self.inner.store_chunk_payload(i, payload);
         }
-        Ok(false)
+        let accepted = {
+            // Commit under the cache lock (lock order allows cache → inner)
+            // so the version bump, the inner write and the invalidation are
+            // one atomic step from any concurrent load's point of view.
+            let mut cache = self.state.lock();
+            let accepted = self.inner.store_chunk_payload(i, payload)?;
+            if accepted {
+                self.versions[i].fetch_add(1, Ordering::Release);
+                if cache.map.remove(&i).is_some() {
+                    self.cache_bytes_now
+                        .store(cache.map.len() * self.entry_bytes, Ordering::Relaxed);
+                }
+            }
+            accepted
+        };
+        if accepted {
+            self.note_resident();
+        }
+        Ok(accepted)
     }
 
     /// Writes every dirty resident chunk back to the inner store (entries
@@ -715,6 +764,72 @@ mod tests {
         for (a, b) in back.iter().zip(&buf) {
             assert!((a.re - b.re).abs() <= 1e-9);
         }
+    }
+
+    #[test]
+    fn payload_load_writes_back_dirty_resident_copy() {
+        let (inner, store) = cached_store(4);
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.03 * k as f64, 0.0)).collect();
+        store.store_chunk(2, &buf).unwrap(); // dirty resident, no codec yet
+        let compressed_0 = store.counters().bytes_compressed;
+        let payload = store.load_chunk_payload(2).unwrap();
+        assert!(payload.is_some(), "active cache must serve payloads now");
+        assert!(
+            store.counters().bytes_compressed > compressed_0,
+            "dirty resident must be written back before its payload ships"
+        );
+        // The shipped payload reflects the resident content, not the stale
+        // inner zero state.
+        let mut back = vec![Complex64::ZERO; 16];
+        inner.load_chunk(2, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+        // Resident chunk: the payload load books a cache hit, keeping the
+        // visit identity intact.
+        let c = store.counters();
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_hits + c.cache_misses, c.chunk_visits);
+    }
+
+    #[test]
+    fn payload_store_invalidates_resident_copy() {
+        let (inner, store) = cached_store(4);
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(3, &mut buf).unwrap(); // clean resident
+        assert!(store.resident_chunks().contains(&3));
+        // Forge new content for chunk 3 by encoding it through the inner
+        // tier at another index.
+        let fresh: Vec<Complex64> = (0..16).map(|k| c64(0.07 * k as f64, 0.02)).collect();
+        inner.store_chunk(9, &fresh).unwrap();
+        let payload = inner.load_chunk_payload(9).unwrap().unwrap();
+        assert!(store.store_chunk_payload(3, payload).unwrap());
+        assert!(
+            !store.resident_chunks().contains(&3),
+            "accepted payload must invalidate the stale resident copy"
+        );
+        // The next load sees the committed payload, not the old zeros.
+        store.load_chunk(3, &mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&fresh) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn payload_round_trip_through_active_cache_counts_once() {
+        let (_, store) = cached_store(4);
+        // Miss path: not resident, payload served straight from the inner
+        // tier — one visit, counted as a miss.
+        let p = store.load_chunk_payload(5).unwrap().unwrap();
+        let c = store.counters();
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.cache_hits, 0);
+        assert_eq!(c.chunk_visits, 1);
+        // Commit path books nothing: the pair is one visit total.
+        assert!(store.store_chunk_payload(5, p).unwrap());
+        let c = store.counters();
+        assert_eq!(c.cache_hits + c.cache_misses, c.chunk_visits);
+        assert_eq!(c.chunk_visits, 1);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   gate kernels, events, synchronize. Every command does its real data
 //!   movement *and* is charged a deterministic modeled duration, so
 //!   experiments report a reproducible simulated clock alongside wall time.
+//! * [`topology`] — an N-device fleet description ([`DeviceTopology`]):
+//!   one spec per card, built into N fully independent [`Device`]s.
 //! * [`transfer`] — the Table 1 transfer strategies (plus the compressed
 //!   variant the paper left open) as reusable experiments.
 //! * [`codec_backend`] — the device-side
@@ -56,6 +58,7 @@ pub mod error;
 pub mod memory;
 pub mod model;
 pub mod stream;
+pub mod topology;
 pub mod transfer;
 
 pub use codec_backend::DeviceCodecBackend;
@@ -63,6 +66,7 @@ pub use error::DeviceError;
 pub use memory::{DeviceBuffer, PinnedBuffer};
 pub use model::DeviceSpec;
 pub use stream::{Device, Event, EventRecord, PayloadCell, ScatterMap, Stream, StreamStats};
+pub use topology::DeviceTopology;
 pub use transfer::{
     run_compressed_transfer_experiment, run_transfer_experiment, CompressedTransferReport,
     TransferReport, TransferStrategy,

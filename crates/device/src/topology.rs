@@ -1,0 +1,109 @@
+//! Multi-device fleet description.
+//!
+//! A [`DeviceTopology`] is the static picture of the machine: one
+//! [`DeviceSpec`] per simulated GPU, optionally heterogeneous. Building the
+//! topology instantiates one independent [`Device`] per spec — each with its
+//! own memory arena, stream workers, and telemetry hook — so an N-device
+//! fleet is N fully isolated modeled cards, exactly as N physical cards
+//! would be.
+
+use crate::model::DeviceSpec;
+use crate::stream::Device;
+
+/// Static description of an N-device fleet.
+///
+/// ```
+/// use mq_device::{DeviceSpec, DeviceTopology};
+///
+/// let topo = DeviceTopology::homogeneous(4, DeviceSpec::pcie_gen3());
+/// assert_eq!(topo.len(), 4);
+/// let fleet = topo.build();
+/// assert_eq!(fleet.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTopology {
+    specs: Vec<DeviceSpec>,
+}
+
+impl DeviceTopology {
+    /// A topology from explicit (possibly heterogeneous) per-device specs.
+    /// An empty spec list is normalized to a single default device so a
+    /// topology always describes at least one card.
+    pub fn new(specs: Vec<DeviceSpec>) -> DeviceTopology {
+        let specs = if specs.is_empty() {
+            vec![DeviceSpec::pcie_gen3()]
+        } else {
+            specs
+        };
+        DeviceTopology { specs }
+    }
+
+    /// `n` identical devices. `n == 0` is normalized to 1.
+    pub fn homogeneous(n: usize, spec: DeviceSpec) -> DeviceTopology {
+        DeviceTopology::new(vec![spec; n.max(1)])
+    }
+
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Always false: a topology holds at least one device.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The per-device specs, in device-index order.
+    pub fn specs(&self) -> &[DeviceSpec] {
+        &self.specs
+    }
+
+    /// The spec of device `i`.
+    pub fn spec(&self, i: usize) -> &DeviceSpec {
+        &self.specs[i]
+    }
+
+    /// Instantiate the fleet: one independent [`Device`] per spec, each with
+    /// its own arena and stream workers.
+    pub fn build(&self) -> Vec<Device> {
+        self.specs.iter().cloned().map(Device::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builds_n_independent_devices() {
+        let topo = DeviceTopology::homogeneous(3, DeviceSpec::tiny_test(64));
+        assert_eq!(topo.len(), 3);
+        assert!(!topo.is_empty());
+        let fleet = topo.build();
+        assert_eq!(fleet.len(), 3);
+        // Arenas are independent: exhausting one device leaves the others
+        // untouched.
+        let big = fleet[0].alloc(64).unwrap();
+        assert!(fleet[0].alloc(1).is_err());
+        assert!(fleet[1].alloc(64).is_ok());
+        fleet[0].free(big).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_specs_are_preserved_in_order() {
+        let topo = DeviceTopology::new(vec![DeviceSpec::tiny_test(32), DeviceSpec::pcie_gen3()]);
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.spec(0).memory_amps, 32);
+        assert_eq!(topo.spec(1).name, "sim-pcie-gen3");
+        assert_eq!(topo.specs()[0].name, "sim-tiny");
+    }
+
+    #[test]
+    fn zero_devices_normalizes_to_one() {
+        assert_eq!(
+            DeviceTopology::homogeneous(0, DeviceSpec::tiny_test(8)).len(),
+            1
+        );
+        assert_eq!(DeviceTopology::new(Vec::new()).len(), 1);
+    }
+}

@@ -202,6 +202,29 @@ impl Counter {
 
 const NUM_COUNTERS: usize = Counter::ALL.len();
 
+/// Per-device accounting lane for an N-device fleet run.
+///
+/// One lane per device in the fleet, recorded by the executor when it
+/// gathers per-device stream stats at the end of a run. Lanes make the
+/// fleet's balance observable: the makespan is the max `modeled_ns` over
+/// lanes, and [`RunTelemetry::load_imbalance`] summarizes how far the
+/// shard policy strayed from an even split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceLane {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Chunk groups this device executed.
+    pub groups: u64,
+    /// Bytes copied host-to-device on this device's streams.
+    pub bytes_h2d: u64,
+    /// Bytes copied device-to-host on this device's streams.
+    pub bytes_d2h: u64,
+    /// Modeled nanoseconds in gate kernels on this device.
+    pub kernel_time_ns: u64,
+    /// This device's total modeled stream time (its lane of the makespan).
+    pub modeled_ns: u64,
+}
+
 /// One closed span: a role busy on `[start_ns, end_ns)` relative to the
 /// run epoch, optionally attributed to a pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +252,7 @@ struct Inner {
     epoch: Instant,
     counters: [AtomicU64; NUM_COUNTERS],
     spans: Mutex<Vec<SpanRecord>>,
+    device_lanes: Mutex<Vec<DeviceLane>>,
     opened: AtomicU64,
     closed: AtomicU64,
 }
@@ -267,6 +291,7 @@ impl Telemetry {
                 epoch: Instant::now(),
                 counters: [const { AtomicU64::new(0) }; NUM_COUNTERS],
                 spans: Mutex::new(Vec::new()),
+                device_lanes: Mutex::new(Vec::new()),
                 opened: AtomicU64::new(0),
                 closed: AtomicU64::new(0),
             }),
@@ -310,6 +335,17 @@ impl Telemetry {
         self.inner.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Records the run's per-device lanes (replacing any previous set).
+    /// Called by fleet executors when they gather per-device stats, before
+    /// the run snapshot is taken.
+    pub fn set_device_lanes(&self, lanes: Vec<DeviceLane>) {
+        *self
+            .inner
+            .device_lanes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = lanes;
+    }
+
     /// Snapshots the record into an immutable [`RunTelemetry`].
     ///
     /// Spans still open at this point stay unrecorded (and show up as an
@@ -331,6 +367,12 @@ impl Telemetry {
             wall: Duration::from_nanos(self.now_ns()),
             counters,
             spans,
+            device_lanes: self
+                .inner
+                .device_lanes
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
             spans_opened: self.inner.opened.load(Ordering::Relaxed),
             spans_closed: self.inner.closed.load(Ordering::Relaxed),
         }
@@ -369,6 +411,7 @@ pub struct RunTelemetry {
     pub wall: Duration,
     counters: [u64; NUM_COUNTERS],
     spans: Vec<SpanRecord>,
+    device_lanes: Vec<DeviceLane>,
     /// Spans opened over the run's lifetime.
     pub spans_opened: u64,
     /// Spans closed over the run's lifetime.
@@ -384,6 +427,31 @@ impl RunTelemetry {
     /// Final value of a counter.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
+    }
+
+    /// Per-device accounting lanes (empty for runs without a device fleet).
+    pub fn device_lanes(&self) -> &[DeviceLane] {
+        &self.device_lanes
+    }
+
+    /// Fleet load-imbalance ratio: max per-device modeled time over the
+    /// mean. 1.0 is a perfectly balanced fleet; returns 1.0 for runs with
+    /// at most one lane or no modeled device time at all.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.device_lanes.len() <= 1 {
+            return 1.0;
+        }
+        let max = self
+            .device_lanes
+            .iter()
+            .map(|l| l.modeled_ns)
+            .max()
+            .unwrap_or(0);
+        let sum: u64 = self.device_lanes.iter().map(|l| l.modeled_ns).sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * self.device_lanes.len() as f64 / sum as f64
     }
 
     /// True when every opened span was closed before the snapshot.
@@ -496,6 +564,23 @@ impl RunTelemetry {
             self.overlap().as_nanos(),
             self.has_role_overlap()
         ));
+        if !self.device_lanes.is_empty() {
+            out.push_str(",\n  \"devices\": [");
+            for (i, l) in self.device_lanes.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"device\": {}, \"groups\": {}, \"bytes_h2d\": {}, \
+                     \"bytes_d2h\": {}, \"kernel_time_ns\": {}, \"modeled_ns\": {}}}",
+                    l.device, l.groups, l.bytes_h2d, l.bytes_d2h, l.kernel_time_ns, l.modeled_ns
+                ));
+            }
+            out.push_str(&format!(
+                "],\n  \"load_imbalance\": {:.4}",
+                self.load_imbalance()
+            ));
+        }
         if include_spans {
             out.push_str(",\n  \"spans\": [");
             for (i, s) in self.spans.iter().enumerate() {
@@ -614,6 +699,50 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn device_lanes_round_trip_and_score_imbalance() {
+        let t = Telemetry::new();
+        // No lanes: neutral imbalance, no JSON section.
+        assert_eq!(t.finish().load_imbalance(), 1.0);
+        assert!(!t.finish().to_json(false).contains("\"devices\""));
+
+        t.set_device_lanes(vec![
+            DeviceLane {
+                device: 0,
+                groups: 3,
+                bytes_h2d: 100,
+                bytes_d2h: 50,
+                kernel_time_ns: 10,
+                modeled_ns: 300,
+            },
+            DeviceLane {
+                device: 1,
+                groups: 1,
+                bytes_h2d: 40,
+                bytes_d2h: 20,
+                kernel_time_ns: 4,
+                modeled_ns: 100,
+            },
+        ]);
+        let run = t.finish();
+        assert_eq!(run.device_lanes().len(), 2);
+        assert_eq!(run.device_lanes()[1].bytes_h2d, 40);
+        // max 300, mean 200 -> 1.5.
+        assert!((run.load_imbalance() - 1.5).abs() < 1e-12);
+        let json = run.to_json(false);
+        assert!(json.contains("\"devices\""), "{json}");
+        assert!(json.contains("\"load_imbalance\": 1.5000"), "{json}");
+        assert!(json.contains("\"modeled_ns\": 300"), "{json}");
+
+        // A single lane is balanced by definition.
+        let t = Telemetry::new();
+        t.set_device_lanes(vec![DeviceLane {
+            modeled_ns: 42,
+            ..DeviceLane::default()
+        }]);
+        assert_eq!(t.finish().load_imbalance(), 1.0);
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub use mq_telemetry as telemetry;
 pub use memqsim_core::{
     Backend, BackendRun, CachePolicy, ChunkExecutor, ChunkStore, CompressedCpuBackend,
     DenseCpuBackend, EngineError, FusionLevel, HybridBackend, MemQSim, MemQSimConfig,
-    MemQSimConfigBuilder, RunReport, RunTelemetry, StageBatchExecutor, StoreCounters, StoreKind,
-    TransferMode, WorkerSplit,
+    MemQSimConfigBuilder, RunReport, RunTelemetry, ShardPolicy, StageBatchExecutor, StoreCounters,
+    StoreKind, TransferMode, WorkerSplit,
 };
 pub use mq_compress::CodecSpec;
-pub use mq_device::DeviceSpec;
+pub use mq_device::{DeviceSpec, DeviceTopology};

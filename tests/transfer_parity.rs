@@ -85,6 +85,49 @@ fn compressed_transfers_cut_traffic_without_changing_results() {
     );
 }
 
+/// An *active* residency cache no longer forces whole-group raw fallback:
+/// it serves payloads encode-through (dirty residents written back first)
+/// and commits device-encoded payloads by invalidating the resident slot.
+/// With a lossless codec the cached compressed run stays bit-identical to
+/// the cached raw run while actually shipping compressed link traffic.
+///
+/// `cpu_share: 0.5` matters here — the CPU half of every stage dirties the
+/// cache through plain `store_chunk`, so the device half keeps exercising
+/// the writeback-on-payload-load path, not just cold serves.
+#[test]
+fn compressed_transfers_survive_an_active_cache() {
+    let cached = |mode: TransferMode| {
+        let cfg = MemQSimConfig {
+            cache_bytes: 8 * (1 << 3) * 16, // half the chunks
+            cpu_share: 0.5,
+            ..config(CodecSpec::Fpc, mode)
+        };
+        let circuit = library::qft(7);
+        let store = build_store(7, &cfg).expect("store");
+        let device = Device::new(DeviceSpec::tiny_test(1 << 12));
+        let report = hybrid::run(&store, &circuit, &cfg, &device, true).expect("run");
+        (store.to_dense().expect("dense"), report)
+    };
+    let (raw_state, raw) = cached(TransferMode::Raw);
+    let (comp_state, comp) = cached(TransferMode::Compressed);
+    assert_eq!(raw_state, comp_state, "cached compressed diverged from raw");
+    assert_eq!(raw.gates_applied, comp.gates_applied);
+    assert_eq!(raw.chunk_visits, comp.chunk_visits);
+    assert!(
+        comp.device.bytes_h2d_compressed > 0,
+        "active cache must serve payloads, not fall back to raw staging"
+    );
+    for r in [&raw, &comp] {
+        let hits = r.telemetry.counter(mq_telemetry::Counter::CacheHits);
+        let misses = r.telemetry.counter(mq_telemetry::Counter::CacheMisses);
+        assert_eq!(
+            hits + misses,
+            r.telemetry.counter(mq_telemetry::Counter::ChunkVisits),
+            "cache visit identity broke"
+        );
+    }
+}
+
 fn adversarial_f64() -> impl Strategy<Value = f64> {
     prop_oneof![
         6 => -1.0f64..1.0,
