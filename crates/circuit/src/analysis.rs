@@ -28,6 +28,10 @@ pub struct LocalityProfile {
     pub stages: usize,
     /// Chunk visits under the staged plan.
     pub staged_chunk_visits: usize,
+    /// Chunk visits under the staged plan with a greedy qubit layout
+    /// (remap sweeps included; equals `staged_chunk_visits` when the
+    /// planner keeps the fixed layout).
+    pub greedy_chunk_visits: usize,
     /// Chunk visits under the per-gate baseline.
     pub per_gate_chunk_visits: usize,
     /// Per-qubit gate-touch counts (index = qubit).
@@ -50,6 +54,16 @@ impl LocalityProfile {
             return 1.0;
         }
         self.per_gate_chunk_visits as f64 / self.staged_chunk_visits as f64
+    }
+
+    /// Ratio of fixed-layout to greedy-layout chunk visits — the further
+    /// factor the remap machinery buys on top of staging (>= 1; exactly 1
+    /// when the planner keeps the fixed layout).
+    pub fn layout_gain(&self) -> f64 {
+        if self.greedy_chunk_visits == 0 {
+            return 1.0;
+        }
+        self.staged_chunk_visits as f64 / self.greedy_chunk_visits as f64
     }
 }
 
@@ -86,6 +100,7 @@ pub fn locality_profile(circuit: &Circuit, chunk_bits: u32) -> LocalityProfile {
         max_high_qubits: if needs_two_high { 2 } else { 1 },
     };
     let plan = partition(circuit, &cfg);
+    let greedy = crate::layout::plan_greedy(circuit, &cfg);
     let per_gate = partition_per_gate(circuit, chunk_bits);
 
     LocalityProfile {
@@ -97,6 +112,7 @@ pub fn locality_profile(circuit: &Circuit, chunk_bits: u32) -> LocalityProfile {
         diagonal_gates,
         stages: plan.stages.len(),
         staged_chunk_visits: plan.chunk_visits(),
+        greedy_chunk_visits: greedy.chunk_visits(),
         per_gate_chunk_visits: per_gate.chunk_visits(),
         qubit_touches,
     }
@@ -133,6 +149,24 @@ mod tests {
             assert_eq!(p.local_gates, p.gates, "{}", c.name());
             assert_eq!(p.stages, 1.min(p.gates), "{}", c.name());
         }
+    }
+
+    #[test]
+    fn greedy_layout_never_profiles_worse_than_fixed() {
+        for c in library::standard_suite(8) {
+            let p = locality_profile(&c, 4);
+            assert!(
+                p.greedy_chunk_visits <= p.staged_chunk_visits,
+                "{}: greedy {} > fixed {}",
+                c.name(),
+                p.greedy_chunk_visits,
+                p.staged_chunk_visits
+            );
+            assert!(p.layout_gain() >= 1.0, "{}", c.name());
+        }
+        // QFT's absorbed tail swap network makes the gain strict.
+        let p = locality_profile(&library::qft(10), 4);
+        assert!(p.layout_gain() > 1.0, "qft gain {}", p.layout_gain());
     }
 
     #[test]

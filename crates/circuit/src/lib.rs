@@ -12,6 +12,9 @@
 //!   cross-chunk working set.
 //! * [`reorder`] — commutation-aware gate clustering that reduces the
 //!   partitioner's stage count without changing the circuit's unitary.
+//! * [`layout`] — logical→physical qubit layouts and the greedy remap
+//!   planning pass: relabel qubits between stages so hot cross-chunk gates
+//!   become chunk-local (the lever reordering alone cannot pull).
 //! * [`analysis`] — locality/access-pattern statistics (paper design
 //!   challenge 3).
 //! * [`library`] — generators for the workloads used throughout the
@@ -43,6 +46,7 @@ pub mod analysis;
 pub mod circuit;
 pub mod fusion;
 pub mod gate;
+pub mod layout;
 pub mod library;
 pub mod matrix;
 pub mod partition;

@@ -14,6 +14,7 @@
 //! challenge (2): compression frequency drops from per-gate to per-stage.
 
 use crate::gate::Gate;
+use crate::layout::QubitLayout;
 use crate::Circuit;
 
 /// Planner configuration.
@@ -35,18 +36,94 @@ impl Default for PartitionConfig {
     }
 }
 
+/// A remap transition: an ordered list of transpositions of *physical* bit
+/// positions applied to the stored state between stages (or, for a plan's
+/// epilogue, after the last stage). Each transposition `(a, b)` exchanges
+/// the amplitudes' bit positions `a` and `b`. Cost depends on where the
+/// positions fall relative to `chunk_bits`:
+///
+/// * both high — pairwise chunk exchange, no intra-chunk movement, and a
+///   payload-capable store swaps compressed bytes (zero chunk visits);
+/// * one high, one low — a full gather sweep over chunk pairs, one visit
+///   per chunk;
+/// * both low — an intra-chunk bit swap per chunk, one visit per chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapTransition {
+    /// Physical position transpositions, in application order.
+    pub swaps: Vec<(u32, u32)>,
+}
+
+impl RemapTransition {
+    /// Chunk visits this transition costs on a state of `chunk_count`
+    /// chunks split at `chunk_bits`.
+    pub fn visit_cost(&self, chunk_bits: u32, chunk_count: usize) -> usize {
+        self.swaps
+            .iter()
+            .map(|&(a, b)| {
+                if a.min(b) >= chunk_bits {
+                    0
+                } else {
+                    chunk_count
+                }
+            })
+            .sum()
+    }
+
+    /// The pairwise chunk exchanges the transition's high-high
+    /// transpositions perform, in application order: swapping two positions
+    /// at or above `chunk_bits` exchanges chunk `k` with `k` under the
+    /// corresponding chunk-index bit transposition. High-low and low-low
+    /// transpositions move amplitudes *within* existing chunk identities
+    /// and contribute no pairs.
+    pub fn chunk_exchange_pairs(&self, chunk_bits: u32, chunk_count: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for &(a, b) in &self.swaps {
+            let (a, b) = (a.min(b), a.max(b));
+            if a < chunk_bits {
+                continue;
+            }
+            let (b1, b2) = (1usize << (a - chunk_bits), 1usize << (b - chunk_bits));
+            for k in 0..chunk_count {
+                if k & b1 != 0 && k & b2 == 0 {
+                    pairs.push((k, k ^ b1 ^ b2));
+                }
+            }
+        }
+        pairs
+    }
+}
+
 /// One stage of the plan: a consecutive run of gates whose cross-chunk
 /// coupling is limited to `high_qubits`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stage {
-    /// The gates, in original circuit order.
+    /// The gates, in original circuit order. Under a non-identity layout
+    /// these are already rewritten into *physical* qubit positions, so
+    /// `is_local`/`high_qubits`/`chunk_groups` need no layout awareness.
     pub gates: Vec<Gate>,
     /// Sorted, deduplicated global indices of pairing qubits `>= chunk_bits`
     /// used by the gates of this stage. Empty for fully chunk-local stages.
     pub high_qubits: Vec<u32>,
+    /// Remap applied to the stored state *before* this stage's gates run.
+    /// `None` for fixed-layout plans.
+    pub transition: Option<RemapTransition>,
+    /// Logical→physical layout in effect while this stage executes (after
+    /// `transition`). The default (empty) layout is the identity.
+    pub layout: QubitLayout,
 }
 
 impl Stage {
+    /// A stage with no transition under the identity layout — the only
+    /// constructor fixed-layout planning needs.
+    pub fn new(gates: Vec<Gate>, high_qubits: Vec<u32>) -> Stage {
+        Stage {
+            gates,
+            high_qubits,
+            transition: None,
+            layout: QubitLayout::default(),
+        }
+    }
+
     /// True if every gate applies within single chunks.
     pub fn is_local(&self) -> bool {
         self.high_qubits.is_empty()
@@ -68,6 +145,15 @@ pub struct Plan {
     pub chunk_bits: u32,
     /// The stages, in execution order.
     pub stages: Vec<Stage>,
+    /// Remap restoring the identity layout after the last stage, so layout
+    /// plans stay bit-identical to fixed ones. `None` when the plan never
+    /// leaves the identity layout.
+    pub epilogue: Option<RemapTransition>,
+    /// Chunk visits this plan saves relative to the fixed-layout plan for
+    /// the same circuit (stage visits avoided minus transition visit costs
+    /// paid). Zero for fixed-layout plans; strictly positive whenever the
+    /// plan contains remap transitions.
+    pub layout_visits_saved: usize,
 }
 
 impl Plan {
@@ -84,10 +170,39 @@ impl Plan {
 
     /// Total chunk visits over the whole plan: each stage decompresses and
     /// recompresses every chunk exactly once (in groups of
-    /// `stage.group_size()`). This is the quantity the paper's challenge (2)
-    /// minimizes.
+    /// `stage.group_size()`), plus the visit cost of every remap transition
+    /// (including the epilogue). This is the quantity the paper's challenge
+    /// (2) minimizes and the quantity the layout pass trades against.
     pub fn chunk_visits(&self) -> usize {
-        self.stages.len() * self.chunk_count()
+        self.stages.len() * self.chunk_count() + self.transition_visits()
+    }
+
+    /// Chunk visits spent on remap transitions alone (stage transitions
+    /// plus the epilogue); zero for fixed-layout plans.
+    pub fn transition_visits(&self) -> usize {
+        let cc = self.chunk_count();
+        let stage_cost: usize = self
+            .stages
+            .iter()
+            .filter_map(|s| s.transition.as_ref())
+            .map(|t| t.visit_cost(self.chunk_bits, cc))
+            .sum();
+        let epi_cost = self
+            .epilogue
+            .as_ref()
+            .map(|t| t.visit_cost(self.chunk_bits, cc))
+            .unwrap_or(0);
+        stage_cost + epi_cost
+    }
+
+    /// Number of remap transitions in the plan (stage transitions plus the
+    /// epilogue, if any).
+    pub fn remap_passes(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.transition.is_some())
+            .count()
+            + usize::from(self.epilogue.is_some())
     }
 
     /// Per-gate baseline (Wu et al.\[6\]): one stage per gate. Used by the
@@ -138,24 +253,23 @@ pub fn partition(circuit: &Circuit, cfg: &PartitionConfig) -> Plan {
             cur_high = union;
             cur_gates.push(g.clone());
         } else {
-            stages.push(Stage {
-                gates: std::mem::take(&mut cur_gates),
-                high_qubits: std::mem::take(&mut cur_high),
-            });
+            stages.push(Stage::new(
+                std::mem::take(&mut cur_gates),
+                std::mem::take(&mut cur_high),
+            ));
             cur_gates.push(g.clone());
             cur_high = gate_high;
         }
     }
     if !cur_gates.is_empty() {
-        stages.push(Stage {
-            gates: cur_gates,
-            high_qubits: cur_high,
-        });
+        stages.push(Stage::new(cur_gates, cur_high));
     }
     Plan {
         n_qubits: circuit.n_qubits(),
         chunk_bits: c,
         stages,
+        epilogue: None,
+        layout_visits_saved: 0,
     }
 }
 
@@ -171,15 +285,14 @@ pub fn partition_per_gate(circuit: &Circuit, chunk_bits: u32) -> Plan {
             .collect();
         high.sort_unstable();
         high.dedup();
-        stages.push(Stage {
-            gates: vec![g.clone()],
-            high_qubits: high,
-        });
+        stages.push(Stage::new(vec![g.clone()], high));
     }
     Plan {
         n_qubits: circuit.n_qubits(),
         chunk_bits,
         stages,
+        epilogue: None,
+        layout_visits_saved: 0,
     }
 }
 
@@ -340,5 +453,35 @@ mod tests {
         let plan = partition(&c, &cfg(2, 1));
         assert!(plan.stages.is_empty());
         assert_eq!(plan.gate_count(), 0);
+    }
+
+    #[test]
+    fn chunk_exchange_pairs_cover_only_high_high_swaps() {
+        // chunk_bits = 4, 16 chunks: swapping positions 5 and 7 transposes
+        // chunk-index bits 1 and 3 — chunks with (bit1, bit3) = (1, 0)
+        // exchange with their (0, 1) partners; everything else is fixed.
+        let t = RemapTransition {
+            swaps: vec![(5, 7)],
+        };
+        let pairs = t.chunk_exchange_pairs(4, 16);
+        assert_eq!(
+            pairs,
+            vec![
+                (0b0010, 0b1000),
+                (0b0011, 0b1001),
+                (0b0110, 0b1100),
+                (0b0111, 0b1101)
+            ]
+        );
+        // Each chunk appears at most once across the swap's pairs.
+        let mut seen: Vec<usize> = pairs.iter().flat_map(|&(i, j)| [i, j]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 2 * pairs.len());
+        // High-low and low-low transpositions keep chunk identities.
+        for swaps in [vec![(1u32, 6u32)], vec![(0, 2)]] {
+            let t = RemapTransition { swaps };
+            assert!(t.chunk_exchange_pairs(4, 16).is_empty());
+        }
     }
 }

@@ -78,6 +78,25 @@ pub enum ShardPolicy {
     LoadBalanced,
 }
 
+/// Whether the planner may re-map logical qubits onto physical state
+/// positions between stages. Remapping trades one-off permutation sweeps
+/// for fewer cross-chunk stages on circuits that keep hammering qubits
+/// above the chunk width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutPolicy {
+    /// Logical qubit `q` stays at physical position `q` for the whole run
+    /// (the default; plans carry no remap transitions).
+    #[default]
+    Fixed,
+    /// Greedy cost-model layout ([`mq_circuit::layout::plan_greedy`]): the
+    /// planner may insert remap transitions swapping a hot cross-chunk
+    /// qubit with a cold intra-chunk one when the chunk visits saved over
+    /// a lookahead window beat the cost of the remap sweep. Falls back to
+    /// the fixed plan whenever remapping would not strictly reduce chunk
+    /// visits; applies to staged plans only (per-gate plans stay fixed).
+    Greedy,
+}
+
 /// Per-role thread counts for the pipelined CPU executor
 /// ([`CpuWorkerExecutor`](crate::engine::cpu::CpuWorkerExecutor) with
 /// `pipeline_depth > 1`): decoder pool → apply pool → encoder pool.
@@ -102,12 +121,24 @@ impl WorkerSplit {
         }
     }
 
-    /// The default split for `workers` total threads. Codec work dominates
-    /// the chunk loop (decompress + recompress are ~85% of busy time in the
-    /// codec-bound regime), so decode and encode each take ~2/5 of the
-    /// budget and apply gets the remainder; every role keeps at least one
-    /// thread.
+    /// The default split for `workers` total threads, clamped to the
+    /// machine: a request larger than
+    /// [`std::thread::available_parallelism`] is cut down to the hardware
+    /// thread count before splitting, so oversubscribed configs don't
+    /// schedule three oversized pools onto a small box.
     pub fn auto(workers: usize) -> WorkerSplit {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        WorkerSplit::auto_for_cores(workers, cores)
+    }
+
+    /// The split [`auto`](Self::auto) would pick on a machine with `cores`
+    /// hardware threads. Codec work dominates the chunk loop (decompress +
+    /// recompress are ~85% of busy time in the codec-bound regime), so
+    /// decode and encode each take ~2/5 of the clamped budget and apply
+    /// gets the remainder; every role keeps at least one thread, so the
+    /// 1-core degenerate split is `(1, 1, 1)`.
+    pub fn auto_for_cores(workers: usize, cores: usize) -> WorkerSplit {
+        let workers = workers.min(cores.max(1));
         let codec_side = (2 * workers).div_ceil(5).max(1);
         WorkerSplit {
             decode: codec_side,
@@ -187,6 +218,10 @@ pub struct MemQSimConfig {
     /// How stage groups are scattered across the device fleet; ignored at
     /// `devices == 1`.
     pub shard_policy: ShardPolicy,
+    /// Whether the planner may insert remap transitions that permute the
+    /// logical→physical qubit layout between stages to cut chunk visits
+    /// (`Fixed` keeps the identity layout for the whole run).
+    pub layout_policy: LayoutPolicy,
 }
 
 impl Default for MemQSimConfig {
@@ -209,6 +244,7 @@ impl Default for MemQSimConfig {
             transfer_mode: TransferMode::Raw,
             devices: 1,
             shard_policy: ShardPolicy::ChunkAffinity,
+            layout_policy: LayoutPolicy::Fixed,
         }
     }
 }
@@ -396,6 +432,13 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// Whether the planner may permute the logical→physical qubit layout
+    /// between stages (`Fixed` = never, `Greedy` = when it cuts visits).
+    pub fn layout_policy(mut self, layout_policy: LayoutPolicy) -> Self {
+        self.cfg.layout_policy = layout_policy;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -486,6 +529,7 @@ mod tests {
             .transfer_mode(TransferMode::Compressed)
             .devices(4)
             .shard_policy(ShardPolicy::RoundRobin)
+            .layout_policy(LayoutPolicy::Greedy)
             .build()
             .unwrap();
         assert_eq!(
@@ -510,6 +554,7 @@ mod tests {
                 transfer_mode: TransferMode::Compressed,
                 devices: 4,
                 shard_policy: ShardPolicy::RoundRobin,
+                layout_policy: LayoutPolicy::Greedy,
             }
         );
     }
@@ -550,14 +595,45 @@ mod tests {
     #[test]
     fn auto_split_keeps_every_role_alive_and_favors_codec() {
         for workers in 1..=16usize {
-            let split = WorkerSplit::auto(workers);
+            let split = WorkerSplit::auto_for_cores(workers, 64);
             assert!(split.decode >= 1 && split.apply >= 1 && split.encode >= 1);
             assert_eq!(split.decode, split.encode, "codec roles are symmetric");
             assert!(split.apply <= split.decode.max(1) * 2);
         }
         // At least `workers` threads total once there is room to split.
-        assert_eq!(WorkerSplit::auto(1), WorkerSplit::new(1, 1, 1));
-        assert_eq!(WorkerSplit::auto(5), WorkerSplit::new(2, 1, 2));
-        assert_eq!(WorkerSplit::auto(10), WorkerSplit::new(4, 2, 4));
+        assert_eq!(
+            WorkerSplit::auto_for_cores(1, 64),
+            WorkerSplit::new(1, 1, 1)
+        );
+        assert_eq!(
+            WorkerSplit::auto_for_cores(5, 64),
+            WorkerSplit::new(2, 1, 2)
+        );
+        assert_eq!(
+            WorkerSplit::auto_for_cores(10, 64),
+            WorkerSplit::new(4, 2, 4)
+        );
+    }
+
+    #[test]
+    fn auto_split_clamps_the_pool_to_the_machine() {
+        // An oversubscribed request on a 1-core box degenerates to one
+        // thread per role — the smallest split that keeps the pipeline
+        // stages alive.
+        assert_eq!(WorkerSplit::auto_for_cores(8, 1), WorkerSplit::new(1, 1, 1));
+        // Clamping to `cores` is the same as asking for `cores` outright.
+        assert_eq!(
+            WorkerSplit::auto_for_cores(10, 5),
+            WorkerSplit::auto_for_cores(5, 64)
+        );
+        // A request that fits is untouched by the clamp.
+        assert_eq!(
+            WorkerSplit::auto_for_cores(5, 64),
+            WorkerSplit::new(2, 1, 2)
+        );
+        // `auto` itself never plans more threads than the machine has,
+        // modulo the one-thread-per-role floor.
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        assert!(WorkerSplit::auto(usize::MAX).total() <= cores.max(3));
     }
 }

@@ -29,13 +29,15 @@
 //! [`RunReport`] assembly for free, which is the seam heterogeneous
 //! scheduling (routing stages per-executor) will plug into.
 
-use crate::config::{FusionLevel, MemQSimConfig, ShardPolicy};
+use crate::config::{FusionLevel, LayoutPolicy, MemQSimConfig, ShardPolicy};
 use crate::engine::report::RunReport;
 use crate::engine::{EngineError, Granularity, StoreTelemetryGuard};
 use crate::planner::chunk_groups;
 use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::ChunkStore;
-use mq_circuit::partition::{partition, partition_per_gate, PartitionConfig, Plan, Stage};
+use mq_circuit::partition::{
+    partition, partition_per_gate, PartitionConfig, Plan, RemapTransition, Stage,
+};
 use mq_circuit::Circuit;
 use mq_device::StreamStats;
 use mq_num::parallel::par_for;
@@ -180,6 +182,19 @@ pub trait ChunkExecutor {
     /// surfacing the first error any of them hit.
     fn end_stage(&mut self, ctx: &ExecContext, index: u32) -> Result<(), EngineError>;
 
+    /// Executes a layout remap transition. Called only between stages (no
+    /// stage open), so the store is coherent. Chunk identities may change
+    /// across the call — executors holding chunk-indexed state must
+    /// invalidate or re-key it. Returns the chunk visits performed; the
+    /// default runs the permutation directly against the store.
+    fn remap(
+        &mut self,
+        ctx: &ExecContext,
+        transition: &RemapTransition,
+    ) -> Result<usize, EngineError> {
+        apply_remap_on_store(ctx, transition)
+    }
+
     /// Drains and releases resources, returning the executor's accounting.
     fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError>;
 }
@@ -201,6 +216,16 @@ pub trait StageBatchExecutor {
     /// Processes every chunk group of one stage, in the given order.
     fn execute_stage(&mut self, ctx: &ExecContext, work: &StageWork<'_>)
         -> Result<(), EngineError>;
+
+    /// Executes a layout remap transition between stages (see
+    /// [`ChunkExecutor::remap`]). Returns the chunk visits performed.
+    fn remap(
+        &mut self,
+        ctx: &ExecContext,
+        transition: &RemapTransition,
+    ) -> Result<usize, EngineError> {
+        apply_remap_on_store(ctx, transition)
+    }
 
     /// Drains and releases resources, returning the executor's accounting.
     fn finish(&mut self, _ctx: &ExecContext) -> Result<ExecutorStats, EngineError>;
@@ -270,6 +295,14 @@ impl<E: StageBatchExecutor> ChunkExecutor for SerialAdapter<E> {
         self.inner.execute_stage(ctx, &work)
     }
 
+    fn remap(
+        &mut self,
+        ctx: &ExecContext,
+        transition: &RemapTransition,
+    ) -> Result<usize, EngineError> {
+        self.inner.remap(ctx, transition)
+    }
+
     fn finish(&mut self, ctx: &ExecContext) -> Result<ExecutorStats, EngineError> {
         self.pending.clear();
         self.pending_shards.clear();
@@ -300,13 +333,20 @@ pub(crate) fn build_plan_counted(
         circuit
     };
     let mut plan = match granularity {
-        Granularity::Staged => partition(
-            circuit,
-            &PartitionConfig {
+        Granularity::Staged => {
+            let pcfg = PartitionConfig {
                 chunk_bits,
                 max_high_qubits: cfg.max_high_qubits,
-            },
-        ),
+            };
+            match cfg.layout_policy {
+                LayoutPolicy::Fixed => partition(circuit, &pcfg),
+                // Greedy falls back to the fixed plan internally whenever
+                // remapping would not strictly reduce chunk visits.
+                LayoutPolicy::Greedy => mq_circuit::layout::plan_greedy(circuit, &pcfg),
+            }
+        }
+        // Per-gate plans stay fixed-layout: each gate is its own stage, so
+        // there is no lookahead window for a remap to pay for itself.
         Granularity::PerGate => partition_per_gate(circuit, chunk_bits),
     };
     let gates_fused = fuse_plan_stages(&mut plan, cfg.fusion, circuit.n_qubits());
@@ -390,6 +430,80 @@ fn assign_shards(
     shards
 }
 
+/// Executes one remap transition directly against the store, returning the
+/// chunk visits it performed. The permutation classes mirror
+/// [`RemapTransition::visit_cost`]:
+///
+/// * **high-high** — a pure chunk-pair exchange: the store's
+///   [`swap_chunks`](ChunkStore::swap_chunks) fast path moves compressed
+///   payloads without a decode (zero visits); a refusing tier falls back
+///   to a load/load/store/store round trip (two visits per pair);
+/// * **high-low** — chunks are paired along the high position's chunk bit,
+///   each pair is gathered into one buffer, and the transposition runs as
+///   a strided intra-buffer gather fused with the decode pass (two visits
+///   per pair, i.e. one full sweep);
+/// * **low-low** — a per-chunk intra-chunk bit swap (one visit per chunk).
+pub fn apply_remap_on_store(
+    ctx: &ExecContext,
+    transition: &RemapTransition,
+) -> Result<usize, EngineError> {
+    let store = &ctx.store;
+    let c = store.chunk_bits();
+    let chunk_amps = store.chunk_amps();
+    let chunk_count = store.chunk_count();
+    let workers = ctx.cfg.workers.max(1);
+    let mut visits = 0usize;
+    for &(a, b) in &transition.swaps {
+        let (a, b) = (a.min(b), a.max(b));
+        if a >= c {
+            let (b1, b2) = (1usize << (a - c), 1usize << (b - c));
+            let mut buf_a = Vec::new();
+            let mut buf_b = Vec::new();
+            for k in 0..chunk_count {
+                if k & b1 == 0 || k & b2 != 0 {
+                    continue; // visit each pair once, from its (1, 0) side
+                }
+                let j = k ^ b1 ^ b2;
+                if !store.swap_chunks(k, j)? {
+                    buf_a.resize(chunk_amps, Complex64::ZERO);
+                    buf_b.resize(chunk_amps, Complex64::ZERO);
+                    store.load_chunk(k, &mut buf_a)?;
+                    store.load_chunk(j, &mut buf_b)?;
+                    store.store_chunk(k, &buf_b)?;
+                    store.store_chunk(j, &buf_a)?;
+                    visits += 2;
+                }
+            }
+        } else if b >= c {
+            // Bit `c` of the two-chunk gather buffer is global bit `b`, so
+            // the global (a, b) transposition is the buffer-local (a, c).
+            let hb = 1usize << (b - c);
+            let mut buf = vec![Complex64::ZERO; 2 * chunk_amps];
+            for k in 0..chunk_count {
+                if k & hb != 0 {
+                    continue;
+                }
+                let j = k | hb;
+                store.load_chunk(k, &mut buf[..chunk_amps])?;
+                store.load_chunk(j, &mut buf[chunk_amps..])?;
+                mq_statevec::apply::swap_index_bits(&mut buf, a, c, workers);
+                store.store_chunk(k, &buf[..chunk_amps])?;
+                store.store_chunk(j, &buf[chunk_amps..])?;
+                visits += 2;
+            }
+        } else {
+            let mut buf = vec![Complex64::ZERO; chunk_amps];
+            for k in 0..chunk_count {
+                store.load_chunk(k, &mut buf)?;
+                mq_statevec::apply::swap_index_bits(&mut buf, a, b, workers);
+                store.store_chunk(k, &buf)?;
+                visits += 1;
+            }
+        }
+    }
+    Ok(visits)
+}
+
 /// Runs `circuit` against `store`, streaming every stage's chunk groups
 /// through `executor`. This is the one engine driver: `cpu::run` and
 /// `hybrid::run` are thin constructors over it.
@@ -449,6 +563,22 @@ pub fn run_with_executor(
         Err(e) => run_err = Some(e),
         Ok(()) => {
             'stages: for (si, stage) in plan.stages.iter().enumerate() {
+                if let Some(transition) = &stage.transition {
+                    // Remap before the stage: chunk identities change, so
+                    // per-device load tracking restarts (ChunkAffinity
+                    // re-ranks per stage; LoadBalanced re-seeds).
+                    match executor.remap(&ctx, transition) {
+                        Ok(v) => {
+                            chunk_visits += v;
+                            telemetry.add(Counter::RemapPasses, 1);
+                            device_load.iter_mut().for_each(|l| *l = 0);
+                        }
+                        Err(e) => {
+                            run_err = Some(e);
+                            break;
+                        }
+                    }
+                }
                 let mut groups = chunk_groups(plan.n_qubits, plan.chunk_bits, stage);
                 if cache_enabled {
                     // Visit groups with the most cache-resident members
@@ -494,6 +624,25 @@ pub fn run_with_executor(
                     break;
                 }
             }
+            // Epilogue: un-permute the layout back to identity so callers
+            // (measurement, to_dense, comparisons) see logical order.
+            if run_err.is_none() {
+                if let Some(epilogue) = &plan.epilogue {
+                    match executor.remap(&ctx, epilogue) {
+                        Ok(v) => {
+                            chunk_visits += v;
+                            telemetry.add(Counter::RemapPasses, 1);
+                        }
+                        Err(e) => run_err = Some(e),
+                    }
+                }
+                if plan.layout_visits_saved > 0 {
+                    telemetry.add(
+                        Counter::ChunkVisitsSavedByLayout,
+                        plan.layout_visits_saved as u64,
+                    );
+                }
+            }
         }
     }
 
@@ -531,6 +680,8 @@ pub fn run_with_executor(
         scalars_applied: stats.scalars_applied,
         gates_fused: record.counter(Counter::GatesFused) as usize,
         apply_passes_saved: record.counter(Counter::ApplyPassesSaved) as usize,
+        remap_passes: record.counter(Counter::RemapPasses) as usize,
+        chunk_visits_saved_by_layout: record.counter(Counter::ChunkVisitsSavedByLayout) as usize,
         groups_device: stats.groups_device,
         groups_cpu: stats.groups_cpu,
         peak_compressed_bytes: store.peak_state_bytes(),

@@ -31,13 +31,14 @@
 
 use crate::config::{FusionLevel, MemQSimConfig, TransferMode};
 use crate::engine::exec::{
-    process_groups_on_cpu, run_with_executor, ApplyCounters, ExecContext, ExecutorStats,
-    SerialAdapter, StageBatchExecutor, StageWork,
+    apply_remap_on_store, process_groups_on_cpu, run_with_executor, ApplyCounters, ExecContext,
+    ExecutorStats, SerialAdapter, StageBatchExecutor, StageWork,
 };
 use crate::engine::{EngineError, Granularity, RunReport};
 use crate::specialize::{specialize, GroupContext, Specialized};
 use crate::store::ChunkStore;
 use crossbeam::channel::{bounded, RecvTimeoutError};
+use mq_circuit::partition::RemapTransition;
 use mq_circuit::{Circuit, Gate};
 use mq_compress::{decompress_complex, Codec, CodecError};
 use mq_device::{Device, DeviceBuffer, PayloadCell, PinnedBuffer, Stream, StreamStats};
@@ -282,6 +283,28 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
             None
         };
         Ok(())
+    }
+
+    fn remap(
+        &mut self,
+        ctx: &ExecContext,
+        transition: &RemapTransition,
+    ) -> Result<usize, EngineError> {
+        // Tell every device lane which chunk identities are about to swap:
+        // high-high transpositions relabel whole chunks, so any device-side
+        // affinity (sharding by chunk index) is stale after the transition.
+        // The command moves no arena data — it charges one scatter-shaped
+        // pass so fleet makespans stay honest about re-sharding — and the
+        // driver re-balances `device_load` at the same boundary.
+        let pairs = transition.chunk_exchange_pairs(ctx.plan.chunk_bits, ctx.store.chunk_count());
+        if !pairs.is_empty() {
+            for lane in &self.lanes {
+                if let Some(stream) = &lane.copy_stream {
+                    stream.remap_chunks(pairs.clone());
+                }
+            }
+        }
+        apply_remap_on_store(ctx, transition)
     }
 
     fn execute_stage(

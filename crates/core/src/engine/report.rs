@@ -50,6 +50,13 @@ pub struct RunReport {
     /// Amplitude-buffer passes avoided by the blocked apply driver,
     /// summed over every chunk visit (0 with `FusionLevel::Off`).
     pub apply_passes_saved: usize,
+    /// Layout remap transitions executed (stage transitions plus the
+    /// restore-to-identity epilogue; 0 under `LayoutPolicy::Fixed`).
+    pub remap_passes: usize,
+    /// Chunk visits the greedy layout saved versus the fixed plan for the
+    /// same circuit, remap sweeps already charged (0 when the planner kept
+    /// the fixed layout).
+    pub chunk_visits_saved_by_layout: usize,
     /// Chunk groups routed through the device (0 for CPU executors).
     pub groups_device: usize,
     /// Chunk groups handled by CPU workers.

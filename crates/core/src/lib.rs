@@ -56,8 +56,8 @@ pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
 pub use config::{
-    FusionLevel, MemQSimConfig, MemQSimConfigBuilder, ShardPolicy, StoreKind, TransferMode,
-    WorkerSplit,
+    FusionLevel, LayoutPolicy, MemQSimConfig, MemQSimConfigBuilder, ShardPolicy, StoreKind,
+    TransferMode, WorkerSplit,
 };
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,

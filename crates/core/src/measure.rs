@@ -7,6 +7,7 @@
 
 use crate::planner::chunk_groups;
 use crate::store::ChunkStore;
+use mq_circuit::layout::QubitLayout;
 use mq_circuit::partition::Stage;
 use mq_compress::CodecError;
 use mq_num::Complex64;
@@ -110,6 +111,27 @@ pub fn expect_z_product(store: &dyn ChunkStore, qubits: &[u32]) -> Result<f64, C
     Ok(acc / norm.max(f64::MIN_POSITIVE))
 }
 
+/// [`expect_z_product`] against a store whose amplitudes are held under a
+/// non-identity logical→physical [`QubitLayout`] — the mid-run view of a
+/// greedy-layout plan, before the engine's restore-to-identity epilogue.
+///
+/// Logical qubit `q` lives at physical position `layout.phys(q)`, so the
+/// diagonal Z mask is built from the physical positions. After a completed
+/// run the store is always back in identity layout and plain
+/// [`expect_z_product`] is the right call; this variant exists for
+/// inspection between stages (custom executors, debugging hooks).
+pub fn expect_z_product_in_layout(
+    store: &dyn ChunkStore,
+    qubits: &[u32],
+    layout: &QubitLayout,
+) -> Result<f64, CodecError> {
+    if layout.is_identity() {
+        return expect_z_product(store, qubits);
+    }
+    let physical: Vec<u32> = qubits.iter().map(|&q| layout.phys(q)).collect();
+    expect_z_product(store, &physical)
+}
+
 /// Expectation of an arbitrary Pauli string on the compressed store.
 ///
 /// X/Y factors *pair* basis states: pairs within a chunk are local, pairs
@@ -141,10 +163,7 @@ pub fn expect_pauli(store: &dyn ChunkStore, p: &PauliString) -> Result<f64, Code
         "{} cross-chunk X/Y factors exceed the 2^8-chunk group cap",
         high.len()
     );
-    let stage = Stage {
-        gates: vec![],
-        high_qubits: high.clone(),
-    };
+    let stage = Stage::new(vec![], high.clone());
     let chunk_amps = store.chunk_amps();
 
     let mut acc = 0.0f64;
@@ -307,6 +326,39 @@ mod tests {
         assert!((expect_z_product(&store, &[2]).unwrap() + 1.0).abs() < 1e-9);
         assert!((expect_z_product(&store, &[0]).unwrap() - 1.0).abs() < 1e-9);
         assert!((expect_z_product(&store, &[0, 2]).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_aware_z_expectation_sees_through_a_permutation() {
+        use crate::store::build_store_from_amplitudes;
+        use mq_circuit::layout::QubitLayout;
+
+        let circuit = library::hardware_efficient_ansatz(7, 2, 13);
+        let dense = mq_statevec::run_circuit(&circuit, &mq_statevec::CpuConfig::default());
+        let cfg = MemQSimConfig {
+            chunk_bits: 3,
+            codec: CodecSpec::Sz { eb: 1e-12 },
+            ..Default::default()
+        };
+        let identity_store = build_store_from_amplitudes(dense.amplitudes(), &cfg).unwrap();
+
+        // Physically permute the state: logical qubits 1 and 5 trade places.
+        let mut permuted = dense.amplitudes().to_vec();
+        mq_statevec::apply::swap_index_bits(&mut permuted, 1, 5, 1);
+        let permuted_store = build_store_from_amplitudes(&permuted, &cfg).unwrap();
+        let mut layout = QubitLayout::identity(7);
+        layout.swap_physical(1, 5);
+
+        for qs in [vec![1u32], vec![5], vec![1, 5], vec![0, 1, 6]] {
+            let want = expect_z_product(&identity_store, &qs).unwrap();
+            let got = expect_z_product_in_layout(&permuted_store, &qs, &layout).unwrap();
+            assert!((got - want).abs() < 1e-9, "qs={qs:?}: {got} vs {want}");
+            // The plain call on the permuted store would read the wrong
+            // positions — identity layout short-circuits to it.
+            let ident = QubitLayout::identity(7);
+            let same = expect_z_product_in_layout(&identity_store, &qs, &ident).unwrap();
+            assert!((same - want).abs() < 1e-12);
+        }
     }
 
     #[test]

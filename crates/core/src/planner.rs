@@ -8,7 +8,7 @@
 //! buffer layout [`specialize`](crate::specialize) assumes: member `j`
 //! occupies buffer slots `[j * 2^c, (j+1) * 2^c)`.
 
-use mq_circuit::partition::{Plan, Stage};
+use mq_circuit::partition::Stage;
 
 /// Enumerates the chunk groups of a stage. Each group is the ordered list
 /// of chunk indices co-resident in one buffer.
@@ -45,11 +45,6 @@ pub fn chunk_groups(n_qubits: u32, chunk_bits: u32, stage: &Stage) -> Vec<Vec<us
     groups
 }
 
-/// Total chunk-visit count of a plan (each stage visits every chunk once).
-pub fn total_chunk_visits(plan: &Plan) -> usize {
-    plan.chunk_visits()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,10 +52,7 @@ mod tests {
     use mq_circuit::{library, Circuit};
 
     fn stage_with_high(high: Vec<u32>) -> Stage {
-        Stage {
-            gates: vec![],
-            high_qubits: high,
-        }
+        Stage::new(vec![], high)
     }
 
     #[test]
@@ -134,6 +126,6 @@ mod tests {
                 visits += g.len();
             }
         }
-        assert_eq!(visits, total_chunk_visits(&plan));
+        assert_eq!(visits, plan.chunk_visits());
     }
 }

@@ -442,6 +442,39 @@ impl ChunkStore for ResidencyCache {
         Ok(accepted)
     }
 
+    /// Forwards a payload-level chunk exchange to the inner store after
+    /// making the inner bytes authoritative: dirty resident copies of
+    /// either chunk are written back first, then both residents are
+    /// invalidated (their decompressed bytes describe the pre-swap
+    /// contents) with their write versions bumped so racing decodes cannot
+    /// re-admit stale data. Counts nothing — the exchange itself is free.
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        if self.capacity == 0 {
+            return self.inner.swap_chunks(i, j);
+        }
+        // One atomic step under the cache lock (lock order cache → inner).
+        let mut cache = self.state.lock();
+        for k in [i, j] {
+            if let Some(e) = cache.map.get(&k) {
+                if e.dirty {
+                    self.inner.store_chunk(k, &e.amps)?;
+                }
+            }
+            if cache.map.remove(&k).is_some() {
+                self.versions[k].fetch_add(1, Ordering::Release);
+            }
+        }
+        self.cache_bytes_now
+            .store(cache.map.len() * self.entry_bytes, Ordering::Relaxed);
+        let swapped = self.inner.swap_chunks(i, j)?;
+        if swapped && i != j {
+            for k in [i, j] {
+                self.versions[k].fetch_add(1, Ordering::Release);
+            }
+        }
+        Ok(swapped)
+    }
+
     /// Writes every dirty resident chunk back to the inner store (entries
     /// stay resident, now clean), then flushes the inner store.
     fn flush(&self) -> Result<(), CodecError> {
@@ -830,6 +863,32 @@ mod tests {
         let c = store.counters();
         assert_eq!(c.cache_hits + c.cache_misses, c.chunk_visits);
         assert_eq!(c.chunk_visits, 1);
+    }
+
+    #[test]
+    fn swap_chunks_flushes_dirty_residents_and_invalidates_both() {
+        let (inner, store) = cached_store(4);
+        let buf: Vec<Complex64> = (0..16).map(|k| c64(0.04 * k as f64, 0.0)).collect();
+        store.store_chunk(1, &buf).unwrap(); // dirty resident
+        let mut scratch = vec![Complex64::ZERO; 16];
+        store.load_chunk(6, &mut scratch).unwrap(); // clean resident
+        let visits_before = store.counters().chunk_visits;
+        assert!(store.swap_chunks(1, 6).unwrap());
+        // Both residents invalidated, no visit counted for the swap.
+        assert!(!store.resident_chunks().contains(&1));
+        assert!(!store.resident_chunks().contains(&6));
+        assert_eq!(store.counters().chunk_visits, visits_before);
+        let c = store.counters();
+        assert_eq!(c.cache_hits + c.cache_misses, c.chunk_visits);
+        // The dirty content crossed to chunk 6 through the swap.
+        inner.load_chunk(6, &mut scratch).unwrap();
+        for (a, b) in scratch.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() <= 1e-9);
+        }
+        // And loads through the cache observe the swapped state, not the
+        // stale resident copies.
+        store.load_chunk(1, &mut scratch).unwrap();
+        assert!(scratch.iter().all(|z| z.norm() < 1e-9));
     }
 
     #[test]

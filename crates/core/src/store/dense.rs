@@ -82,6 +82,19 @@ impl ChunkStore for DenseStore {
         Ok(())
     }
 
+    /// Swaps the two chunks' amplitude vectors wholesale (pointer swap
+    /// under both locks) — no copy, no visit.
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        if i == j {
+            return Ok(true);
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let mut a = self.chunks[lo].lock();
+        let mut b = self.chunks[hi].lock();
+        std::mem::swap(&mut *a, &mut *b);
+        Ok(true)
+    }
+
     fn flush(&self) -> Result<(), CodecError> {
         Ok(())
     }
@@ -153,6 +166,20 @@ mod tests {
         assert_eq!(store.peak_resident_bytes(), store.dense_bytes());
         assert!((store.current_ratio() - 1.0).abs() < 1e-12);
         assert_eq!(store.cumulative_stats().blocks, 0);
+    }
+
+    #[test]
+    fn swap_chunks_exchanges_without_visits() {
+        let store = DenseStore::zero_state(6, 3);
+        let buf: Vec<Complex64> = (0..8).map(|k| c64(k as f64, 0.5)).collect();
+        store.store_chunk(2, &buf).unwrap();
+        assert!(store.swap_chunks(2, 7).unwrap());
+        assert_eq!(store.counters().chunk_visits, 0);
+        let mut back = vec![Complex64::ZERO; 8];
+        store.load_chunk(7, &mut back).unwrap();
+        assert_eq!(back, buf);
+        store.load_chunk(2, &mut back).unwrap();
+        assert!(back.iter().all(|z| *z == Complex64::ZERO));
     }
 
     #[test]

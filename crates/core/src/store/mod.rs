@@ -156,6 +156,21 @@ pub trait ChunkStore: Send + Sync {
         Ok(false)
     }
 
+    /// Exchanges the stored contents of chunks `i` and `j` at the payload
+    /// level — the fast path for high↔high layout remaps, where two chunks
+    /// swap wholesale with no intra-chunk movement. Codec tiers swap the
+    /// compressed bytes (and checksums) directly: **no decode, no visit**.
+    ///
+    /// Returns `Ok(false)` if this tier cannot exchange payloads; callers
+    /// must then fall back to load/store through the normal path (which
+    /// counts visits as usual). Implementations must leave counters
+    /// untouched on the fast path so the visit accounting identity
+    /// (`hits + misses == visits`) is preserved.
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        let _ = (i, j);
+        Ok(false)
+    }
+
     /// Forces deferred work (dirty cache write-backs) down to the base
     /// representation, so external views of the stored bytes are coherent.
     fn flush(&self) -> Result<(), CodecError>;
@@ -335,6 +350,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 
     fn store_chunk_payload(&self, i: usize, payload: Vec<u8>) -> Result<bool, CodecError> {
         (**self).store_chunk_payload(i, payload)
+    }
+
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        (**self).swap_chunks(i, j)
     }
 
     fn flush(&self) -> Result<(), CodecError> {

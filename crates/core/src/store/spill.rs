@@ -277,6 +277,41 @@ impl ChunkStore for SpillStore {
         Ok(())
     }
 
+    /// Swaps the two slots wholesale under the state lock. In-memory bytes
+    /// move by pointer; on-disk chunks swap by *renaming* their spill files
+    /// (no contents pass through memory), so resident bytes, the budget
+    /// invariant, and every counter are untouched.
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        if i == j {
+            return Ok(true);
+        }
+        let mut state = self.state.lock();
+        let ren = |from: &PathBuf, to: &PathBuf| {
+            std::fs::rename(from, to).map_err(|e| {
+                CodecError::Io(format!(
+                    "renaming spill file {} -> {}: {e}",
+                    from.display(),
+                    to.display()
+                ))
+            })
+        };
+        let i_disk = matches!(state.slots[i], Some(SpillSlot::OnDisk { .. }));
+        let j_disk = matches!(state.slots[j], Some(SpillSlot::OnDisk { .. }));
+        let (pi, pj) = (self.chunk_path(i), self.chunk_path(j));
+        if i_disk && j_disk {
+            let tmp = self.dir.join(format!("chunk-{i}.swap"));
+            ren(&pi, &tmp)?;
+            ren(&pj, &pi)?;
+            ren(&tmp, &pj)?;
+        } else if i_disk {
+            ren(&pi, &pj)?;
+        } else if j_disk {
+            ren(&pj, &pi)?;
+        }
+        state.slots.swap(i, j);
+        Ok(true)
+    }
+
     fn flush(&self) -> Result<(), CodecError> {
         Ok(())
     }
@@ -414,6 +449,56 @@ mod tests {
             roomy.load_chunk(1, &mut buf),
             Err(CodecError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn swap_chunks_crosses_tiers_without_codec_or_spill_traffic() {
+        // Budget holds ~2 chunks, so later stores spill earlier ones.
+        let budget = 16 * 16 * 2 + 64;
+        let store = SpillStore::zero_state(8, 4, Arc::new(FpcCodec), budget).unwrap();
+        for i in 0..store.chunk_count() {
+            store.store_chunk(i, &noisy_chunk(i, 16)).unwrap();
+        }
+        let resident = store.state_bytes();
+        let before = store.counters();
+        // Pick one spilled and one resident chunk.
+        let (mem_idx, disk_idx) = {
+            let state = store.state.lock();
+            let mem = state
+                .slots
+                .iter()
+                .position(|s| matches!(s, Some(SpillSlot::InMemory { .. })))
+                .unwrap();
+            let disk = state
+                .slots
+                .iter()
+                .position(|s| matches!(s, Some(SpillSlot::OnDisk { .. })))
+                .unwrap();
+            (mem, disk)
+        };
+        assert!(store.swap_chunks(mem_idx, disk_idx).unwrap());
+        // Disk-disk swap too (pure renames).
+        let disks: Vec<usize> = {
+            let state = store.state.lock();
+            state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(k, s)| *k != mem_idx && matches!(s, Some(SpillSlot::OnDisk { .. })))
+                .map(|(k, _)| k)
+                .take(2)
+                .collect()
+        };
+        assert!(store.swap_chunks(disks[0], disks[1]).unwrap());
+        // No codec traffic, no spill I/O counted, budget accounting intact.
+        assert_eq!(store.counters(), before);
+        assert_eq!(store.state_bytes(), resident);
+        // Contents followed the swap exactly.
+        let mut buf = vec![Complex64::ZERO; 16];
+        store.load_chunk(mem_idx, &mut buf).unwrap();
+        assert_eq!(buf, noisy_chunk(disk_idx, 16));
+        store.load_chunk(disks[0], &mut buf).unwrap();
+        assert_eq!(buf, noisy_chunk(disks[1], 16));
     }
 
     #[test]

@@ -124,6 +124,12 @@ impl ChunkStore for TelemetryTier {
         result
     }
 
+    fn swap_chunks(&self, i: usize, j: usize) -> Result<bool, CodecError> {
+        let result = self.inner.swap_chunks(i, j);
+        self.sync();
+        result
+    }
+
     fn flush(&self) -> Result<(), CodecError> {
         let result = self.inner.flush();
         self.sync();

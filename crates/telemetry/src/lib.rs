@@ -124,11 +124,18 @@ pub enum Counter {
     /// Modeled nanoseconds spent in device-side encode kernels
     /// (`Command::EncodeChunk`).
     DeviceEncodeTime,
+    /// Remap transitions executed by the layout pass (each transition is a
+    /// batch of physical-qubit transpositions applied between stages).
+    RemapPasses,
+    /// Chunk visits the greedy layout saved relative to the fixed-layout
+    /// plan for the same circuit (stage visits avoided minus transition
+    /// visit costs paid).
+    ChunkVisitsSavedByLayout,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -148,6 +155,8 @@ impl Counter {
         Counter::BytesD2hCompressed,
         Counter::DeviceDecodeTime,
         Counter::DeviceEncodeTime,
+        Counter::RemapPasses,
+        Counter::ChunkVisitsSavedByLayout,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -172,6 +181,8 @@ impl Counter {
             Counter::BytesD2hCompressed => "bytes_d2h_compressed",
             Counter::DeviceDecodeTime => "device_decode_time_ns",
             Counter::DeviceEncodeTime => "device_encode_time_ns",
+            Counter::RemapPasses => "remap_passes",
+            Counter::ChunkVisitsSavedByLayout => "chunk_visits_saved_by_layout",
         }
     }
 
@@ -196,6 +207,8 @@ impl Counter {
             Counter::BytesD2hCompressed => 16,
             Counter::DeviceDecodeTime => 17,
             Counter::DeviceEncodeTime => 18,
+            Counter::RemapPasses => 19,
+            Counter::ChunkVisitsSavedByLayout => 20,
         }
     }
 }

@@ -36,7 +36,7 @@ pub use mq_telemetry as telemetry;
 // works without knowing which member crate owns what.
 pub use memqsim_core::{
     Backend, BackendRun, CachePolicy, ChunkExecutor, ChunkStore, CompressedCpuBackend,
-    DenseCpuBackend, EngineError, FusionLevel, HybridBackend, MemQSim, MemQSimConfig,
+    DenseCpuBackend, EngineError, FusionLevel, HybridBackend, LayoutPolicy, MemQSim, MemQSimConfig,
     MemQSimConfigBuilder, RunReport, RunTelemetry, ShardPolicy, StageBatchExecutor, StoreCounters,
     StoreKind, TransferMode, WorkerSplit,
 };

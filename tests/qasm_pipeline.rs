@@ -67,6 +67,64 @@ fn emitted_circuits_reparse_to_equivalent_unitaries() {
     }
 }
 
+/// A parsed QASM program through the greedy layout: bit-identical to the
+/// fixed-layout run and within lossy tolerance of the dense oracle. QASM
+/// swap statements become `Gate::Swap`s the greedy planner may absorb, so
+/// this exercises the parse → absorb → remap → restore chain end to end.
+#[test]
+fn parsed_qasm_under_greedy_layout_matches_fixed_and_oracle() {
+    use memqsim_core::LayoutPolicy;
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[7];
+        h q[0];
+        cx q[0],q[6];
+        cx q[0],q[5];
+        cx q[0],q[4];
+        swap q[4],q[6];
+        cx q[0],q[6];
+        cx q[0],q[5];
+        cx q[0],q[4];
+        rz(pi/5) q[3];
+        cx q[0],q[6];
+        cx q[0],q[5];
+        cx q[0],q[4];
+    "#;
+    let circuit = qasm::parse(src).expect("parse failed").circuit;
+
+    let policy_backend = |policy: LayoutPolicy| {
+        CompressedCpuBackend::new(MemQSimConfig {
+            chunk_bits: 3,
+            max_high_qubits: 2,
+            codec: CodecSpec::Sz { eb: 1e-12 },
+            layout_policy: policy,
+            ..Default::default()
+        })
+    };
+    let fixed = policy_backend(LayoutPolicy::Fixed)
+        .run(&circuit)
+        .expect("fixed run");
+    let greedy = policy_backend(LayoutPolicy::Greedy)
+        .run(&circuit)
+        .expect("greedy run");
+
+    // Same codec, same per-chunk contents at every store boundary in
+    // logical space: the two runs must agree bit for bit, lossy or not.
+    assert_eq!(fixed.amplitudes, greedy.amplitudes);
+    let oracle = run_dense(&circuit, 0);
+    assert!(max_amp_err(&oracle, &greedy.amplitudes) < 1e-8);
+    use memqsim_core::Counter;
+    assert!(
+        greedy.telemetry.counter(Counter::RemapPasses) > 0,
+        "rotating targets should trigger a remap"
+    );
+    assert!(
+        greedy.telemetry.counter(Counter::ChunkVisits)
+            < fixed.telemetry.counter(Counter::ChunkVisits)
+    );
+}
+
 #[test]
 fn qasm_errors_are_line_accurate_not_panics() {
     let cases: Vec<(&str, usize)> = vec![
