@@ -7,7 +7,8 @@
 //! wall-time ratios against the unfused baseline. Parity with `Off` is
 //! checked (< 1e-12) on every run, so the ratios compare equal results.
 //!
-//! Usage: `cargo run -p mq-bench --release --bin fusion_sweep [--qubits 12]`
+//! Usage: `cargo run -p mq-bench --release --bin fusion_sweep [--qubits 12]
+//!         [--codec fpc]`
 
 use memqsim_core::{build_store, ChunkStore, FusionLevel, Granularity, MemQSimConfig};
 use mq_bench::{write_results_json, Args, Table};
@@ -23,11 +24,11 @@ struct Row {
     seconds: f64,
 }
 
-fn run_once(circuit: &Circuit, chunk_bits: u32, fusion: FusionLevel) -> Row {
+fn run_once(circuit: &Circuit, chunk_bits: u32, codec: CodecSpec, fusion: FusionLevel) -> Row {
     let cfg = MemQSimConfig {
         chunk_bits,
         max_high_qubits: 2,
-        codec: CodecSpec::Fpc,
+        codec,
         workers: 1,
         fusion,
         ..Default::default()
@@ -60,6 +61,9 @@ fn level_name(level: FusionLevel) -> &'static str {
 fn main() {
     let args = Args::capture();
     let n: u32 = args.get("qubits", 12u32);
+    // Parity is checked against the unfused baseline, so the codec must be
+    // lossless (or adaptive without an error bound) for the 1e-12 gate.
+    let codec: CodecSpec = args.get("codec", CodecSpec::Fpc);
     let chunk_bits = (n / 2).clamp(3, 10);
 
     println!("# A5 — fused, cache-blocked gate application (chunks of 2^{chunk_bits} amps)\n");
@@ -86,7 +90,7 @@ fn main() {
             "wall vs off",
             "err vs off",
         ]);
-        let base = run_once(circuit, chunk_bits, FusionLevel::Off);
+        let base = run_once(circuit, chunk_bits, codec, FusionLevel::Off);
         for level in levels {
             let row = if level == FusionLevel::Off {
                 Row {
@@ -95,7 +99,7 @@ fn main() {
                     seconds: base.seconds,
                 }
             } else {
-                run_once(circuit, chunk_bits, level)
+                run_once(circuit, chunk_bits, codec, level)
             };
             let err = max_amp_err(&base.state, &row.state);
             all_ok &= err < 1e-12;

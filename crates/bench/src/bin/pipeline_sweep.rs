@@ -12,7 +12,7 @@
 //! `results/BENCH_pipeline.json` comparing depth 1 against the best depth.
 //!
 //! Usage: `cargo run -p mq-bench --release --bin pipeline_sweep
-//!         [--qubits 16] [--check]`
+//!         [--qubits 16] [--codec sz:1e-10] [--check]`
 //!
 //! `--check` exits non-zero if any pipelined run fails to overlap roles or
 //! beat the serial wall-clock — the CI smoke gate.
@@ -24,11 +24,16 @@ use mq_compress::CodecSpec;
 
 const DEPTHS: [usize; 4] = [1, 2, 4, 8];
 
-fn run_once(n: u32, chunk_bits: u32, depth: usize) -> memqsim_core::engine::RunReport {
+fn run_once(
+    n: u32,
+    chunk_bits: u32,
+    codec: CodecSpec,
+    depth: usize,
+) -> memqsim_core::engine::RunReport {
     let cfg = MemQSimConfig {
         chunk_bits,
         max_high_qubits: 2,
-        codec: CodecSpec::Sz { eb: 1e-10 },
+        codec,
         workers: 1,
         pipeline_depth: depth,
         ..Default::default()
@@ -42,10 +47,11 @@ fn run_once(n: u32, chunk_bits: u32, depth: usize) -> memqsim_core::engine::RunR
 fn main() {
     let args = Args::capture();
     let n: u32 = args.get("qubits", 16u32);
+    let codec: CodecSpec = args.get("codec", CodecSpec::Sz { eb: 1e-10 });
     let check = args.has("check");
     let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
 
-    println!("# A4 — CPU pipeline depth sweep (qft{n}, SZ 1e-10, {cpus} cpu)\n");
+    println!("# A4 — CPU pipeline depth sweep (qft{n}, {codec}, {cpus} cpu)\n");
 
     let mut failures = Vec::new();
     let mut json_rows = Vec::new();
@@ -62,13 +68,13 @@ fn main() {
         let mut serial_wall = 0.0f64;
         let mut best: Option<(usize, f64)> = None;
         for depth in DEPTHS {
-            let mut r = run_once(n, chunk_bits, depth);
+            let mut r = run_once(n, chunk_bits, codec, depth);
             // Whether two roles' spans interleave on a loaded or single-CPU
             // host depends on where the OS preempts; one non-overlapping run
             // is scheduler noise, three in a row is a real regression.
             let mut tries = 1;
             while depth > 1 && !r.telemetry.has_role_overlap() && tries < 3 {
-                r = run_once(n, chunk_bits, depth);
+                r = run_once(n, chunk_bits, codec, depth);
                 tries += 1;
             }
             let wall = r.wall.as_secs_f64();

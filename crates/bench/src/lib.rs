@@ -14,6 +14,7 @@
 //! | `access_patterns`     | design-challenge-3 analysis (A2) |
 //! | `codec_sweep`         | compressor comparison (A3) |
 //! | `fidelity_sweep`      | lossy error → result quality (A4) |
+//! | `adaptive_sweep`      | per-chunk codec selection under a fidelity budget (A6) |
 //!
 //! This library provides markdown table rendering, mid-circuit state
 //! snapshots as compression workloads, and small CLI-argument helpers.
@@ -89,6 +90,25 @@ mod tests {
         assert_eq!(a.get("missing", 7u32), 7);
         assert!(a.has("fast"));
         assert!(!a.has("slow"));
+    }
+
+    #[test]
+    fn codec_args_parse_through_the_shared_spec_parser() {
+        // Bins take `--codec <spec>` via `Args::get` + `CodecSpec: FromStr`,
+        // so there is exactly one codec-name parser in the workspace.
+        use mq_compress::CodecSpec;
+        let a = Args::from_vec(
+            ["--codec", "auto:1e-9"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(
+            a.get("codec", CodecSpec::Fpc),
+            CodecSpec::Auto { eb: Some(1e-9) }
+        );
+        let bad = Args::from_vec(["--codec", "lz4"].iter().map(|s| s.to_string()).collect());
+        assert_eq!(bad.get("codec", CodecSpec::Fpc), CodecSpec::Fpc);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! (including the sign of -0.0); the lossy codec must honour its bound on
 //! every component, no matter how hostile the input.
 
-use mq_compress::{compress_complex, decompress_complex, AdaptiveCodec, Codec, CodecSpec, SzCodec};
+use mq_compress::{
+    compress_complex, decompress_complex, AdaptiveCodec, AutoCodec, Codec, CodecSpec, Precision,
+    SzCodec,
+};
 use mq_num::Complex64;
 use proptest::prelude::*;
 
@@ -23,6 +26,15 @@ fn adversarial_f64() -> impl Strategy<Value = f64> {
         1 => Just(-f64::from_bits(1)),
         1 => -1e300f64..1e300,
         1 => -1e-300f64..1e-300,
+    ]
+}
+
+/// Chunks the probe-guided codec sees in practice: adversarial mixtures,
+/// plus the all-zero chunks a fresh state vector is mostly made of.
+fn adversarial_chunk() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        4 => prop::collection::vec(adversarial_f64(), 0..256),
+        1 => (0usize..256).prop_map(|n| vec![0.0f64; n]),
     ]
 }
 
@@ -64,6 +76,98 @@ proptest! {
         codec.decompress(&bytes, &mut out).unwrap();
         for (a, b) in data.iter().zip(&out) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_codec_is_bit_exact_without_an_allowance(
+        data in adversarial_chunk(),
+    ) {
+        // No allowance, f64 precision: every candidate the probe admits is
+        // lossless, so the self-describing payload must round-trip exactly.
+        let codec = AutoCodec::lossless();
+        let bytes = codec.compress(&data);
+        let meta = codec.payload_meta(&bytes).expect("auto payloads self-describe");
+        prop_assert!(meta.lossless, "lossless-only codec produced {meta:?}");
+        let mut out = vec![1.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_codec_honours_the_stage_allowance_it_was_given(
+        data in adversarial_chunk(),
+        eb_exp in -14i32..-2,
+        adaptive in any::<bool>(),
+    ) {
+        // The probe may hand the chunk to SZ or demote it to f32 pairs, but
+        // only when the backend's declared worst case fits the allowance —
+        // so the round-trip error never exceeds it, and any payload whose
+        // header claims lossless must still be bit-exact.
+        let eb = 10f64.powi(eb_exp);
+        let precision = if adaptive { Precision::Adaptive } else { Precision::F64 };
+        let codec = AutoCodec::new(Some(eb), precision);
+        let bytes = codec.compress(&data);
+        let meta = codec.payload_meta(&bytes).expect("auto payloads self-describe");
+        let mut out = vec![1.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        if meta.lossless {
+            for (a, b) in data.iter().zip(&out) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", meta);
+            }
+        } else {
+            for (a, b) in data.iter().zip(&out) {
+                prop_assert!((a - b).abs() <= eb, "{:?}: |{} - {}| > {}", meta, a, b, eb);
+            }
+        }
+        if meta.f32_packed {
+            prop_assert!(adaptive, "f32 demotion without Precision::Adaptive");
+        }
+    }
+
+    #[test]
+    fn auto_dynamic_bound_overrides_and_clears(
+        data in prop::collection::vec(adversarial_f64(), 1..256),
+        eb_exp in -12i32..-2,
+    ) {
+        // The engine retargets one codec instance per stage through
+        // set_dynamic_bound; clearing it must restore lossless behaviour.
+        let eb = 10f64.powi(eb_exp);
+        let codec = AutoCodec::lossless();
+        prop_assert!(codec.set_dynamic_bound(Some(eb)));
+        let bytes = codec.compress(&data);
+        let mut out = vec![0.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= eb, "|{} - {}| > {}", a, b, eb);
+        }
+        prop_assert!(codec.set_dynamic_bound(None));
+        let bytes = codec.compress(&data);
+        let meta = codec.payload_meta(&bytes).unwrap();
+        prop_assert!(meta.lossless);
+        let mut out = vec![0.0f64; data.len()];
+        codec.decompress(&bytes, &mut out).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_complex_round_trip_respects_the_bound(
+        reim in prop::collection::vec((adversarial_f64(), adversarial_f64()), 0..128),
+        eb_exp in -14i32..-2,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let amps: Vec<Complex64> = reim.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let codec = AutoCodec::new(Some(eb), Precision::Adaptive);
+        let bytes = compress_complex(&codec, &amps);
+        let mut out = vec![Complex64::ZERO; amps.len()];
+        decompress_complex(&codec, &bytes, &mut out).unwrap();
+        for (a, b) in amps.iter().zip(&out) {
+            prop_assert!((a.re - b.re).abs() <= eb, "re |{} - {}| > {}", a.re, b.re, eb);
+            prop_assert!((a.im - b.im).abs() <= eb, "im |{} - {}| > {}", a.im, b.im, eb);
         }
     }
 

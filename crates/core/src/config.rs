@@ -1,7 +1,7 @@
 //! MEMQSIM configuration.
 
 use crate::store::CachePolicy;
-use mq_compress::CodecSpec;
+use mq_compress::{CodecSpec, Precision};
 
 /// Which base storage tier [`build_store`](crate::store::build_store)
 /// assembles the stack on.
@@ -95,6 +95,51 @@ pub enum LayoutPolicy {
     /// the fixed plan whenever remapping would not strictly reduce chunk
     /// visits; applies to staged plans only (per-gate plans stay fixed).
     Greedy,
+}
+
+/// How a run-level fidelity budget is split into per-stage error
+/// allowances. The budget converts the end-state fidelity target into a
+/// total per-amplitude error allowance; the policy decides which stages
+/// get to spend it. Every policy allocates bounds that sum to (at most)
+/// the total, so the end-state claim holds regardless of the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Every stage gets `total / n_stages` (the default).
+    #[default]
+    Uniform,
+    /// Early stages get tighter bounds (errors introduced early pass
+    /// through more gates); allowances grow linearly toward the end.
+    FrontLoaded,
+    /// Early stages get looser bounds (useful when late-circuit states are
+    /// the structured, compressible ones); allowances shrink linearly.
+    BackLoaded,
+}
+
+impl BudgetPolicy {
+    /// Splits `total` into `n_stages` per-stage allowances summing to
+    /// `total` (within rounding). Returns an empty vector for zero stages.
+    pub fn allocate(&self, total: f64, n_stages: usize) -> Vec<f64> {
+        if n_stages == 0 {
+            return Vec::new();
+        }
+        let n = n_stages as f64;
+        match self {
+            BudgetPolicy::Uniform => vec![total / n; n_stages],
+            // Linear ramp with weights 1, 2, ..., n (front-loaded spends
+            // the small weights first); weights sum to n(n+1)/2.
+            BudgetPolicy::FrontLoaded => {
+                let denom = n * (n + 1.0) / 2.0;
+                (1..=n_stages).map(|k| total * k as f64 / denom).collect()
+            }
+            BudgetPolicy::BackLoaded => {
+                let denom = n * (n + 1.0) / 2.0;
+                (1..=n_stages)
+                    .rev()
+                    .map(|k| total * k as f64 / denom)
+                    .collect()
+            }
+        }
+    }
 }
 
 /// Per-role thread counts for the pipelined CPU executor
@@ -222,6 +267,19 @@ pub struct MemQSimConfig {
     /// logical→physical qubit layout between stages to cut chunk visits
     /// (`Fixed` keeps the identity layout for the whole run).
     pub layout_policy: LayoutPolicy,
+    /// End-state fidelity target (`None` = no budget). When set (requires
+    /// [`CodecSpec::Auto`]), the engine converts `1 - target` into a total
+    /// per-amplitude error allowance, splits it across stages per
+    /// `budget_policy`, and feeds each stage's bound to the adaptive codec
+    /// — tracking actual per-stage spend in telemetry.
+    pub fidelity_budget: Option<f64>,
+    /// How the fidelity budget is split into per-stage allowances; ignored
+    /// without `fidelity_budget`.
+    pub budget_policy: BudgetPolicy,
+    /// Numeric width of stored chunks. [`Precision::Adaptive`] (requires
+    /// [`CodecSpec::Auto`]) lets the codec demote chunks to f32 pairs when
+    /// the rounding error fits the stage's allowance.
+    pub precision: Precision,
 }
 
 impl Default for MemQSimConfig {
@@ -245,6 +303,9 @@ impl Default for MemQSimConfig {
             devices: 1,
             shard_policy: ShardPolicy::ChunkAffinity,
             layout_policy: LayoutPolicy::Fixed,
+            fidelity_budget: None,
+            budget_policy: BudgetPolicy::Uniform,
+            precision: Precision::F64,
         }
     }
 }
@@ -309,6 +370,17 @@ impl MemQSimConfig {
         }
         if self.devices == 0 {
             return Err("devices must be >= 1".into());
+        }
+        if let Some(target) = self.fidelity_budget {
+            if !(target > 0.0 && target < 1.0) {
+                return Err(format!("fidelity_budget {target} outside (0, 1)"));
+            }
+            if !matches!(self.codec, CodecSpec::Auto { .. }) {
+                return Err("fidelity_budget requires the adaptive codec (CodecSpec::Auto)".into());
+            }
+        }
+        if self.precision == Precision::Adaptive && !matches!(self.codec, CodecSpec::Auto { .. }) {
+            return Err("Precision::Adaptive requires the adaptive codec (CodecSpec::Auto)".into());
         }
         Ok(())
     }
@@ -439,6 +511,25 @@ impl MemQSimConfigBuilder {
         self
     }
 
+    /// End-state fidelity target in (0, 1); requires [`CodecSpec::Auto`].
+    pub fn fidelity_budget(mut self, target: f64) -> Self {
+        self.cfg.fidelity_budget = Some(target);
+        self
+    }
+
+    /// How the fidelity budget is split into per-stage allowances.
+    pub fn budget_policy(mut self, budget_policy: BudgetPolicy) -> Self {
+        self.cfg.budget_policy = budget_policy;
+        self
+    }
+
+    /// Numeric width of stored chunks ([`Precision::Adaptive`] requires
+    /// [`CodecSpec::Auto`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.cfg.precision = precision;
+        self
+    }
+
     /// Validates and returns the configuration, or a description of the
     /// first problem found.
     pub fn build(self) -> Result<MemQSimConfig, String> {
@@ -501,10 +592,35 @@ mod tests {
                 devices: 0,
                 ..Default::default()
             },
+            // Budget outside (0, 1).
+            MemQSimConfig {
+                codec: CodecSpec::Auto { eb: None },
+                fidelity_budget: Some(1.0),
+                ..Default::default()
+            },
+            // Budget without the adaptive codec.
+            MemQSimConfig {
+                fidelity_budget: Some(0.999),
+                ..Default::default()
+            },
+            // Adaptive precision without the adaptive codec.
+            MemQSimConfig {
+                precision: Precision::Adaptive,
+                ..Default::default()
+            },
         ];
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?}");
         }
+        // The valid combination: budget + adaptive precision on Auto.
+        assert!(MemQSimConfig {
+            codec: CodecSpec::Auto { eb: None },
+            fidelity_budget: Some(0.999999),
+            precision: Precision::Adaptive,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -532,6 +648,16 @@ mod tests {
             .layout_policy(LayoutPolicy::Greedy)
             .build()
             .unwrap();
+        let adaptive = MemQSimConfig::builder()
+            .codec(CodecSpec::Auto { eb: Some(1e-8) })
+            .fidelity_budget(0.999999)
+            .budget_policy(BudgetPolicy::FrontLoaded)
+            .precision(Precision::Adaptive)
+            .build()
+            .unwrap();
+        assert_eq!(adaptive.fidelity_budget, Some(0.999999));
+        assert_eq!(adaptive.budget_policy, BudgetPolicy::FrontLoaded);
+        assert_eq!(adaptive.precision, Precision::Adaptive);
         assert_eq!(
             cfg,
             MemQSimConfig {
@@ -555,6 +681,9 @@ mod tests {
                 devices: 4,
                 shard_policy: ShardPolicy::RoundRobin,
                 layout_policy: LayoutPolicy::Greedy,
+                fidelity_budget: None,
+                budget_policy: BudgetPolicy::Uniform,
+                precision: Precision::F64,
             }
         );
     }
@@ -590,6 +719,40 @@ mod tests {
         assert!(err.contains("worker_split"), "{err}");
         let err = MemQSimConfig::builder().devices(0).build().unwrap_err();
         assert!(err.contains("devices"), "{err}");
+        let err = MemQSimConfig::builder()
+            .fidelity_budget(0.999)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("fidelity_budget"), "{err}");
+        let err = MemQSimConfig::builder()
+            .precision(Precision::Adaptive)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("Precision::Adaptive"), "{err}");
+    }
+
+    #[test]
+    fn budget_policies_allocate_the_whole_budget() {
+        for policy in [
+            BudgetPolicy::Uniform,
+            BudgetPolicy::FrontLoaded,
+            BudgetPolicy::BackLoaded,
+        ] {
+            assert!(policy.allocate(1e-6, 0).is_empty());
+            for n in [1usize, 2, 7] {
+                let bounds = policy.allocate(1e-6, n);
+                assert_eq!(bounds.len(), n);
+                assert!(bounds.iter().all(|&b| b > 0.0), "{policy:?}");
+                let sum: f64 = bounds.iter().sum();
+                assert!((sum - 1e-6).abs() < 1e-18, "{policy:?}: sum {sum}");
+            }
+        }
+        // Front-loaded tightens early stages; back-loaded is its mirror.
+        let front = BudgetPolicy::FrontLoaded.allocate(1.0, 4);
+        assert!(front.windows(2).all(|w| w[0] < w[1]));
+        let back = BudgetPolicy::BackLoaded.allocate(1.0, 4);
+        assert!(back.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(front[0], back[3]);
     }
 
     #[test]

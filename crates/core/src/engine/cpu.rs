@@ -364,6 +364,7 @@ impl ChunkExecutor for CpuWorkerExecutor {
                     stage: ctx.stage(index),
                     groups: std::mem::take(&mut self.pending),
                     shards: Vec::new(),
+                    error_allowance: ctx.stage_error_allowance(index),
                 };
                 let group_amps = work.stage.group_size() * ctx.chunk_amps();
                 self.peak_buffer_bytes = self

@@ -42,7 +42,7 @@ use mq_circuit::Circuit;
 use mq_device::StreamStats;
 use mq_num::parallel::par_for;
 use mq_num::Complex64;
-use mq_telemetry::{Counter, Role, Telemetry};
+use mq_telemetry::{Counter, Role, StageErrorSpend, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -75,6 +75,16 @@ impl ExecContext {
     /// The plan stage at `index` (the index every streaming call carries).
     pub fn stage(&self, index: u32) -> &Stage {
         &self.plan.stages[index as usize]
+    }
+
+    /// The per-amplitude error allowance stage `index` may spend under the
+    /// run's fidelity budget (`None` without one). Executors carrying a
+    /// private codec instance apply it via
+    /// [`Codec::set_dynamic_bound`](mq_compress::Codec::set_dynamic_bound);
+    /// the driver feeds the same value to the store's codec.
+    pub fn stage_error_allowance(&self, index: u32) -> Option<f64> {
+        stage_error_bounds(&self.cfg, self.plan.n_qubits, self.plan.stages.len())
+            .map(|bounds| bounds[index as usize])
     }
 }
 
@@ -110,6 +120,11 @@ pub struct StageWork<'a> {
     /// Per-group device assignment, aligned with `groups` (all zeros for
     /// single-device configurations).
     pub shards: Vec<usize>,
+    /// The per-amplitude error allowance this stage may spend under the
+    /// run's fidelity budget (`None` without one). Executors with a
+    /// private codec instance forward it to
+    /// [`Codec::set_dynamic_bound`](mq_compress::Codec::set_dynamic_bound).
+    pub error_allowance: Option<f64>,
 }
 
 /// Executor-side accounting folded into the final [`RunReport`].
@@ -291,6 +306,7 @@ impl<E: StageBatchExecutor> ChunkExecutor for SerialAdapter<E> {
             stage: ctx.stage(index),
             groups: std::mem::take(&mut self.pending),
             shards: std::mem::take(&mut self.pending_shards),
+            error_allowance: ctx.stage_error_allowance(index),
         };
         self.inner.execute_stage(ctx, &work)
     }
@@ -555,6 +571,15 @@ pub fn run_with_executor(
         telemetry: telemetry.clone(),
     };
 
+    // Run-level fidelity budget: convert the end-state target into a total
+    // per-amplitude error allowance and split it across stages. Per-stage
+    // spend is attributed by diffing the store's lossy-encode counter
+    // around each stage: a stage that only picked lossless backends spends
+    // nothing even though it had an allowance.
+    let stage_bounds = stage_error_bounds(cfg, circuit.n_qubits(), plan.stages.len());
+    let mut error_spend: Vec<StageErrorSpend> = Vec::new();
+    let mut lossy_mark = store.counters().lossy_encodes;
+
     let n_devices = cfg.devices.max(1);
     let mut device_load = vec![0usize; n_devices];
     let mut chunk_visits = 0usize;
@@ -563,6 +588,9 @@ pub fn run_with_executor(
         Err(e) => run_err = Some(e),
         Ok(()) => {
             'stages: for (si, stage) in plan.stages.iter().enumerate() {
+                if let Some(bounds) = &stage_bounds {
+                    store.set_error_allowance(Some(bounds[si]));
+                }
                 if let Some(transition) = &stage.transition {
                     // Remap before the stage: chunk identities change, so
                     // per-device load tracking restarts (ChunkAffinity
@@ -623,6 +651,16 @@ pub fn run_with_executor(
                     run_err = Some(e);
                     break;
                 }
+                if let Some(bounds) = &stage_bounds {
+                    let now = store.counters().lossy_encodes;
+                    let allocated = bounds[si as usize];
+                    error_spend.push(StageErrorSpend {
+                        stage: si,
+                        allocated,
+                        spent: if now > lossy_mark { allocated } else { 0.0 },
+                    });
+                    lossy_mark = now;
+                }
             }
             // Epilogue: un-permute the layout back to identity so callers
             // (measurement, to_dense, comparisons) see logical order.
@@ -652,6 +690,19 @@ pub fn run_with_executor(
     let finish_result = executor.finish(&ctx);
     if let Err(e) = store.flush() {
         run_err.get_or_insert(e.into());
+    }
+
+    // Epilogue traffic (drained pipelines, dirty cache write-backs) ran
+    // under the last stage's allowance; fold any post-stage lossy encodes
+    // into that stage's ledger entry, then clear the allowance.
+    if stage_bounds.is_some() {
+        if store.counters().lossy_encodes > lossy_mark {
+            if let Some(last) = error_spend.last_mut() {
+                last.spent = last.allocated;
+            }
+        }
+        store.set_error_allowance(None);
+        telemetry.set_error_spend(error_spend);
     }
 
     // Snapshot after the executor drained, so every span is closed and
@@ -691,7 +742,24 @@ pub fn run_with_executor(
         device_buffer_bytes: stats.device_buffer_bytes,
         modeled_serial: cpu_side + stats.device.modeled,
         modeled_overlapped: cpu_side.max(stats.device.modeled),
+        fidelity_budget: cfg.fidelity_budget,
+        error_budget: stage_bounds.map_or(0.0, |b| b.iter().sum()),
+        error_spent: record.total_error_spent(),
         telemetry: record,
+    })
+}
+
+/// Per-stage error allowances for a run with a fidelity budget (`None`
+/// without one): the end-state infidelity `1 - target` is converted into a
+/// total per-amplitude (per re/im plane) error allowance via the worst-case
+/// L2 relation `1 - F <= 2 * 2^n * E^2`, then split across stages by the
+/// configured [`BudgetPolicy`](crate::config::BudgetPolicy) — per-stage
+/// errors add at worst linearly per amplitude, so bounds summing to `E`
+/// keep the end-state claim.
+pub fn stage_error_bounds(cfg: &MemQSimConfig, n_qubits: u32, n_stages: usize) -> Option<Vec<f64>> {
+    cfg.fidelity_budget.map(|target| {
+        let total = ((1.0 - target) / (2.0 * (2f64).powi(n_qubits as i32))).sqrt();
+        cfg.budget_policy.allocate(total, n_stages)
     })
 }
 

@@ -278,7 +278,9 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         }
 
         self.codec = if ctx.cfg.transfer_mode == TransferMode::Compressed {
-            Some(Arc::from(ctx.cfg.codec.build()))
+            Some(Arc::from(
+                ctx.cfg.codec.build_with_precision(ctx.cfg.precision),
+            ))
         } else {
             None
         };
@@ -313,6 +315,12 @@ impl StageBatchExecutor for DevicePipelineExecutor<'_> {
         work: &StageWork<'_>,
     ) -> Result<(), EngineError> {
         let chunk_amps = ctx.chunk_amps();
+        // A fidelity budget hands each stage its own error allowance; this
+        // executor's private codec instance (compressed transfers) must
+        // track the store codec's bound or payload parity breaks.
+        if let Some(codec) = &self.codec {
+            codec.set_dynamic_bound(work.error_allowance);
+        }
         let n_cpu = ((work.groups.len() as f64) * ctx.cfg.cpu_share).round() as usize;
         let n_cpu = n_cpu.min(work.groups.len());
         let (cpu_groups, dev_groups) = work.groups.split_at(n_cpu);

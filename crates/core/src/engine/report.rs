@@ -78,6 +78,18 @@ pub struct RunReport {
     /// Modeled end-to-end time with perfect phase overlap
     /// (max of CPU-side and device-side busy time).
     pub modeled_overlapped: Duration,
+    /// The run's end-state fidelity target (`None` when no budget was
+    /// configured).
+    pub fidelity_budget: Option<f64>,
+    /// Total per-amplitude error allowance derived from the fidelity
+    /// target (0.0 without a budget).
+    pub error_budget: f64,
+    /// Per-amplitude error actually spent across all stages — the sum of
+    /// the per-stage ledger in
+    /// [`telemetry.error_spend()`](RunTelemetry::error_spend). Always
+    /// within [`error_budget`](Self::error_budget), so the end-state
+    /// fidelity claim is auditable.
+    pub error_spent: f64,
     /// The full span/counter record the durations above derive from.
     pub telemetry: RunTelemetry,
 }

@@ -56,13 +56,14 @@ pub use backend::{
     run_on_all, Backend, BackendRun, CompressedCpuBackend, DenseCpuBackend, HybridBackend,
 };
 pub use config::{
-    FusionLevel, LayoutPolicy, MemQSimConfig, MemQSimConfigBuilder, ShardPolicy, StoreKind,
-    TransferMode, WorkerSplit,
+    BudgetPolicy, FusionLevel, LayoutPolicy, MemQSimConfig, MemQSimConfigBuilder, ShardPolicy,
+    StoreKind, TransferMode, WorkerSplit,
 };
 pub use engine::{
     run_with_executor, ChunkExecutor, EngineError, ExecContext, ExecutorStats, Granularity,
     GroupWork, RunReport, SerialAdapter, StageBatchExecutor, StageWork,
 };
+pub use mq_compress::Precision;
 pub use mq_telemetry::{Counter, DeviceLane, Role, RunTelemetry, SpanRecord, Telemetry};
 pub use store::{
     build_store, build_store_from_amplitudes, CachePolicy, ChunkStore, CompressedTier, DenseStore,

@@ -542,6 +542,10 @@ impl ChunkStore for ResidencyCache {
         self.inner.detach_telemetry();
     }
 
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        self.inner.set_error_allowance(eb);
+    }
+
     fn debug_corrupt_chunk(&self, i: usize) {
         self.inner.debug_corrupt_chunk(i);
     }

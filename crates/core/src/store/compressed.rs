@@ -37,6 +37,15 @@ pub struct CompressedTier {
     visits: AtomicU64,
     bytes_decompressed: AtomicU64,
     bytes_compressed: AtomicU64,
+    // Adaptive-codec pick histogram, populated from the payload headers of
+    // self-describing codecs (static codecs report no metadata and leave
+    // these at zero).
+    picks_zero_rle: AtomicU64,
+    picks_fpc: AtomicU64,
+    picks_shuffle_lzss: AtomicU64,
+    picks_sz: AtomicU64,
+    mixed_precision_chunks: AtomicU64,
+    lossy_encodes: AtomicU64,
 }
 
 impl CompressedTier {
@@ -55,6 +64,12 @@ impl CompressedTier {
             visits: AtomicU64::new(0),
             bytes_decompressed: AtomicU64::new(0),
             bytes_compressed: AtomicU64::new(0),
+            picks_zero_rle: AtomicU64::new(0),
+            picks_fpc: AtomicU64::new(0),
+            picks_shuffle_lzss: AtomicU64::new(0),
+            picks_sz: AtomicU64::new(0),
+            mixed_precision_chunks: AtomicU64::new(0),
+            lossy_encodes: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +126,24 @@ impl CompressedTier {
     fn commit_slot(&self, i: usize, bytes: Vec<u8>) {
         let new_len = bytes.len();
         let checksum = fnv1a(&bytes);
+        if let Some(meta) = self.codec.payload_meta(&bytes) {
+            let pick = match meta.codec {
+                "zero-rle" => Some(&self.picks_zero_rle),
+                "fpc" => Some(&self.picks_fpc),
+                "shuffle-lzss" => Some(&self.picks_shuffle_lzss),
+                "sz" => Some(&self.picks_sz),
+                _ => None,
+            };
+            if let Some(counter) = pick {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            if meta.f32_packed {
+                self.mixed_precision_chunks.fetch_add(1, Ordering::Relaxed);
+            }
+            if !meta.lossless {
+                self.lossy_encodes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let guard = &mut *self.chunks[i].lock();
         let old_len = guard.bytes.len();
         *guard = ChunkSlot { bytes, checksum };
@@ -221,12 +254,22 @@ impl ChunkStore for CompressedTier {
             chunk_visits: self.visits.load(Ordering::Relaxed),
             bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
             bytes_compressed: self.bytes_compressed.load(Ordering::Relaxed),
+            codec_picks_zero_rle: self.picks_zero_rle.load(Ordering::Relaxed),
+            codec_picks_fpc: self.picks_fpc.load(Ordering::Relaxed),
+            codec_picks_shuffle_lzss: self.picks_shuffle_lzss.load(Ordering::Relaxed),
+            codec_picks_sz: self.picks_sz.load(Ordering::Relaxed),
+            mixed_precision_chunks: self.mixed_precision_chunks.load(Ordering::Relaxed),
+            lossy_encodes: self.lossy_encodes.load(Ordering::Relaxed),
             ..StoreCounters::default()
         }
     }
 
     fn cumulative_stats(&self) -> CompressionStats {
         *self.stats.lock()
+    }
+
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        self.codec.set_dynamic_bound(eb);
     }
 
     fn debug_corrupt_chunk(&self, i: usize) {
@@ -479,6 +522,46 @@ mod tests {
         for (a, b) in buf.iter().zip(&amps[8..16]) {
             assert!((a.re - b.re).abs() <= 1e-11);
         }
+    }
+
+    #[test]
+    fn adaptive_codec_picks_are_counted_from_payload_headers() {
+        // Sparse chunks under the adaptive codec: every encode picks
+        // zero-RLE, and with no error allowance nothing is lossy.
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::Auto { eb: None }.build());
+        let store = CompressedTier::zero_state(8, 4, codec);
+        let c = store.counters();
+        assert_eq!(c.codec_picks_zero_rle, store.chunk_count() as u64);
+        assert_eq!(c.codec_picks_fpc, 0);
+        assert_eq!(c.lossy_encodes, 0);
+
+        // With an allowance and adaptive precision, sparse chunks carrying
+        // literal amplitudes demote to f32 pairs (halved literal bytes):
+        // the pick is still zero-RLE, but mixed precision and lossy-encode
+        // tick. (All-zero chunks tie at either width and stay f64.)
+        let lossy: Arc<dyn Codec> = Arc::from(
+            CodecSpec::Auto { eb: Some(1e-6) }
+                .build_with_precision(mq_compress::Precision::Adaptive),
+        );
+        // Two adjacent nonzero amplitudes per 32-amp chunk: the chunk stays
+        // sparse (60/64 zero f64s) and each plane carries an adjacent
+        // literal pair that an f32 word stores in half the bytes.
+        let mut amps = vec![Complex64::ZERO; 512];
+        for i in 0..16 {
+            amps[i * 32] = c64(0.5, -0.25);
+            amps[i * 32 + 1] = c64(0.25, 0.125);
+        }
+        let store = CompressedTier::from_amplitudes(&amps, 5, lossy);
+        let c = store.counters();
+        assert_eq!(c.codec_picks_zero_rle, store.chunk_count() as u64);
+        assert_eq!(c.mixed_precision_chunks, store.chunk_count() as u64);
+        assert_eq!(c.lossy_encodes, store.chunk_count() as u64);
+
+        // Static codecs report no payload metadata: all pick counters stay 0.
+        let store = CompressedTier::zero_state(8, 4, Arc::new(ZeroRleCodec));
+        let c = store.counters();
+        assert_eq!(c.codec_picks_zero_rle, 0);
+        assert_eq!(c.mixed_precision_chunks, 0);
     }
 
     #[test]

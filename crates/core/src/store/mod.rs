@@ -102,6 +102,20 @@ pub struct StoreCounters {
     pub spill_bytes_written: u64,
     /// Compressed chunk bytes read back from disk.
     pub spill_bytes_read: u64,
+    /// Chunk encodes where the adaptive codec picked zero-RLE.
+    pub codec_picks_zero_rle: u64,
+    /// Chunk encodes where the adaptive codec picked FPC.
+    pub codec_picks_fpc: u64,
+    /// Chunk encodes where the adaptive codec picked shuffle+LZSS.
+    pub codec_picks_shuffle_lzss: u64,
+    /// Chunk encodes where the adaptive codec picked SZ.
+    pub codec_picks_sz: u64,
+    /// Chunk encodes stored as packed f32 pairs (mixed precision).
+    pub mixed_precision_chunks: u64,
+    /// Chunk encodes that went through a lossy path (SZ pick or f32
+    /// demotion) — the signal the engine diffs per stage to attribute
+    /// error-budget spend.
+    pub lossy_encodes: u64,
 }
 
 /// A chunked state-vector storage tier.
@@ -209,6 +223,16 @@ pub trait ChunkStore: Send + Sync {
 
     /// Detaches the telemetry handle, if any.
     fn detach_telemetry(&self) {}
+
+    /// Sets (or clears, with `None`) the error allowance lossy codec work
+    /// below this tier may spend per amplitude — the engine calls this at
+    /// stage boundaries when a run-level fidelity budget is active. Tiers
+    /// with a dynamically-boundable codec (see
+    /// [`Codec::set_dynamic_bound`](mq_compress::Codec::set_dynamic_bound))
+    /// forward to it; everything else ignores the call.
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        let _ = eb;
+    }
 
     /// Fault-injection hook: corrupt chunk `i`'s stored bytes so integrity
     /// checks can be tested. No-op on tiers without checksums.
@@ -392,6 +416,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
         (**self).detach_telemetry()
     }
 
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        (**self).set_error_allowance(eb)
+    }
+
     fn debug_corrupt_chunk(&self, i: usize) {
         (**self).debug_corrupt_chunk(i)
     }
@@ -405,7 +433,8 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 /// Errors only for tiers that touch the filesystem ([`SpillStore`]).
 pub fn build_store(n_qubits: u32, cfg: &MemQSimConfig) -> Result<Arc<dyn ChunkStore>, CodecError> {
     let chunk_bits = cfg.effective_chunk_bits(n_qubits);
-    let codec: Arc<dyn mq_compress::Codec> = Arc::from(cfg.codec.build());
+    let codec: Arc<dyn mq_compress::Codec> =
+        Arc::from(cfg.codec.build_with_precision(cfg.precision));
     let base: Arc<dyn ChunkStore> = match cfg.store_kind {
         StoreKind::Compressed => Arc::new(CompressedTier::zero_state(n_qubits, chunk_bits, codec)),
         StoreKind::Dense => Arc::new(DenseStore::zero_state(n_qubits, chunk_bits)),
@@ -430,7 +459,8 @@ pub fn build_store_from_amplitudes(
     assert!(bits::is_pow2(amps.len()), "length must be a power of two");
     let n_qubits = bits::floor_log2(amps.len());
     let chunk_bits = cfg.effective_chunk_bits(n_qubits);
-    let codec: Arc<dyn mq_compress::Codec> = Arc::from(cfg.codec.build());
+    let codec: Arc<dyn mq_compress::Codec> =
+        Arc::from(cfg.codec.build_with_precision(cfg.precision));
     let base: Arc<dyn ChunkStore> = match cfg.store_kind {
         StoreKind::Compressed => Arc::new(CompressedTier::from_amplitudes(amps, chunk_bits, codec)),
         StoreKind::Dense => Arc::new(DenseStore::from_amplitudes(amps, chunk_bits)),

@@ -345,6 +345,10 @@ impl ChunkStore for SpillStore {
         *self.stats.lock()
     }
 
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        self.codec.set_dynamic_bound(eb);
+    }
+
     fn debug_corrupt_chunk(&self, i: usize) {
         let mut state = self.state.lock();
         match &mut state.slots[i] {

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many [`StoreCounters`] fields map onto [`Counter`] variants.
-const N: usize = 9;
+const N: usize = 15;
 
 /// The stack's counter totals paired with their telemetry counters, in a
 /// fixed order shared by the emission bookkeeping.
@@ -24,6 +24,12 @@ fn fields(c: &StoreCounters) -> [(Counter, u64); N] {
         (Counter::Evictions, c.evictions),
         (Counter::SpillBytesWritten, c.spill_bytes_written),
         (Counter::SpillBytesRead, c.spill_bytes_read),
+        (Counter::CodecPicksZeroRle, c.codec_picks_zero_rle),
+        (Counter::CodecPicksFpc, c.codec_picks_fpc),
+        (Counter::CodecPicksShuffleLzss, c.codec_picks_shuffle_lzss),
+        (Counter::CodecPicksSz, c.codec_picks_sz),
+        (Counter::MixedPrecisionChunks, c.mixed_precision_chunks),
+        (Counter::LossyEncodes, c.lossy_encodes),
     ]
 }
 
@@ -186,6 +192,10 @@ impl ChunkStore for TelemetryTier {
             }
         }
         *guard = None;
+    }
+
+    fn set_error_allowance(&self, eb: Option<f64>) {
+        self.inner.set_error_allowance(eb);
     }
 
     fn debug_corrupt_chunk(&self, i: usize) {

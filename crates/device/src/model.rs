@@ -160,6 +160,48 @@ impl DeviceSpec {
             launches as f64 * self.kernel_launch_overhead + raw_bytes as f64 / throughput,
         )
     }
+
+    /// Relative throughput of one codec family's device kernels against
+    /// the calibrated `decode_byte_throughput` / `encode_byte_throughput`
+    /// baseline (FPC's XOR-predictor shape). Adaptive payloads name their
+    /// per-chunk backend; the model scales the per-byte term so a
+    /// zero-RLE-heavy workload decodes faster on the device than an
+    /// LZSS-heavy one, matching the relative host-side codec costs.
+    /// Unknown names (including static codecs' own) keep the 1.0 baseline.
+    pub fn codec_time_scale(&self, codec: &str) -> f64 {
+        match codec {
+            // Run expansion is a trivial fill kernel.
+            "zero-rle" => 4.0,
+            "null" => 8.0,
+            // The calibration baseline.
+            "fpc" => 1.0,
+            // Dictionary matching serializes; byte-plane gather adds a pass.
+            "shuffle-lzss" => 0.5,
+            // Quantized residual decoding: cheaper than LZSS, pricier than
+            // the XOR predictor.
+            "sz" => 0.75,
+            _ => 1.0,
+        }
+    }
+
+    /// [`decode_kernel_time`](Self::decode_kernel_time) with the per-byte
+    /// term scaled for the named codec family (launch overhead unchanged —
+    /// every family pays the same dispatch train).
+    pub fn decode_kernel_time_for(&self, raw_bytes: usize, codec: &str) -> Duration {
+        self.codec_kernel_time(
+            raw_bytes,
+            self.decode_byte_throughput * self.codec_time_scale(codec),
+        )
+    }
+
+    /// [`encode_kernel_time`](Self::encode_kernel_time) with the per-byte
+    /// term scaled for the named codec family.
+    pub fn encode_kernel_time_for(&self, raw_bytes: usize, codec: &str) -> Duration {
+        self.codec_kernel_time(
+            raw_bytes,
+            self.encode_byte_throughput * self.codec_time_scale(codec),
+        )
+    }
 }
 
 fn secs_to_duration(s: f64) -> Duration {
@@ -278,6 +320,30 @@ mod tests {
             (extra_launches - 2.0 * launch_train).abs() < 1e-7,
             "extra {extra_launches}"
         );
+    }
+
+    #[test]
+    fn codec_time_scale_orders_families_and_defaults_to_baseline() {
+        let spec = DeviceSpec::pcie_gen3();
+        // Simpler codecs decode faster per byte; LZSS is the slowest.
+        assert!(spec.codec_time_scale("zero-rle") > spec.codec_time_scale("fpc"));
+        assert!(spec.codec_time_scale("sz") < spec.codec_time_scale("fpc"));
+        assert!(spec.codec_time_scale("shuffle-lzss") < spec.codec_time_scale("sz"));
+        // Unknown names keep the calibrated baseline, so static codecs'
+        // pinned timings are unchanged.
+        assert_eq!(spec.codec_time_scale("auto"), 1.0);
+        let raw = 4096usize;
+        assert_eq!(
+            spec.decode_kernel_time_for(raw, "auto"),
+            spec.decode_kernel_time(raw)
+        );
+        assert_eq!(
+            spec.encode_kernel_time_for(raw, "fpc"),
+            spec.encode_kernel_time(raw)
+        );
+        // The scaled path moves only the per-byte term.
+        assert!(spec.decode_kernel_time_for(raw, "zero-rle") < spec.decode_kernel_time(raw));
+        assert!(spec.decode_kernel_time_for(raw, "shuffle-lzss") > spec.decode_kernel_time(raw));
     }
 
     #[test]

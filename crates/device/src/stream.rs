@@ -810,7 +810,14 @@ fn execute(
                 .map_err(|e| DeviceError::Codec(e.to_string()))?;
             let raw_bytes = amps * std::mem::size_of::<Complex64>();
             let copy = spec.bulk_copy_time_bytes(payload.len(), true);
-            let decode = spec.decode_kernel_time(raw_bytes);
+            // Self-describing payloads (the adaptive codec) name their
+            // per-chunk backend; the modeled kernel time scales with the
+            // family. Static codecs carry no header and keep the
+            // calibrated baseline.
+            let decode = match codec.payload_meta(&payload) {
+                Some(meta) => spec.decode_kernel_time_for(raw_bytes, meta.codec),
+                None => spec.decode_kernel_time(raw_bytes),
+            };
             stats.modeled += copy + decode;
             stats.modeled_h2d += copy;
             stats.modeled_decode += decode;
@@ -841,7 +848,12 @@ fn execute(
             }
             let payload = compress_complex(codec.as_ref(), region);
             let raw_bytes = amps * std::mem::size_of::<Complex64>();
-            let encode = spec.encode_kernel_time(raw_bytes);
+            // As with DecodeChunk: adaptive payloads charge their picked
+            // backend's kernel shape, static codecs the baseline.
+            let encode = match codec.payload_meta(&payload) {
+                Some(meta) => spec.encode_kernel_time_for(raw_bytes, meta.codec),
+                None => spec.encode_kernel_time(raw_bytes),
+            };
             let copy = spec.bulk_copy_time_bytes(payload.len(), false);
             stats.modeled += encode + copy;
             stats.modeled_encode += encode;
@@ -1202,6 +1214,42 @@ mod codec_command_tests {
         assert!(stats.modeled_encode > Duration::ZERO);
         // The cell is emptied by take().
         assert!(cell.take().is_none());
+    }
+
+    #[test]
+    fn adaptive_payloads_charge_their_picked_backend_family() {
+        // A sparse chunk under the adaptive codec self-describes as
+        // zero-rle, whose fill kernel models faster than the calibrated
+        // baseline; the stream must read the family from the payload
+        // header rather than bill the registry name.
+        let dev = Device::new(DeviceSpec::tiny_test(4096));
+        let stream = dev.create_stream();
+        let codec: Arc<dyn Codec> = Arc::from(CodecSpec::Auto { eb: None }.build());
+        let mut amps = vec![Complex64::ZERO; 256];
+        amps[0] = Complex64::ONE;
+        let payload = compress_complex(codec.as_ref(), &amps);
+        let family = codec
+            .payload_meta(&payload)
+            .expect("adaptive payloads are self-describing")
+            .codec;
+        assert_eq!(family, "zero-rle");
+        let raw_bytes = 256 * std::mem::size_of::<Complex64>();
+        let buf = dev.alloc(256).unwrap();
+        stream.decode_chunk(payload, &codec, buf, 0, 256);
+        let stats = stream.synchronize().unwrap();
+        assert_eq!(
+            stats.modeled_decode,
+            dev.spec().decode_kernel_time_for(raw_bytes, family)
+        );
+        assert!(stats.modeled_decode < dev.spec().decode_kernel_time(raw_bytes));
+
+        let cell = stream.encode_chunk(buf, 0, 256, Complex64::ONE, &codec);
+        let stats = stream.synchronize().unwrap();
+        assert!(cell.take().is_some());
+        assert_eq!(
+            stats.modeled_encode,
+            dev.spec().encode_kernel_time_for(raw_bytes, family)
+        );
     }
 
     #[test]

@@ -131,11 +131,24 @@ pub enum Counter {
     /// plan for the same circuit (stage visits avoided minus transition
     /// visit costs paid).
     ChunkVisitsSavedByLayout,
+    /// Adaptive-codec chunks whose payload header picked zero-RLE.
+    CodecPicksZeroRle,
+    /// Adaptive-codec chunks whose payload header picked FPC.
+    CodecPicksFpc,
+    /// Adaptive-codec chunks whose payload header picked shuffle-LZSS.
+    CodecPicksShuffleLzss,
+    /// Adaptive-codec chunks whose payload header picked SZ.
+    CodecPicksSz,
+    /// Adaptive-codec chunks stored demoted to packed f32 pairs.
+    MixedPrecisionChunks,
+    /// Committed chunk payloads that are not bit-exact (an SZ pick or an
+    /// f32 demotion) — the events that consume a run's error budget.
+    LossyEncodes,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 27] = [
         Counter::BytesDecompressed,
         Counter::BytesCompressed,
         Counter::BytesH2d,
@@ -157,6 +170,12 @@ impl Counter {
         Counter::DeviceEncodeTime,
         Counter::RemapPasses,
         Counter::ChunkVisitsSavedByLayout,
+        Counter::CodecPicksZeroRle,
+        Counter::CodecPicksFpc,
+        Counter::CodecPicksShuffleLzss,
+        Counter::CodecPicksSz,
+        Counter::MixedPrecisionChunks,
+        Counter::LossyEncodes,
     ];
 
     /// Stable snake_case label used in JSON output.
@@ -183,6 +202,12 @@ impl Counter {
             Counter::DeviceEncodeTime => "device_encode_time_ns",
             Counter::RemapPasses => "remap_passes",
             Counter::ChunkVisitsSavedByLayout => "chunk_visits_saved_by_layout",
+            Counter::CodecPicksZeroRle => "codec_picks_zero_rle",
+            Counter::CodecPicksFpc => "codec_picks_fpc",
+            Counter::CodecPicksShuffleLzss => "codec_picks_shuffle_lzss",
+            Counter::CodecPicksSz => "codec_picks_sz",
+            Counter::MixedPrecisionChunks => "mixed_precision_chunks",
+            Counter::LossyEncodes => "lossy_encodes",
         }
     }
 
@@ -209,6 +234,12 @@ impl Counter {
             Counter::DeviceEncodeTime => 18,
             Counter::RemapPasses => 19,
             Counter::ChunkVisitsSavedByLayout => 20,
+            Counter::CodecPicksZeroRle => 21,
+            Counter::CodecPicksFpc => 22,
+            Counter::CodecPicksShuffleLzss => 23,
+            Counter::CodecPicksSz => 24,
+            Counter::MixedPrecisionChunks => 25,
+            Counter::LossyEncodes => 26,
         }
     }
 }
@@ -236,6 +267,25 @@ pub struct DeviceLane {
     pub kernel_time_ns: u64,
     /// This device's total modeled stream time (its lane of the makespan).
     pub modeled_ns: u64,
+}
+
+/// Per-stage error-budget accounting for runs under a fidelity budget.
+///
+/// One entry per pipeline stage, recorded by the engine driver: the
+/// absolute error bound the budget policy *allocated* to the stage, and
+/// what the stage actually *spent* (the allocation if any lossy encode
+/// landed during the stage, zero if every committed payload was
+/// bit-exact). `sum(spent) <= sum(allocated) <= total budget` makes the
+/// end-state fidelity claim auditable from the run record alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageErrorSpend {
+    /// Stage index.
+    pub stage: u32,
+    /// Absolute error bound the budget policy allocated to this stage.
+    pub allocated: f64,
+    /// Error actually spent: `allocated` when lossy encodes landed during
+    /// the stage, 0.0 when the stage stayed bit-exact.
+    pub spent: f64,
 }
 
 /// One closed span: a role busy on `[start_ns, end_ns)` relative to the
@@ -266,6 +316,7 @@ struct Inner {
     counters: [AtomicU64; NUM_COUNTERS],
     spans: Mutex<Vec<SpanRecord>>,
     device_lanes: Mutex<Vec<DeviceLane>>,
+    error_spend: Mutex<Vec<StageErrorSpend>>,
     opened: AtomicU64,
     closed: AtomicU64,
 }
@@ -305,6 +356,7 @@ impl Telemetry {
                 counters: [const { AtomicU64::new(0) }; NUM_COUNTERS],
                 spans: Mutex::new(Vec::new()),
                 device_lanes: Mutex::new(Vec::new()),
+                error_spend: Mutex::new(Vec::new()),
                 opened: AtomicU64::new(0),
                 closed: AtomicU64::new(0),
             }),
@@ -359,6 +411,17 @@ impl Telemetry {
             .unwrap_or_else(|e| e.into_inner()) = lanes;
     }
 
+    /// Records the run's per-stage error-budget spend (replacing any
+    /// previous set). Called by the engine driver after the stage loop,
+    /// before the run snapshot is taken.
+    pub fn set_error_spend(&self, spend: Vec<StageErrorSpend>) {
+        *self
+            .inner
+            .error_spend
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = spend;
+    }
+
     /// Snapshots the record into an immutable [`RunTelemetry`].
     ///
     /// Spans still open at this point stay unrecorded (and show up as an
@@ -383,6 +446,12 @@ impl Telemetry {
             device_lanes: self
                 .inner
                 .device_lanes
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            error_spend: self
+                .inner
+                .error_spend
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
@@ -425,6 +494,7 @@ pub struct RunTelemetry {
     counters: [u64; NUM_COUNTERS],
     spans: Vec<SpanRecord>,
     device_lanes: Vec<DeviceLane>,
+    error_spend: Vec<StageErrorSpend>,
     /// Spans opened over the run's lifetime.
     pub spans_opened: u64,
     /// Spans closed over the run's lifetime.
@@ -445,6 +515,18 @@ impl RunTelemetry {
     /// Per-device accounting lanes (empty for runs without a device fleet).
     pub fn device_lanes(&self) -> &[DeviceLane] {
         &self.device_lanes
+    }
+
+    /// Per-stage error-budget ledger (empty for runs without a fidelity
+    /// budget).
+    pub fn error_spend(&self) -> &[StageErrorSpend] {
+        &self.error_spend
+    }
+
+    /// Total error actually spent across all stages (sum of per-stage
+    /// `spent`); 0.0 when no budget was tracked.
+    pub fn total_error_spent(&self) -> f64 {
+        self.error_spend.iter().map(|s| s.spent).sum()
     }
 
     /// Fleet load-imbalance ratio: max per-device modeled time over the
@@ -593,6 +675,19 @@ impl RunTelemetry {
                 "],\n  \"load_imbalance\": {:.4}",
                 self.load_imbalance()
             ));
+        }
+        if !self.error_spend.is_empty() {
+            out.push_str(",\n  \"error_spend\": [");
+            for (i, s) in self.error_spend.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"stage\": {}, \"allocated\": {:e}, \"spent\": {:e}}}",
+                    s.stage, s.allocated, s.spent
+                ));
+            }
+            out.push(']');
         }
         if include_spans {
             out.push_str(",\n  \"spans\": [");
@@ -765,5 +860,33 @@ mod tests {
         let run = t.finish();
         assert_eq!(run.spans()[0].stage(), Some(4));
         assert!(run.to_json(true).contains("\"stage\": 4"));
+    }
+
+    #[test]
+    fn error_spend_round_trips_and_renders() {
+        let t = Telemetry::new();
+        // No budget tracked: empty ledger, no JSON section.
+        assert!(t.finish().error_spend().is_empty());
+        assert!(!t.finish().to_json(false).contains("\"error_spend\""));
+
+        t.set_error_spend(vec![
+            StageErrorSpend {
+                stage: 0,
+                allocated: 1e-8,
+                spent: 1e-8,
+            },
+            StageErrorSpend {
+                stage: 1,
+                allocated: 1e-8,
+                spent: 0.0,
+            },
+        ]);
+        let run = t.finish();
+        assert_eq!(run.error_spend().len(), 2);
+        assert_eq!(run.error_spend()[1].stage, 1);
+        assert!((run.total_error_spent() - 1e-8).abs() < 1e-20);
+        let json = run.to_json(false);
+        assert!(json.contains("\"error_spend\""), "{json}");
+        assert!(json.contains("\"allocated\": 1e-8"), "{json}");
     }
 }
